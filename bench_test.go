@@ -1,0 +1,101 @@
+// bench_test.go holds one testing.B benchmark per table/figure of the
+// paper's evaluation, at reduced scale so `go test -bench=.` finishes in
+// minutes. For full sweeps with paper-style output tables, use cmd/pvbench.
+package pvoronoi
+
+import (
+	"testing"
+
+	"pvoronoi/internal/bench"
+)
+
+// benchParams is a further-reduced configuration for testing.B iterations.
+func benchParams() bench.Params {
+	return bench.Params{Scale: 0.01, Queries: 20, Instances: 50, Seed: 1}
+}
+
+func runTable(b *testing.B, f func(bench.Params) interface{ String() string }) {
+	b.Helper()
+	p := benchParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab := f(p)
+		if i == 0 && testing.Verbose() {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+func BenchmarkTable1Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = bench.ParamTable().String()
+	}
+}
+
+func BenchmarkFig9aQueryTimeVsSize(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig9a(p) })
+}
+
+func BenchmarkFig9bORPCBreakdown(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig9b(p) })
+}
+
+func BenchmarkFig9cQueryIOVsSize(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig9c(p) })
+}
+
+func BenchmarkFig9dQueryTimeVsRegionSize(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig9d(p) })
+}
+
+func BenchmarkFig9eQueryTimeVsDim(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig9e(p) })
+}
+
+func BenchmarkFig9fORTimeVsDim(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig9f(p) })
+}
+
+func BenchmarkFig9gQueryIOVsDim(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig9g(p) })
+}
+
+func BenchmarkFig9hRealDatasets(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig9h(p) })
+}
+
+func BenchmarkFig10aConstructionVsDelta(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig10a(p) })
+}
+
+func BenchmarkFig10bAllVsFSVsIS(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig10b(p) })
+}
+
+func BenchmarkFig10cConstructionVsSize(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig10c(p) })
+}
+
+func BenchmarkFig10dConstructionVsRegionSize(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig10d(p) })
+}
+
+func BenchmarkFig10eSEBreakdown(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig10e(p) })
+}
+
+func BenchmarkFig10fConstructionRealDatasets(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig10f(p) })
+}
+
+func BenchmarkFig10gUVvsPVConstruction(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig10g(p) })
+}
+
+func BenchmarkFig10hIncrementalInsert(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig10h(p) })
+}
+
+func BenchmarkFig10iIncrementalDelete(b *testing.B) {
+	runTable(b, func(p bench.Params) interface{ String() string } { return bench.Fig10i(p) })
+}

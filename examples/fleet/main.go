@@ -1,0 +1,117 @@
+// Fleet: continuous nearest-vehicle queries over moving objects with GPS
+// uncertainty — the location-based-service scenario from the paper's
+// introduction, exercising the PV-index's incremental maintenance.
+//
+// Vehicles report noisy positions. As they move, their old objects are
+// deleted and re-inserted at the new position; the paper's incremental
+// update algorithm (§VI-B) refreshes only the affected UBRs instead of
+// rebuilding, which is what makes per-tick maintenance affordable.
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"pvoronoi"
+)
+
+const (
+	nVehicles = 250
+	cityKM    = 10000.0 // 10 km × 10 km grid, 1 unit = 1 m
+	gpsErr    = 15.0    // ±15 m GPS error box
+	ticks     = 5
+	moves     = 12 // vehicles moving per tick
+)
+
+type vehicle struct {
+	id   pvoronoi.ID
+	x, y float64
+}
+
+func regionFor(v vehicle) pvoronoi.Rect {
+	lo := pvoronoi.Point{clamp(v.x-gpsErr, 0, cityKM), clamp(v.y-gpsErr, 0, cityKM)}
+	hi := pvoronoi.Point{clamp(v.x+gpsErr, 0, cityKM), clamp(v.y+gpsErr, 0, cityKM)}
+	return pvoronoi.NewRect(lo, hi)
+}
+
+func objectFor(v vehicle, seed int64) *pvoronoi.Object {
+	region := regionFor(v)
+	return &pvoronoi.Object{
+		ID:        v.id,
+		Region:    region,
+		Instances: pvoronoi.SampleGaussian(region, 200, seed),
+	}
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	domain := pvoronoi.NewRect(pvoronoi.Point{0, 0}, pvoronoi.Point{cityKM, cityKM})
+	db := pvoronoi.NewDB(domain)
+
+	fleet := make([]vehicle, nVehicles)
+	for i := range fleet {
+		fleet[i] = vehicle{
+			id: pvoronoi.ID(i + 1),
+			x:  rng.Float64() * cityKM,
+			y:  rng.Float64() * cityKM,
+		}
+		if err := db.Add(objectFor(fleet[i], int64(i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	t0 := time.Now()
+	ix, err := pvoronoi.Build(db, pvoronoi.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("built PV-index over %d vehicles in %v\n", nVehicles, time.Since(t0).Round(time.Millisecond))
+
+	rider := pvoronoi.Point{cityKM / 2, cityKM / 2}
+	for tick := 0; tick < ticks; tick++ {
+		// A handful of vehicles move: delete + insert at the new position.
+		tUpd := time.Now()
+		for m := 0; m < moves; m++ {
+			i := rng.Intn(len(fleet))
+			v := &fleet[i]
+			if err := ix.Delete(v.id); err != nil {
+				log.Fatal(err)
+			}
+			v.x = clamp(v.x+rng.NormFloat64()*400, 0, cityKM)
+			v.y = clamp(v.y+rng.NormFloat64()*400, 0, cityKM)
+			if err := ix.Insert(objectFor(*v, int64(tick*1000+m))); err != nil {
+				log.Fatal(err)
+			}
+		}
+		updTime := time.Since(tUpd)
+
+		// Who is most likely the rider's nearest vehicle right now?
+		tQ := time.Now()
+		results, err := ix.Query(rider)
+		if err != nil {
+			log.Fatal(err)
+		}
+		qTime := time.Since(tQ)
+
+		fmt.Printf("tick %d: %d moves in %v; %d candidate vehicles (query %v)",
+			tick+1, moves, updTime.Round(time.Microsecond), len(results), qTime.Round(time.Microsecond))
+		if len(results) > 0 {
+			fmt.Printf("; best: vehicle %d (p=%.3f)", results[0].ID, results[0].Prob)
+		}
+		fmt.Println()
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,103 @@
+// Meetup: probabilistic group nearest neighbor search — one of the query
+// extensions the paper's conclusion proposes for the PV-index.
+//
+// A group of friends at different locations wants the venue minimizing their
+// combined travel (AggSum) or the farthest member's travel (AggMax). Venue
+// positions are uncertain (crowd-sourced map data), so the answer is a set
+// of venues with qualification probabilities.
+//
+//	go run ./examples/meetup
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pvoronoi"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(99))
+	domain := pvoronoi.NewRect(pvoronoi.Point{0, 0}, pvoronoi.Point{5000, 5000})
+	db := pvoronoi.NewDB(domain)
+
+	// 300 venues with crowd-sourced (imprecise) positions: the uncertainty
+	// box is ±30–80 m depending on how well-mapped the venue is.
+	for i := 0; i < 300; i++ {
+		x, y := rng.Float64()*5000, rng.Float64()*5000
+		e := 30 + rng.Float64()*50
+		lo := pvoronoi.Point{max(0, x-e), max(0, y-e)}
+		hi := pvoronoi.Point{min(5000, x+e), min(5000, y+e)}
+		region := pvoronoi.NewRect(lo, hi)
+		if err := db.Add(&pvoronoi.Object{
+			ID:        pvoronoi.ID(i + 1),
+			Region:    region,
+			Instances: pvoronoi.SampleUniform(region, 150, int64(i)),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ix, err := pvoronoi.Build(db, pvoronoi.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	friends := []pvoronoi.Point{
+		{1200, 1500},
+		{1800, 2400},
+		{900, 2800},
+	}
+
+	for _, mode := range []struct {
+		agg  pvoronoi.Agg
+		name string
+	}{
+		{pvoronoi.AggSum, "minimize total travel (sum)"},
+		{pvoronoi.AggMax, "minimize worst member's travel (max)"},
+	} {
+		results, err := ix.GroupNN(friends, mode.agg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — %d possible venues:\n", mode.name, len(results))
+		for i, r := range results {
+			if i == 5 {
+				fmt.Printf("  ... and %d more\n", len(results)-5)
+				break
+			}
+			fmt.Printf("  venue %-4d p=%.4f\n", r.ID, r.Prob)
+		}
+	}
+
+	// Bonus: each friend's own top-3 probable nearest venues.
+	for i, f := range friends {
+		res, err := ix.PossibleKNN(f, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("friend %d top-3 membership: ", i+1)
+		for j, r := range res {
+			if j == 3 {
+				break
+			}
+			fmt.Printf("venue %d (p=%.2f) ", r.ID, r.Prob)
+		}
+		fmt.Println()
+	}
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+// Quickstart: build a PV-index over a handful of 2-D uncertain objects and
+// run a probabilistic nearest neighbor query (PNNQ).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pvoronoi"
+)
+
+func main() {
+	// A 2-D domain of 1000×1000 units.
+	domain := pvoronoi.NewRect(pvoronoi.Point{0, 0}, pvoronoi.Point{1000, 1000})
+	db := pvoronoi.NewDB(domain)
+
+	// Five uncertain objects: each has a rectangular uncertainty region and
+	// a discrete pdf of 200 uniform samples inside it.
+	regions := []pvoronoi.Rect{
+		pvoronoi.NewRect(pvoronoi.Point{100, 100}, pvoronoi.Point{160, 140}),
+		pvoronoi.NewRect(pvoronoi.Point{400, 120}, pvoronoi.Point{430, 170}),
+		pvoronoi.NewRect(pvoronoi.Point{250, 300}, pvoronoi.Point{330, 360}),
+		pvoronoi.NewRect(pvoronoi.Point{700, 650}, pvoronoi.Point{760, 700}),
+		pvoronoi.NewRect(pvoronoi.Point{180, 210}, pvoronoi.Point{240, 260}),
+	}
+	for i, r := range regions {
+		obj := &pvoronoi.Object{
+			ID:        pvoronoi.ID(i + 1),
+			Region:    r,
+			Instances: pvoronoi.SampleUniform(r, 200, int64(i)),
+		}
+		if err := db.Add(obj); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Build the PV-index with the paper's default parameters.
+	ix, err := pvoronoi.Build(db, pvoronoi.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	q := pvoronoi.Point{260, 200}
+
+	// Step 1: which objects have any chance of being the nearest neighbor?
+	cands, err := ix.PossibleNN(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query %v — possible nearest neighbors:\n", q)
+	for _, c := range cands {
+		fmt.Printf("  object %d  (dist range [%.1f, %.1f])\n", c.ID, c.MinDist, c.MaxDist)
+	}
+
+	// Full PNNQ: qualification probabilities.
+	results, err := ix.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("qualification probabilities:")
+	for _, r := range results {
+		fmt.Printf("  object %d: %.4f\n", r.ID, r.Prob)
+	}
+
+	// The index stays consistent under updates.
+	newRegion := pvoronoi.NewRect(pvoronoi.Point{255, 195}, pvoronoi.Point{275, 215})
+	if err := ix.Insert(&pvoronoi.Object{
+		ID:        99,
+		Region:    newRegion,
+		Instances: pvoronoi.SampleUniform(newRegion, 200, 99),
+	}); err != nil {
+		log.Fatal(err)
+	}
+	results, _ = ix.Query(q)
+	fmt.Println("after inserting object 99 right next to the query:")
+	for _, r := range results {
+		fmt.Printf("  object %d: %.4f\n", r.ID, r.Prob)
+	}
+}

@@ -1,0 +1,104 @@
+// Sensornet: PNNQ over 3-D sensor readings with measurement uncertainty —
+// the habitat-monitoring scenario from the paper's introduction.
+//
+// Each sensor node reports (temperature, humidity, wind speed). Readings are
+// contaminated with measurement error, so each sensor is an uncertain object
+// whose region bounds the plausible true values (Gaussian pdf around the
+// reported reading). A PNNQ for a target condition vector returns the
+// sensors whose true reading is plausibly the closest match, with
+// probabilities.
+//
+//	go run ./examples/sensornet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"pvoronoi"
+)
+
+// Attribute scales: temperature 0–50 °C, humidity 0–100 %, wind 0–30 m/s,
+// normalized to a [0,1000]³ domain so Euclidean distance is meaningful.
+func normalize(temp, hum, wind float64) pvoronoi.Point {
+	return pvoronoi.Point{temp / 50 * 1000, hum / 100 * 1000, wind / 30 * 1000}
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(2024))
+	domain := pvoronoi.NewRect(pvoronoi.Point{0, 0, 0}, pvoronoi.Point{1000, 1000, 1000})
+	db := pvoronoi.NewDB(domain)
+
+	// 400 sensor nodes. Each reports a reading; measurement error gives a
+	// ±1.5 °C, ±4 %, ±1.2 m/s uncertainty box.
+	errBox := normalize(1.5, 4, 1.2)
+	for i := 0; i < 400; i++ {
+		reading := normalize(
+			10+rng.Float64()*30, // 10–40 °C
+			20+rng.Float64()*70, // 20–90 %
+			rng.Float64()*20,    // 0–20 m/s
+		)
+		lo := make(pvoronoi.Point, 3)
+		hi := make(pvoronoi.Point, 3)
+		for j := 0; j < 3; j++ {
+			lo[j] = clamp(reading[j]-errBox[j], 0, 1000)
+			hi[j] = clamp(reading[j]+errBox[j], 0, 1000)
+		}
+		region := pvoronoi.NewRect(lo, hi)
+		if err := db.Add(&pvoronoi.Object{
+			ID:        pvoronoi.ID(i + 1),
+			Region:    region,
+			Instances: pvoronoi.SampleGaussian(region, 300, int64(i)),
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	ix, err := pvoronoi.Build(db, pvoronoi.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// "Which sensor most likely observes conditions closest to
+	// 25 °C / 60 % / 5 m/s?"
+	target := normalize(25, 60, 5)
+	results, err := ix.Query(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensors plausibly closest to 25°C / 60%% RH / 5 m/s: %d\n", len(results))
+	for i, r := range results {
+		if i == 5 {
+			fmt.Printf("  ... and %d more\n", len(results)-5)
+			break
+		}
+		fmt.Printf("  sensor %-4d probability %.4f\n", r.ID, r.Prob)
+	}
+
+	// A sensor drops out of the network (battery death) — delete it and the
+	// answer set adapts without rebuilding the index.
+	if len(results) > 0 {
+		dead := results[0].ID
+		if err := ix.Delete(dead); err != nil {
+			log.Fatal(err)
+		}
+		after, _ := ix.Query(target)
+		fmt.Printf("after sensor %d died, the most likely match is now ", dead)
+		if len(after) > 0 {
+			fmt.Printf("sensor %d (p=%.4f)\n", after[0].ID, after[0].Prob)
+		} else {
+			fmt.Println("nobody")
+		}
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

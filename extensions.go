@@ -1,0 +1,52 @@
+package pvoronoi
+
+import (
+	"pvoronoi/internal/extquery"
+	"pvoronoi/internal/pnnq"
+)
+
+// Agg selects the aggregate for group nearest neighbor queries.
+type Agg = extquery.Agg
+
+// Aggregates for GroupNN.
+const (
+	// AggSum minimizes the summed distance to all group points.
+	AggSum = extquery.AggSum
+	// AggMax minimizes the worst-case distance to the group points.
+	AggMax = extquery.AggMax
+)
+
+// KNNResult is an object's probability of ranking among the k nearest.
+type KNNResult = pnnq.KNNResult
+
+// GroupNN evaluates a probabilistic group nearest neighbor query: the
+// objects that may minimize the aggregate distance to the query points,
+// with their probabilities (computed from stored instances). This is the
+// group-NN extension the paper's conclusion proposes for the PV-index.
+func (ix *Index) GroupNN(group []Point, agg Agg) ([]Result, error) {
+	db := ix.inner.DB()
+	ids := extquery.GroupNNCandidates(db, group, agg)
+	return extquery.GroupNNProbs(db, ids, group, agg), nil
+}
+
+// GroupNNCandidates returns only the candidate set of a group NN query
+// (objects with non-zero probability, region-level bound).
+func (ix *Index) GroupNNCandidates(group []Point, agg Agg) []ID {
+	return extquery.GroupNNCandidates(ix.inner.DB(), group, agg)
+}
+
+// PossibleKNN returns the objects with a non-zero chance of ranking among
+// the k nearest neighbors of q, with membership probabilities (probability
+// that the object is within the top k). k=1 coincides with Query.
+func (ix *Index) PossibleKNN(q Point, k int) ([]KNNResult, error) {
+	db := ix.inner.DB()
+	ids := extquery.KNNCandidates(db, q, k)
+	return extquery.KNNProbs(db, ids, q, k), nil
+}
+
+// PossibleRNN returns the objects with a non-zero chance that q is their
+// nearest neighbor (probabilistic reverse NN candidates, region-level
+// domination test with the paper's m_max granularity).
+func (ix *Index) PossibleRNN(q Point) []ID {
+	return extquery.RNNCandidates(ix.inner.DB(), q, 10)
+}

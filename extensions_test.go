@@ -1,0 +1,95 @@
+package pvoronoi
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGroupNNPublicAPI(t *testing.T) {
+	db := buildSmallDB(t, 60, true)
+	ix, err := Build(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	group := []Point{{200, 200}, {400, 300}, {300, 500}}
+	for _, agg := range []Agg{AggSum, AggMax} {
+		cands := ix.GroupNNCandidates(group, agg)
+		if len(cands) == 0 {
+			t.Fatalf("agg=%d: no candidates", agg)
+		}
+		results, err := ix.GroupNN(group, agg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		inCands := map[ID]bool{}
+		for _, id := range cands {
+			inCands[id] = true
+		}
+		for _, r := range results {
+			sum += r.Prob
+			if !inCands[r.ID] {
+				t.Fatalf("result %d not among candidates", r.ID)
+			}
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("agg=%d: probabilities sum to %g", agg, sum)
+		}
+	}
+}
+
+func TestPossibleKNNPublicAPI(t *testing.T) {
+	db := buildSmallDB(t, 60, true)
+	ix, err := Build(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Point{500, 500}
+	for _, k := range []int{1, 3, 5} {
+		res, err := ix.PossibleKNN(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, r := range res {
+			sum += r.Prob
+		}
+		// Top-k membership probabilities sum to k.
+		if math.Abs(sum-float64(k)) > 1e-6 {
+			t.Fatalf("k=%d: membership probabilities sum to %g", k, sum)
+		}
+	}
+	// k=1 must match the plain PNNQ winner set.
+	k1, _ := ix.PossibleKNN(q, 1)
+	full, _ := ix.Query(q)
+	if len(k1) != len(full) {
+		t.Fatalf("k=1 (%d results) disagrees with Query (%d)", len(k1), len(full))
+	}
+	for i := range k1 {
+		if k1[i].ID != full[i].ID || math.Abs(k1[i].Prob-full[i].Prob) > 1e-9 {
+			t.Fatalf("k=1 result %d: (%d, %g) vs Query (%d, %g)",
+				i, k1[i].ID, k1[i].Prob, full[i].ID, full[i].Prob)
+		}
+	}
+}
+
+func TestPossibleRNNPublicAPI(t *testing.T) {
+	db := buildSmallDB(t, 60, true)
+	ix, err := Build(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q inside some object's region: that object must be an RNN candidate.
+	target := db.Objects()[0]
+	q := target.Region.Center()
+	got := ix.PossibleRNN(q)
+	found := false
+	for _, id := range got {
+		if id == target.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("object %d containing q missing from RNN candidates %v", target.ID, got)
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pvoronoi/internal/uncertain"
+)
+
+func TestParamsScaling(t *testing.T) {
+	p := Params{Scale: 0.1}
+	if got := p.n(20000); got != 2000 {
+		t.Fatalf("n(20000) = %d", got)
+	}
+	// Floor guards against degenerate databases.
+	if got := p.n(100); got != 50 {
+		t.Fatalf("n(100) = %d, want floor 50", got)
+	}
+	sizes := p.sweepSizes()
+	want := []int{2000, 4000, 6000, 8000, 10000}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sweepSizes = %v", sizes)
+		}
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if got := ratio(100*time.Millisecond, 50*time.Millisecond); got != "2.00" {
+		t.Fatalf("ratio = %q", got)
+	}
+	if got := ratio(time.Second, 0); got != "-" {
+		t.Fatalf("ratio by zero = %q", got)
+	}
+	if got := share(25*time.Millisecond, 100*time.Millisecond); got != "25.00%" {
+		t.Fatalf("share = %q", got)
+	}
+	if got := durMS(1500 * time.Microsecond); got != "1.500ms" {
+		t.Fatalf("durMS = %q", got)
+	}
+	if maxf(1, 2) != 2 || maxf(3, 2) != 3 {
+		t.Fatal("maxf wrong")
+	}
+}
+
+func TestParamTableRendering(t *testing.T) {
+	out := ParamTable().String()
+	for _, want := range []string{"|S|", "m_max", "k_partition", "60k"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Smoke-run the cheapest figure end-to-end at the minimum size so the
+// harness itself is covered by `go test`.
+func TestFig9bSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness smoke test is slow")
+	}
+	p := Params{Scale: 0.001, Queries: 5, Instances: 10, Seed: 1}
+	tab := Fig9b(p)
+	out := tab.String()
+	if !strings.Contains(out, "R-tree") || !strings.Contains(out, "PV-index") {
+		t.Fatalf("fig9b output malformed:\n%s", out)
+	}
+}
+
+func TestStepTwoSkipsMissingObjects(t *testing.T) {
+	p := Params{Scale: 0.001, Queries: 1, Instances: 5, Seed: 1}
+	db := synthetic(p, 50, 2, 60)
+	res := stepTwo(db, []uncertain.ID{0, 1, 9999}, db.Domain.Center())
+	_ = res // absence of panic is the assertion; 9999 is missing
+}

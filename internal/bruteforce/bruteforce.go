@@ -1,0 +1,133 @@
+// Package bruteforce provides reference implementations used as oracles in
+// tests and as the unindexed baseline in benchmarks. All algorithms here are
+// O(|S|) scans with no pruning; they define correctness for the indexed paths.
+package bruteforce
+
+import (
+	"math"
+	"sort"
+
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/uncertain"
+)
+
+// PossibleNN returns the IDs of all objects with a non-zero probability of
+// being the nearest neighbor of q: exactly those o with
+// distmin(o, q) <= min_{o'} distmax(o', q). This is PNNQ Step 1 ground truth.
+func PossibleNN(db *uncertain.DB, q geom.Point) []uncertain.ID {
+	objs := db.Objects()
+	if len(objs) == 0 {
+		return nil
+	}
+	best := math.Inf(1)
+	for _, o := range objs {
+		if d := o.MaxDist(q); d < best {
+			best = d
+		}
+	}
+	var out []uncertain.ID
+	for _, o := range objs {
+		if o.MinDist(q) <= best {
+			out = append(out, o.ID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InPVCell reports whether point p lies in the PV-cell of object id: whether
+// id can be the nearest neighbor of p given every other object in db. This is
+// the pointwise membership oracle for V(o) (Definition 1 + Lemma 4).
+func InPVCell(db *uncertain.DB, id uncertain.ID, p geom.Point) bool {
+	o := db.Get(id)
+	if o == nil {
+		return false
+	}
+	dmin := o.MinDist(p)
+	for _, other := range db.Objects() {
+		if other.ID == id {
+			continue
+		}
+		if other.MaxDist(p) < dmin {
+			return false // other dominates o at p
+		}
+	}
+	return true
+}
+
+// NNByCenter returns object IDs sorted by the distance of their region
+// centers from q (the "mean position" ordering used by the FS strategy).
+func NNByCenter(db *uncertain.DB, q geom.Point) []uncertain.ID {
+	objs := db.Objects()
+	type pair struct {
+		id uncertain.ID
+		d  float64
+	}
+	ps := make([]pair, len(objs))
+	for i, o := range objs {
+		ps[i] = pair{o.ID, geom.Dist2(o.Region.Center(), q)}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].d != ps[j].d {
+			return ps[i].d < ps[j].d
+		}
+		return ps[i].id < ps[j].id
+	})
+	out := make([]uncertain.ID, len(ps))
+	for i, p := range ps {
+		out[i] = p.id
+	}
+	return out
+}
+
+// QualificationProbs computes the exact (under the discrete pdf model)
+// qualification probability of every object in db being the NN of q:
+//
+//	P(o NN of q) = Σ_{instance s of o} p(s) · Π_{o'≠o} P(dist(o', q) > dist(s, q))
+//
+// Objects must carry instances. Probabilities over all objects sum to 1 up to
+// tie handling (instances at exactly equal distance are counted as farther,
+// matching the strict "closest" semantics; ties have measure zero for
+// continuous pdfs).
+func QualificationProbs(db *uncertain.DB, q geom.Point) map[uncertain.ID]float64 {
+	objs := db.Objects()
+	// Precompute each object's sorted instance distances and CDF support.
+	dists := make([][]float64, len(objs))
+	for i, o := range objs {
+		ds := make([]float64, len(o.Instances))
+		for j, in := range o.Instances {
+			ds[j] = geom.Dist(in.Pos, q)
+		}
+		sort.Float64s(ds)
+		dists[i] = ds
+	}
+	out := make(map[uncertain.ID]float64, len(objs))
+	for i, o := range objs {
+		var total float64
+		for _, in := range o.Instances {
+			r := geom.Dist(in.Pos, q)
+			prod := in.Prob
+			for k := range objs {
+				if k == i {
+					continue
+				}
+				// P(dist(o_k, q) > r) = fraction of instances strictly beyond r.
+				ds := dists[k]
+				idx := sort.SearchFloat64s(ds, r)
+				// Advance past exact ties so they count as "farther".
+				for idx < len(ds) && ds[idx] == r {
+					idx++
+				}
+				prod *= float64(len(ds)-idx) / float64(len(ds))
+				if prod == 0 {
+					break
+				}
+			}
+			total += prod
+		}
+		if total > 0 {
+			out[o.ID] = total
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package bruteforce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/uncertain"
+)
+
+func buildDB(t *testing.T, rects [][4]float64) *uncertain.DB {
+	t.Helper()
+	db := uncertain.NewDB(geom.UnitCube(2, 100))
+	for i, r := range rects {
+		o := &uncertain.Object{
+			ID:     uncertain.ID(i),
+			Region: geom.NewRect(geom.Point{r[0], r[1]}, geom.Point{r[2], r[3]}),
+		}
+		if err := db.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestPossibleNNSimple(t *testing.T) {
+	// Object 0 near origin, object 1 far away: query at origin can only
+	// have object 0 as NN.
+	db := buildDB(t, [][4]float64{
+		{0, 0, 1, 1},
+		{50, 50, 51, 51},
+	})
+	got := PossibleNN(db, geom.Point{0.5, 0.5})
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("PossibleNN = %v", got)
+	}
+	// Query midway: both are possible.
+	got = PossibleNN(db, geom.Point{25, 25})
+	if len(got) != 2 {
+		t.Fatalf("PossibleNN midway = %v", got)
+	}
+}
+
+func TestPossibleNNEmptyAndSingle(t *testing.T) {
+	db := uncertain.NewDB(geom.UnitCube(2, 100))
+	if got := PossibleNN(db, geom.Point{1, 1}); got != nil {
+		t.Fatalf("empty DB: %v", got)
+	}
+	_ = db.Add(&uncertain.Object{ID: 7, Region: geom.NewRect(geom.Point{1, 1}, geom.Point{2, 2})})
+	got := PossibleNN(db, geom.Point{90, 90})
+	if len(got) != 1 || got[0] != 7 {
+		t.Fatalf("single DB: %v", got)
+	}
+}
+
+func TestInPVCellMatchesPossibleNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := uncertain.NewDB(geom.UnitCube(2, 100))
+	for i := 0; i < 40; i++ {
+		x, y := rng.Float64()*95, rng.Float64()*95
+		w, h := rng.Float64()*5, rng.Float64()*5
+		_ = db.Add(&uncertain.Object{
+			ID:     uncertain.ID(i),
+			Region: geom.NewRect(geom.Point{x, y}, geom.Point{x + w, y + h}),
+		})
+	}
+	for iter := 0; iter < 200; iter++ {
+		q := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		inSet := map[uncertain.ID]bool{}
+		for _, id := range PossibleNN(db, q) {
+			inSet[id] = true
+		}
+		for _, o := range db.Objects() {
+			if got := InPVCell(db, o.ID, q); got != inSet[o.ID] {
+				t.Fatalf("InPVCell(%d, %v) = %v, PossibleNN says %v", o.ID, q, got, inSet[o.ID])
+			}
+		}
+	}
+}
+
+func TestNNByCenterOrdering(t *testing.T) {
+	db := buildDB(t, [][4]float64{
+		{10, 10, 12, 12}, // center (11,11)
+		{0, 0, 2, 2},     // center (1,1)
+		{50, 50, 52, 52}, // center (51,51)
+	})
+	got := NNByCenter(db, geom.Point{0, 0})
+	want := []uncertain.ID{1, 0, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NNByCenter = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQualificationProbsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := uncertain.NewDB(geom.UnitCube(2, 100))
+	for i := 0; i < 12; i++ {
+		x, y := rng.Float64()*90, rng.Float64()*90
+		region := geom.NewRect(geom.Point{x, y}, geom.Point{x + 5, y + 5})
+		o := &uncertain.Object{
+			ID:        uncertain.ID(i),
+			Region:    region,
+			Instances: uncertain.SampleInstances(region, uncertain.PDFUniform, 60, rng),
+		}
+		_ = db.Add(o)
+	}
+	for iter := 0; iter < 20; iter++ {
+		q := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		probs := QualificationProbs(db, q)
+		var sum float64
+		for _, p := range probs {
+			if p < 0 || p > 1+1e-9 {
+				t.Fatalf("probability out of range: %g", p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %g", sum)
+		}
+		// Every object with positive probability must be in the possible set.
+		possible := map[uncertain.ID]bool{}
+		for _, id := range PossibleNN(db, q) {
+			possible[id] = true
+		}
+		for id, p := range probs {
+			if p > 0 && !possible[id] {
+				t.Fatalf("object %d has prob %g but is not a possible NN", id, p)
+			}
+		}
+	}
+}
+
+func TestQualificationProbsDominantObject(t *testing.T) {
+	// One object hugely closer than the other: its probability must be ~1.
+	rng := rand.New(rand.NewSource(2))
+	db := uncertain.NewDB(geom.UnitCube(2, 1000))
+	near := geom.NewRect(geom.Point{0, 0}, geom.Point{2, 2})
+	far := geom.NewRect(geom.Point{900, 900}, geom.Point{902, 902})
+	_ = db.Add(&uncertain.Object{ID: 1, Region: near,
+		Instances: uncertain.SampleInstances(near, uncertain.PDFUniform, 50, rng)})
+	_ = db.Add(&uncertain.Object{ID: 2, Region: far,
+		Instances: uncertain.SampleInstances(far, uncertain.PDFUniform, 50, rng)})
+	probs := QualificationProbs(db, geom.Point{1, 1})
+	if math.Abs(probs[1]-1) > 1e-12 {
+		t.Fatalf("near object prob = %g, want 1", probs[1])
+	}
+	if probs[2] != 0 {
+		t.Fatalf("far object prob = %g, want 0", probs[2])
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkComputeUBRIS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db := randomDB(rng, 2000, 3, 10000, 60)
+	tree := BuildRegionTree(db, 100)
+	opts := DefaultOptions()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o := db.Objects()[i%db.Len()]
+		_, _ = ComputeUBR(db, tree, o, opts)
+	}
+}
+
+func BenchmarkComputeUBRFS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db := randomDB(rng, 2000, 3, 10000, 60)
+	tree := BuildRegionTree(db, 100)
+	opts := DefaultOptions()
+	opts.Strategy = CSetFS
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o := db.Objects()[i%db.Len()]
+		_, _ = ComputeUBR(db, tree, o, opts)
+	}
+}
+
+func BenchmarkChooseCSetIS(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	db := randomDB(rng, 5000, 3, 10000, 60)
+	tree := BuildRegionTree(db, 100)
+	opts := DefaultOptions()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o := db.Objects()[i%db.Len()]
+		_ = ChooseCSet(db, tree, o, opts)
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"time"
+
+	"pvoronoi/internal/domination"
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/rtree"
+	"pvoronoi/internal/uncertain"
+)
+
+// Stats reports the cost profile of one SE run, feeding the paper's
+// construction-time breakdowns (Fig. 10(e)).
+type Stats struct {
+	CSetSize        int
+	CSetTime        time.Duration
+	UBRTime         time.Duration
+	Iterations      int   // shrink-or-expand steps executed
+	DominationTests int64 // individual spatial-domination decisions
+	Shrinks         int   // steps that shrank h(o)
+	Expands         int   // steps that expanded l(o)
+}
+
+// Add accumulates s2 into s, for aggregating per-object stats over a build.
+func (s *Stats) Add(s2 Stats) {
+	s.CSetSize += s2.CSetSize
+	s.CSetTime += s2.CSetTime
+	s.UBRTime += s2.UBRTime
+	s.Iterations += s2.Iterations
+	s.DominationTests += s2.DominationTests
+	s.Shrinks += s2.Shrinks
+	s.Expands += s2.Expands
+}
+
+// ComputeUBR runs the SE algorithm (Algorithm 1) for object o over database
+// db and returns a UBR B(o) ⊇ V(o). The tree must index all object regions.
+func ComputeUBR(db *uncertain.DB, tree *rtree.Tree, o *uncertain.Object, opts Options) (geom.Rect, Stats) {
+	return computeUBRBounds(db, tree, o, opts, o.Region.Clone(), db.Domain.Clone())
+}
+
+// ComputeUBRAfterDelete recomputes o's UBR after another object was deleted
+// from db. By Lemma 9 the PV-cell can only grow, so SE warm-starts with the
+// old UBR as the lower bound l(o) (§VI-B, deletion Step 3).
+func ComputeUBRAfterDelete(db *uncertain.DB, tree *rtree.Tree, o *uncertain.Object, oldUBR geom.Rect, opts Options) (geom.Rect, Stats) {
+	return computeUBRBounds(db, tree, o, opts, oldUBR.Clone(), db.Domain.Clone())
+}
+
+// ComputeUBRAfterInsert recomputes o's UBR after another object was inserted
+// into db. By Lemma 9 the PV-cell can only shrink, so SE warm-starts with the
+// old UBR as the upper bound h(o) (§VI-B, insertion Step 3).
+func ComputeUBRAfterInsert(db *uncertain.DB, tree *rtree.Tree, o *uncertain.Object, oldUBR geom.Rect, opts Options) (geom.Rect, Stats) {
+	// Guard the warm start: l(o)=u(o) must stay inside h(o)=oldUBR; if the
+	// stored UBR somehow fails that (it cannot for UBRs produced here, but
+	// defensive for external input), fall back to the domain.
+	h := oldUBR.Clone()
+	if !h.ContainsRect(o.Region) {
+		h = db.Domain.Clone()
+	}
+	return computeUBRBounds(db, tree, o, opts, o.Region.Clone(), h)
+}
+
+// computeUBRBounds is the shared SE loop with explicit initial bounds:
+// l ⊆ M(o) ⊆ h is maintained as h shrinks and l expands until every
+// directional gap is below Δ. The returned UBR is h.
+func computeUBRBounds(db *uncertain.DB, tree *rtree.Tree, o *uncertain.Object, opts Options, l, h geom.Rect) (ubr geom.Rect, st Stats) {
+	t0 := time.Now()
+	cset := ChooseCSet(db, tree, o, opts)
+	st.CSetTime = time.Since(t0)
+	st.CSetSize = len(cset)
+
+	t1 := time.Now()
+	defer func() { st.UBRTime = time.Since(t1) }()
+
+	if len(cset) == 0 {
+		// Nothing constrains V(o): the PV-cell is the whole domain.
+		return h, st
+	}
+
+	regions := make([]geom.Rect, len(cset))
+	for i, c := range cset {
+		regions[i] = c.Region
+	}
+	tester := domination.NewTester(regions, o.Region, opts.MaxDepth)
+
+	d := o.Dim()
+	delta := opts.Delta
+	if delta <= 0 {
+		delta = 1e-9 // Δ=0 would loop forever on irrational boundaries
+	}
+
+	for maxGap(l, h) >= delta {
+		progressed := false
+		for j := 0; j < d; j++ {
+			// Low direction: candidate slab between h.Lo and the midplane.
+			if h.Lo[j] < l.Lo[j] {
+				mid := (h.Lo[j] + l.Lo[j]) / 2
+				slab := h.Clone()
+				slab.Hi[j] = mid
+				st.Iterations++
+				if tester.RegionPrunable(slab) {
+					h.Lo[j] = mid
+					st.Shrinks++
+				} else {
+					l.Lo[j] = mid
+					st.Expands++
+				}
+				progressed = true
+			}
+			// High direction: candidate slab between the midplane and h.Hi.
+			if h.Hi[j] > l.Hi[j] {
+				mid := (h.Hi[j] + l.Hi[j]) / 2
+				slab := h.Clone()
+				slab.Lo[j] = mid
+				st.Iterations++
+				if tester.RegionPrunable(slab) {
+					h.Hi[j] = mid
+					st.Shrinks++
+				} else {
+					l.Hi[j] = mid
+					st.Expands++
+				}
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	st.DominationTests = tester.Tests
+	return h, st
+}
+
+// maxGap returns |h − l|_d: the largest per-direction distance between the
+// boundaries of the bounding pair.
+func maxGap(l, h geom.Rect) float64 {
+	var m float64
+	for j := range l.Lo {
+		if g := l.Lo[j] - h.Lo[j]; g > m {
+			m = g
+		}
+		if g := h.Hi[j] - l.Hi[j]; g > m {
+			m = g
+		}
+	}
+	return m
+}
+
+// BuildRegionTree indexes the uncertainty regions of every object in db in
+// an R*-tree keyed by object ID — the shared support structure for FS/IS
+// C-set selection and for the R-tree PNNQ baseline.
+func BuildRegionTree(db *uncertain.DB, fanout int) *rtree.Tree {
+	t := rtree.New(db.Dim(), fanout)
+	for _, o := range db.Objects() {
+		t.Insert(rtree.Item{Rect: o.Region, ID: uint32(o.ID)})
+	}
+	return t
+}

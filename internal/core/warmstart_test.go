@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"pvoronoi/internal/bruteforce"
+	"pvoronoi/internal/geom"
+)
+
+// TestInsertWarmStartBadOldUBR exercises the defensive fallback: an "old
+// UBR" that does not contain u(o) cannot seed the upper bound, so SE must
+// fall back to the domain and still produce a conservative UBR.
+func TestInsertWarmStartBadOldUBR(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	db := randomDB(rng, 40, 2, 500, 25)
+	tree := BuildRegionTree(db, 8)
+	o := db.Objects()[0]
+	bogus := geom.NewRect(geom.Point{0, 0}, geom.Point{1, 1}) // excludes u(o)
+	ubr, _ := ComputeUBRAfterInsert(db, tree, o, bogus, optsWith(CSetIS))
+	if !ubr.ContainsRect(o.Region) {
+		t.Fatalf("fallback UBR %v does not contain u(o) %v", ubr, o.Region)
+	}
+	for s := 0; s < 300; s++ {
+		p := geom.Point{rng.Float64() * 500, rng.Float64() * 500}
+		if bruteforce.InPVCell(db, o.ID, p) && !ubr.Contains(p) {
+			t.Fatalf("fallback UBR misses PV point %v", p)
+		}
+	}
+}
+
+// TestDeleteWarmStartEqualsColdConservative: warm-started recomputation
+// after a deletion must cover at least everything the cold computation
+// covers being seeded with a larger lower bound.
+func TestDeleteWarmStartContainsOldUBR(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	db := randomDB(rng, 50, 2, 600, 25)
+	tree := BuildRegionTree(db, 8)
+	opts := optsWith(CSetIS)
+	o := db.Objects()[3]
+	oldUBR, _ := ComputeUBR(db, tree, o, opts)
+
+	_, _ = db.Remove(10)
+	tree = BuildRegionTree(db, 8)
+	newUBR, _ := ComputeUBRAfterDelete(db, tree, o, oldUBR, opts)
+	if !newUBR.ContainsRect(oldUBR) {
+		t.Fatalf("deletion warm start shrank the UBR: old %v new %v", oldUBR, newUBR)
+	}
+}
+
+// TestZeroDelta: Δ<=0 must not loop forever; SE substitutes a tiny epsilon.
+func TestZeroDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	db := randomDB(rng, 20, 2, 300, 20)
+	tree := BuildRegionTree(db, 8)
+	opts := optsWith(CSetIS)
+	opts.Delta = 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ubr, _ := ComputeUBR(db, tree, db.Objects()[0], opts)
+		if !ubr.ContainsRect(db.Objects()[0].Region) {
+			t.Error("Δ=0 UBR not conservative")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("SE with Δ=0 did not terminate")
+	}
+}

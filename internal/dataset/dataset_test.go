@@ -1,0 +1,154 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"pvoronoi/internal/geom"
+)
+
+func TestSyntheticBasics(t *testing.T) {
+	db := Synthetic(SyntheticParams{N: 500, Dim: 3, MaxSide: 60, Instances: 20, Seed: 1})
+	if db.Len() != 500 || db.Dim() != 3 {
+		t.Fatalf("len=%d dim=%d", db.Len(), db.Dim())
+	}
+	for _, o := range db.Objects() {
+		if err := o.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !db.Domain.ContainsRect(o.Region) {
+			t.Fatalf("region %v escapes domain", o.Region)
+		}
+		for j := 0; j < 3; j++ {
+			if s := o.Region.Side(j); s > 60+1e-9 {
+				t.Fatalf("side %g exceeds |u(o)|", s)
+			}
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	a := Synthetic(SyntheticParams{N: 100, Dim: 2, MaxSide: 40, Seed: 7})
+	b := Synthetic(SyntheticParams{N: 100, Dim: 2, MaxSide: 40, Seed: 7})
+	for i := range a.Objects() {
+		if !a.Objects()[i].Region.Equal(b.Objects()[i].Region) {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := Synthetic(SyntheticParams{N: 100, Dim: 2, MaxSide: 40, Seed: 8})
+	same := true
+	for i := range a.Objects() {
+		if !a.Objects()[i].Region.Equal(c.Objects()[i].Region) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestSyntheticClustered(t *testing.T) {
+	uni := Synthetic(SyntheticParams{N: 2000, Dim: 2, MaxSide: 20, Seed: 3})
+	clu := Synthetic(SyntheticParams{N: 2000, Dim: 2, MaxSide: 20, Seed: 3, Clustered: true, Clusters: 5})
+	// Clustered data covers fewer coarse grid cells than uniform data.
+	occ := map[[2]int]bool{}
+	for _, o := range uni.Objects() {
+		c := o.Region.Center()
+		occ[[2]int{int(c[0] / 500), int(c[1] / 500)}] = true
+	}
+	uniCells := len(occ)
+	occ = map[[2]int]bool{}
+	for _, o := range clu.Objects() {
+		c := o.Region.Center()
+		occ[[2]int{int(c[0] / 500), int(c[1] / 500)}] = true
+	}
+	cluCells := len(occ)
+	if cluCells >= uniCells {
+		t.Fatalf("clustered data covers %d cells, uniform %d — expected fewer", cluCells, uniCells)
+	}
+}
+
+func TestRealDatasets(t *testing.T) {
+	for _, kind := range []RealKind{Roads, RRLines, Airports} {
+		db := Real(RealParams{Kind: kind, N: 2000, Instances: 10, Seed: 5})
+		if db.Len() != 2000 {
+			t.Fatalf("%v: len=%d", kind, db.Len())
+		}
+		if db.Dim() != kind.Dim() {
+			t.Fatalf("%v: dim=%d want %d", kind, db.Dim(), kind.Dim())
+		}
+		for _, o := range db.Objects() {
+			if err := o.Validate(); err != nil {
+				t.Fatalf("%v: %v", kind, err)
+			}
+			if !db.Domain.ContainsRect(o.Region) {
+				t.Fatalf("%v: region escapes domain", kind)
+			}
+		}
+	}
+}
+
+func TestRealDefaultSizes(t *testing.T) {
+	if Roads.Size() != 30000 || RRLines.Size() != 36000 || Airports.Size() != 20000 {
+		t.Fatal("paper dataset sizes wrong")
+	}
+	if Roads.String() != "roads" || Airports.String() != "airports" {
+		t.Fatal("names wrong")
+	}
+}
+
+func TestSegmentElongation(t *testing.T) {
+	// Rail segments should be longer (more elongated) than road segments.
+	roads := Real(RealParams{Kind: Roads, N: 3000, Seed: 9})
+	rails := Real(RealParams{Kind: RRLines, N: 3000, Seed: 9})
+	var sumR, sumL float64
+	for _, o := range roads.Objects() {
+		sumR += geom.Dist(o.Region.Lo, o.Region.Hi)
+	}
+	for _, o := range rails.Objects() {
+		sumL += geom.Dist(o.Region.Lo, o.Region.Hi)
+	}
+	if sumL/float64(rails.Len()) <= sumR/float64(roads.Len()) {
+		t.Fatalf("rail segments (%g) not longer than roads (%g)",
+			sumL/float64(rails.Len()), sumR/float64(roads.Len()))
+	}
+}
+
+func TestAirportsProfile(t *testing.T) {
+	db := Real(RealParams{Kind: Airports, N: 3000, Seed: 11})
+	// GPS error boxes are tiny: every region diagonal is ~2*2.5*sqrt(3).
+	maxDiag := 2 * 2.5 * math.Sqrt(3) * 1.01
+	lowAlt := 0
+	for _, o := range db.Objects() {
+		if d := geom.Dist(o.Region.Lo, o.Region.Hi); d > maxDiag {
+			t.Fatalf("airport box diagonal %g too large", d)
+		}
+		if o.Region.Center()[2] < DomainSpan/10 {
+			lowAlt++
+		}
+	}
+	// Most airports sit at low altitude.
+	if lowAlt < db.Len()/2 {
+		t.Fatalf("only %d/%d airports at low altitude", lowAlt, db.Len())
+	}
+}
+
+func TestQueryPoints(t *testing.T) {
+	domain := geom.UnitCube(3, 100)
+	qs := QueryPoints(domain, 50, 1)
+	if len(qs) != 50 {
+		t.Fatalf("len=%d", len(qs))
+	}
+	for _, q := range qs {
+		if !domain.Contains(q) {
+			t.Fatalf("query %v outside domain", q)
+		}
+	}
+	qs2 := QueryPoints(domain, 50, 1)
+	for i := range qs {
+		if !qs[i].Equal(qs2[i]) {
+			t.Fatal("query points not deterministic")
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/uncertain"
+)
+
+// fileObject is the on-disk form of one uncertain object.
+type fileObject struct {
+	ID     uint32
+	Lo, Hi []float64
+	Inst   [][]float64 // instance positions
+	Probs  []float64   // instance probabilities
+}
+
+// fileFormat is the on-disk form of a database (gob-encoded).
+type fileFormat struct {
+	Dim      int
+	DomainLo []float64
+	DomainHi []float64
+	Objects  []fileObject
+}
+
+// Save writes db to path in the repository's gob-based dataset format,
+// consumed by cmd/pvquery and cmd/pvbench via Load.
+func Save(db *uncertain.DB, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+
+	ff := fileFormat{
+		Dim:      db.Dim(),
+		DomainLo: db.Domain.Lo,
+		DomainHi: db.Domain.Hi,
+		Objects:  make([]fileObject, 0, db.Len()),
+	}
+	for _, o := range db.Objects() {
+		fo := fileObject{
+			ID: uint32(o.ID),
+			Lo: o.Region.Lo,
+			Hi: o.Region.Hi,
+		}
+		for _, in := range o.Instances {
+			fo.Inst = append(fo.Inst, in.Pos)
+			fo.Probs = append(fo.Probs, in.Prob)
+		}
+		ff.Objects = append(ff.Objects, fo)
+	}
+	if err := gob.NewEncoder(w).Encode(ff); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// Load reads a database previously written by Save.
+func Load(path string) (*uncertain.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var ff fileFormat
+	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("dataset: decoding %s: %w", path, err)
+	}
+	db := uncertain.NewDB(geom.Rect{Lo: ff.DomainLo, Hi: ff.DomainHi})
+	for _, fo := range ff.Objects {
+		o := &uncertain.Object{
+			ID:     uncertain.ID(fo.ID),
+			Region: geom.Rect{Lo: fo.Lo, Hi: fo.Hi},
+		}
+		for i, pos := range fo.Inst {
+			o.Instances = append(o.Instances, uncertain.Instance{Pos: pos, Prob: fo.Probs[i]})
+		}
+		if err := db.Add(o); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.gob")
+
+	orig := Synthetic(SyntheticParams{N: 200, Dim: 3, MaxSide: 40, Instances: 25, Seed: 3})
+	if err := Save(orig, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != orig.Len() || got.Dim() != orig.Dim() {
+		t.Fatalf("len/dim mismatch: %d/%d vs %d/%d", got.Len(), got.Dim(), orig.Len(), orig.Dim())
+	}
+	if !got.Domain.Equal(orig.Domain) {
+		t.Fatal("domain mismatch")
+	}
+	for _, o := range orig.Objects() {
+		g := got.Get(o.ID)
+		if g == nil {
+			t.Fatalf("object %d lost", o.ID)
+		}
+		if !g.Region.Equal(o.Region) {
+			t.Fatalf("object %d region mismatch", o.ID)
+		}
+		if len(g.Instances) != len(o.Instances) {
+			t.Fatalf("object %d instance count mismatch", o.ID)
+		}
+		for i := range g.Instances {
+			if !g.Instances[i].Pos.Equal(o.Instances[i].Pos) || g.Instances[i].Prob != o.Instances[i].Prob {
+				t.Fatalf("object %d instance %d mismatch", o.ID, i)
+			}
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.gob")
+	if err := os.WriteFile(path, []byte("not a gob stream at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("loading garbage succeeded")
+	}
+}

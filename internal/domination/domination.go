@@ -1,0 +1,168 @@
+// Package domination implements the spatial-domination machinery of
+// Emrich et al. ("Boosting spatial pruning: on optimal pruning of MBRs",
+// SIGMOD 2010) that the paper uses to reason about Possible Voronoi cells:
+//
+//   - Dominates(A, B, R): the exact decision whether every point of A is
+//     closer than every point of B to every point of R, i.e. whether
+//     R ⊆ dom(A, B).
+//   - RegionPrunable: the domination-count estimation test of SE Step 9 —
+//     whether a candidate region R is disjoint from the non-dominated
+//     intersection I(Cset, o), decided by recursively partitioning R and
+//     checking that every part is dominated by some candidate.
+//
+// The decision criterion is exact and O(d) per test: per dimension j, the
+// difference maxdist_j(A, r)² − mindist_j(B, r)² is piecewise linear or
+// convex in r with no interior maximum, so its maximum over R's extent in j
+// is attained at one of the two endpoints (see the derivation in DESIGN.md §4).
+package domination
+
+import (
+	"math"
+
+	"pvoronoi/internal/geom"
+)
+
+// Dominates reports whether rectangle a spatially dominates rectangle b with
+// respect to region r: for all points x ∈ a, y ∈ b, z ∈ r, dist(x,z) < dist(y,z).
+// Equivalently, r ⊆ dom(a, b) = {p : distmax(a,p) < distmin(b,p)}.
+func Dominates(a, b, r geom.Rect) bool {
+	var sum float64
+	for j := range r.Lo {
+		sum += axisMaxDiff(a.Lo[j], a.Hi[j], b.Lo[j], b.Hi[j], r.Lo[j], r.Hi[j])
+	}
+	return sum < 0
+}
+
+// axisMaxDiff returns max over rj ∈ {rlo, rhi} of
+// maxdist(a, rj)² − mindist(b, rj)² for the 1-D intervals a=[alo,ahi],
+// b=[blo,bhi]. Checking the two endpoints is exact (no interior maximum).
+func axisMaxDiff(alo, ahi, blo, bhi, rlo, rhi float64) float64 {
+	at := geom.AxisMaxDist2(rlo, alo, ahi) - geom.AxisMinDist2(rlo, blo, bhi)
+	bt := geom.AxisMaxDist2(rhi, alo, ahi) - geom.AxisMinDist2(rhi, blo, bhi)
+	return math.Max(at, bt)
+}
+
+// DomNonEmpty reports whether dom(a, b) ≠ ∅. By Lemma 2 of the paper this
+// holds exactly when the uncertainty regions do not intersect.
+func DomNonEmpty(a, b geom.Rect) bool {
+	return !a.Intersects(b)
+}
+
+// CannotDominate reports (conservatively) that no point of r is dominated by
+// a over b: for all p ∈ r, distmax(a,p) >= distmin(b,p). It lower-bounds
+// maxdist(a,p)² − mindist(b,p)² by the separable per-dimension bound
+// Σ_j min_p axisMaxDist²(a_j,p_j) − Σ_j max_p axisMinDist²(b_j,p_j); a
+// non-negative bound proves uselessness. A false result is inconclusive.
+// This is the filter that keeps the domination-count recursion from
+// descending with candidates that cannot contribute.
+func CannotDominate(a, b, r geom.Rect) bool {
+	var lbMax, ubMin float64
+	for j := range r.Lo {
+		// min over p_j of axisMaxDist²(a_j, ·): axisMaxDist is V-shaped with
+		// its minimum at a's midpoint; clamp the midpoint into r's extent.
+		mid := (a.Lo[j] + a.Hi[j]) / 2
+		p := mid
+		if p < r.Lo[j] {
+			p = r.Lo[j]
+		} else if p > r.Hi[j] {
+			p = r.Hi[j]
+		}
+		lbMax += geom.AxisMaxDist2(p, a.Lo[j], a.Hi[j])
+		// max over p_j of axisMinDist²(b_j, ·): attained at an endpoint.
+		lo := geom.AxisMinDist2(r.Lo[j], b.Lo[j], b.Hi[j])
+		hi := geom.AxisMinDist2(r.Hi[j], b.Lo[j], b.Hi[j])
+		ubMin += math.Max(lo, hi)
+	}
+	return lbMax >= ubMin
+}
+
+// PointDominated reports whether point p lies in dom(a, b):
+// distmax(a, p) < distmin(b, p).
+func PointDominated(a, b geom.Rect, p geom.Point) bool {
+	return a.MaxDist2(p) < b.MinDist2(p)
+}
+
+// Tester performs domination-count estimation: given a candidate set (the
+// C-set of the SE algorithm) and a target object region, it decides whether a
+// query region R is entirely covered by the dominated union U(Cset, o) —
+// i.e. whether R ∩ I(Cset, o) = ∅ (SE Step 9).
+//
+// The test recursively bisects R along its longest side. A part is settled
+// when some single candidate dominates it. MaxDepth bounds the recursion
+// (the paper's granularity parameter m_max controls the same trade-off:
+// finer partitioning detects more prunable regions but costs more domination
+// tests). The test is conservative: it may answer "not prunable" for a
+// prunable region, never the opposite.
+type Tester struct {
+	// Candidates are the uncertainty regions of the C-set objects.
+	Candidates []geom.Rect
+	// Target is u(o), the region of the object whose PV-cell is bounded.
+	Target geom.Rect
+	// MaxDepth bounds the recursive bisection of the tested region.
+	// Depth m allows up to 2^m parts. The paper's default m_max=10.
+	MaxDepth int
+
+	// Tests counts individual Dominates calls, for the harness's
+	// cost accounting (Fig. 10(e)).
+	Tests int64
+}
+
+// NewTester builds a Tester over the given candidate regions.
+func NewTester(candidates []geom.Rect, target geom.Rect, maxDepth int) *Tester {
+	if maxDepth < 0 {
+		maxDepth = 0
+	}
+	return &Tester{Candidates: candidates, Target: target, MaxDepth: maxDepth}
+}
+
+// RegionPrunable reports whether region r is disjoint from I(Cset, o), i.e.
+// every point of r is dominated by at least one candidate. A true result is
+// definitive; a false result may be a false negative at finite MaxDepth.
+//
+// Candidates are scanned in the caller's order; the C-set strategies supply
+// them nearest-first from the target, which makes the short-circuiting scan
+// find slab dominators early without any per-call reordering.
+func (t *Tester) RegionPrunable(r geom.Rect) bool {
+	return t.prunable(r, t.MaxDepth)
+}
+
+func (t *Tester) prunable(r geom.Rect, depth int) bool {
+	// Filter to candidates that can still dominate some part of r: a
+	// candidate proven unable to dominate any point of r stays useless for
+	// every sub-part, so drop it before recursing. Most slabs either find a
+	// single dominator here or lose all candidates, terminating early.
+	live := t.Candidates[:0:0]
+	for _, c := range t.Candidates {
+		t.Tests++
+		if Dominates(c, t.Target, r) {
+			return true
+		}
+		if !CannotDominate(c, t.Target, r) {
+			live = append(live, c)
+		}
+	}
+	if depth == 0 || len(live) == 0 {
+		return false
+	}
+	lo, hi := bisect(r)
+	sub := &Tester{Candidates: live, Target: t.Target, MaxDepth: depth - 1}
+	ok := sub.prunable(lo, depth-1) && sub.prunable(hi, depth-1)
+	t.Tests += sub.Tests
+	return ok
+}
+
+// bisect splits r into two halves along its longest side.
+func bisect(r geom.Rect) (geom.Rect, geom.Rect) {
+	best := 0
+	for j := 1; j < r.Dim(); j++ {
+		if r.Side(j) > r.Side(best) {
+			best = j
+		}
+	}
+	mid := (r.Lo[best] + r.Hi[best]) / 2
+	lo := r.Clone()
+	hi := r.Clone()
+	lo.Hi[best] = mid
+	hi.Lo[best] = mid
+	return lo, hi
+}

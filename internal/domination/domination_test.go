@@ -1,0 +1,314 @@
+package domination
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pvoronoi/internal/geom"
+)
+
+func r1(alo, ahi float64) geom.Rect {
+	return geom.NewRect(geom.Point{alo}, geom.Point{ahi})
+}
+
+func r2(alo, blo, ahi, bhi float64) geom.Rect {
+	return geom.NewRect(geom.Point{alo, blo}, geom.Point{ahi, bhi})
+}
+
+func TestDominates1D(t *testing.T) {
+	a := r1(0, 1)
+	b := r1(10, 11)
+	r := r1(0, 2)
+	// Every point of a is within distance 3 of r; b is at least 8 away.
+	if !Dominates(a, b, r) {
+		t.Error("a should dominate b w.r.t. r")
+	}
+	if Dominates(b, a, r) {
+		t.Error("b should not dominate a w.r.t. r")
+	}
+	// R between them: near the middle neither dominates.
+	mid := r1(5, 6)
+	if Dominates(a, b, mid) || Dominates(b, a, mid) {
+		t.Error("no domination expected for region between a and b")
+	}
+}
+
+func TestDominatesTouchingRegions(t *testing.T) {
+	// Intersecting a and b: dom(a,b) is empty, so nothing is dominated.
+	a := r2(0, 0, 2, 2)
+	b := r2(1, 1, 3, 3)
+	r := r2(0, 0, 0.5, 0.5)
+	if Dominates(a, b, r) {
+		t.Error("intersecting rectangles admit no domination")
+	}
+	if DomNonEmpty(a, b) {
+		t.Error("DomNonEmpty should be false for intersecting regions")
+	}
+	if !DomNonEmpty(r2(0, 0, 1, 1), r2(2, 2, 3, 3)) {
+		t.Error("DomNonEmpty should be true for disjoint regions")
+	}
+}
+
+func TestPointDominated(t *testing.T) {
+	a := r2(0, 0, 1, 1)
+	b := r2(10, 0, 11, 1)
+	if !PointDominated(a, b, geom.Point{0.5, 0.5}) {
+		t.Error("point near a should be dominated")
+	}
+	if PointDominated(a, b, geom.Point{5.5, 0.5}) {
+		t.Error("hyperplane-adjacent point should not be dominated")
+	}
+}
+
+// Monte-Carlo ground truth for Dominates: sample triples (x∈a, y∈b, z∈r) and
+// check dist(x,z) < dist(y,z). Dominates==true must never be contradicted.
+func TestDominatesNeverOverclaims(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	randRect := func(d int, scale float64) geom.Rect {
+		lo := make(geom.Point, d)
+		hi := make(geom.Point, d)
+		for i := 0; i < d; i++ {
+			a := rng.Float64() * scale
+			b := rng.Float64() * scale
+			lo[i] = math.Min(a, b)
+			hi[i] = math.Max(a, b)
+		}
+		return geom.Rect{Lo: lo, Hi: hi}
+	}
+	sample := func(r geom.Rect) geom.Point {
+		p := make(geom.Point, r.Dim())
+		for i := range p {
+			p[i] = r.Lo[i] + rng.Float64()*r.Side(i)
+		}
+		return p
+	}
+	for d := 1; d <= 4; d++ {
+		claimed := 0
+		for iter := 0; iter < 2000; iter++ {
+			a, b, r := randRect(d, 100), randRect(d, 100), randRect(d, 100)
+			if !Dominates(a, b, r) {
+				continue
+			}
+			claimed++
+			for s := 0; s < 50; s++ {
+				x, y, z := sample(a), sample(b), sample(r)
+				if geom.Dist2(x, z) >= geom.Dist2(y, z) {
+					t.Fatalf("d=%d: Dominates claimed %v dom %v wrt %v but x=%v y=%v z=%v violates",
+						d, a, b, r, x, y, z)
+				}
+			}
+		}
+		if claimed == 0 {
+			t.Logf("d=%d: no positive domination cases sampled (expected a few)", d)
+		}
+	}
+}
+
+// Completeness of the endpoint criterion: when corner-checking says "no
+// domination", there must exist a witness z∈r where maxdist(a,z) >= mindist(b,z).
+// We verify against dense sampling of r (the supremum is attained at r's
+// corners, so corner sampling suffices as the witness search).
+func TestDominatesEndpointCriterionComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for d := 1; d <= 3; d++ {
+		for iter := 0; iter < 1500; iter++ {
+			mk := func() geom.Rect {
+				lo := make(geom.Point, d)
+				hi := make(geom.Point, d)
+				for i := 0; i < d; i++ {
+					a := rng.Float64() * 50
+					b := rng.Float64() * 50
+					lo[i] = math.Min(a, b)
+					hi[i] = math.Max(a, b)
+				}
+				return geom.Rect{Lo: lo, Hi: hi}
+			}
+			a, b, r := mk(), mk(), mk()
+			got := Dominates(a, b, r)
+			// Dense grid scan of r for a violating witness.
+			viol := false
+			steps := 6
+			var scan func(idx int, z geom.Point)
+			scan = func(idx int, z geom.Point) {
+				if viol {
+					return
+				}
+				if idx == d {
+					if a.MaxDist2(z) >= b.MinDist2(z) {
+						viol = true
+					}
+					return
+				}
+				for s := 0; s <= steps; s++ {
+					z[idx] = r.Lo[idx] + float64(s)/float64(steps)*r.Side(idx)
+					scan(idx+1, z)
+				}
+			}
+			scan(0, make(geom.Point, d))
+			if got && viol {
+				t.Fatalf("d=%d: Dominates=true but grid found violation (a=%v b=%v r=%v)", d, a, b, r)
+			}
+			if !got && !viol {
+				// The endpoint criterion is exact; the only way the grid
+				// misses the witness is discretization right at equality.
+				// Check corners exactly.
+				cornerViol := false
+				for mask := 0; mask < 1<<d; mask++ {
+					z := make(geom.Point, d)
+					for i := 0; i < d; i++ {
+						if mask&(1<<i) != 0 {
+							z[i] = r.Hi[i]
+						} else {
+							z[i] = r.Lo[i]
+						}
+					}
+					if a.MaxDist2(z) >= b.MinDist2(z) {
+						cornerViol = true
+						break
+					}
+				}
+				if !cornerViol {
+					t.Fatalf("d=%d: Dominates=false but no witness at corners (a=%v b=%v r=%v)", d, a, b, r)
+				}
+			}
+		}
+	}
+}
+
+func TestRegionPrunableSingleDominator(t *testing.T) {
+	// Candidate c sits between target o and region r; r is far from o.
+	o := r2(0, 0, 1, 1)
+	c := r2(10, 0, 11, 1)
+	r := r2(10, 0, 11, 1).Expand(0.2)
+	tester := NewTester([]geom.Rect{c}, o, 10)
+	if !tester.RegionPrunable(r) {
+		t.Error("region around dominator should be prunable")
+	}
+	// Region near the target is never prunable.
+	near := r2(0, 0, 1, 1).Expand(0.2)
+	if tester.RegionPrunable(near) {
+		t.Error("region containing the target must not be prunable")
+	}
+}
+
+func TestRegionPrunableNeedsPartitioning(t *testing.T) {
+	// Figure 6(b) scenario: no single candidate dominates all of R, but
+	// partitions are individually dominated by different candidates.
+	o := r2(0, 0, 1, 1) // target far left
+	a1 := r2(20, 10, 21, 11)
+	a2 := r2(20, -11, 21, -10)
+	// R spans the two candidates' neighborhoods on the far right.
+	r := r2(24, -11, 25, 11)
+	tester := NewTester([]geom.Rect{a1, a2}, o, 12)
+	if Dominates(a1, o, r) || Dominates(a2, o, r) {
+		t.Skip("construction invalid: single candidate dominates whole R")
+	}
+	if !tester.RegionPrunable(r) {
+		t.Error("partitioned domination should prune R")
+	}
+	// With depth 0 the test must conservatively fail.
+	shallow := NewTester([]geom.Rect{a1, a2}, o, 0)
+	if shallow.RegionPrunable(r) {
+		t.Error("depth-0 tester should not detect split-domination")
+	}
+}
+
+// Soundness of RegionPrunable: if it says prunable, then no point of r can
+// have the target as nearest among {target} ∪ candidates.
+func TestRegionPrunableSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for iter := 0; iter < 400; iter++ {
+		d := 2 + rng.Intn(2)
+		mk := func(scale float64) geom.Rect {
+			lo := make(geom.Point, d)
+			hi := make(geom.Point, d)
+			for i := 0; i < d; i++ {
+				a := rng.Float64() * scale
+				b := a + rng.Float64()*5
+				lo[i], hi[i] = a, b
+			}
+			return geom.Rect{Lo: lo, Hi: hi}
+		}
+		target := mk(100)
+		var cands []geom.Rect
+		for i := 0; i < 6; i++ {
+			cands = append(cands, mk(100))
+		}
+		r := mk(100)
+		tester := NewTester(cands, target, 8)
+		if !tester.RegionPrunable(r) {
+			continue
+		}
+		// Every sampled point of r must be dominated by some candidate.
+		for s := 0; s < 200; s++ {
+			z := make(geom.Point, d)
+			for i := range z {
+				z[i] = r.Lo[i] + rng.Float64()*r.Side(i)
+			}
+			dominated := false
+			for _, c := range cands {
+				if PointDominated(c, target, z) {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				t.Fatalf("RegionPrunable over-pruned: point %v of %v not dominated", z, r)
+			}
+		}
+	}
+}
+
+// CannotDominate must never contradict an actual domination witness: if it
+// claims uselessness, no sampled point of r may be dominated.
+func TestCannotDominateSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	for iter := 0; iter < 3000; iter++ {
+		d := 1 + rng.Intn(4)
+		mk := func() geom.Rect {
+			lo := make(geom.Point, d)
+			hi := make(geom.Point, d)
+			for i := 0; i < d; i++ {
+				a := rng.Float64() * 100
+				b := rng.Float64() * 100
+				lo[i] = math.Min(a, b)
+				hi[i] = math.Max(a, b)
+			}
+			return geom.Rect{Lo: lo, Hi: hi}
+		}
+		a, b, r := mk(), mk(), mk()
+		if !CannotDominate(a, b, r) {
+			continue
+		}
+		for s := 0; s < 60; s++ {
+			p := make(geom.Point, d)
+			for i := range p {
+				p[i] = r.Lo[i] + rng.Float64()*r.Side(i)
+			}
+			if PointDominated(a, b, p) {
+				t.Fatalf("CannotDominate lied: %v dominates %v at %v (r=%v)", a, b, p, r)
+			}
+		}
+	}
+}
+
+func TestTesterCountsTests(t *testing.T) {
+	o := r2(0, 0, 1, 1)
+	c := r2(10, 0, 11, 1)
+	tester := NewTester([]geom.Rect{c}, o, 4)
+	tester.RegionPrunable(r2(20, 0, 21, 1))
+	if tester.Tests == 0 {
+		t.Error("test counter not incremented")
+	}
+}
+
+func BenchmarkDominates3D(b *testing.B) {
+	a := geom.NewRect(geom.Point{0, 0, 0}, geom.Point{1, 1, 1})
+	bb := geom.NewRect(geom.Point{5, 5, 5}, geom.Point{6, 6, 6})
+	r := geom.NewRect(geom.Point{0, 0, 0}, geom.Point{2, 2, 2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Dominates(a, bb, r)
+	}
+}

@@ -1,0 +1,352 @@
+// Package exthash implements an extendible hash table (Fagin et al., 1979)
+// over the simulated page store — the PV-index's secondary index, mapping an
+// object ID to its stored record (UBR plus discretized uncertainty pdf,
+// §VI-A of the paper).
+//
+// The directory lives in main memory; buckets are single disk pages holding
+// fixed-size slots (key, value length, first value page). Values are stored
+// out of line in chained value pages, since a 500-instance pdf (≈16 KB at
+// d=3) exceeds one 4 KB page. Bucket overflow triggers the classic split:
+// redistribute on one more hash bit, doubling the directory when the
+// bucket's local depth equals the global depth.
+package exthash
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"pvoronoi/internal/pagestore"
+)
+
+// Table is an extendible hash table keyed by uint32. Not safe for concurrent
+// mutation.
+type Table struct {
+	store       *pagestore.Store
+	dir         []pagestore.PageID // 2^globalDepth entries
+	globalDepth uint
+	size        int
+	slotsPer    int
+}
+
+const (
+	bucketHeader = 4  // localDepth uint16 + count uint16
+	slotSize     = 12 // key uint32 + valLen uint32 + firstPage uint32
+	chainHeader  = 8  // next PageID uint32 + used uint32
+)
+
+// New creates an empty table over the given store.
+func New(store *pagestore.Store) (*Table, error) {
+	t := &Table{
+		store:    store,
+		slotsPer: (store.PageSize() - bucketHeader) / slotSize,
+	}
+	if t.slotsPer < 2 {
+		return nil, fmt.Errorf("exthash: page size %d too small", store.PageSize())
+	}
+	p, err := store.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.writeBucket(p, bucket{localDepth: 0}); err != nil {
+		return nil, err
+	}
+	t.dir = []pagestore.PageID{p}
+	t.globalDepth = 0
+	return t, nil
+}
+
+// Len returns the number of stored keys.
+func (t *Table) Len() int { return t.size }
+
+// GlobalDepth returns the directory depth (directory size is 2^depth).
+func (t *Table) GlobalDepth() uint { return t.globalDepth }
+
+// hash mixes the key (murmur3 finalizer) so sequential IDs spread evenly.
+func hash(key uint32) uint32 {
+	h := key
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+func (t *Table) dirIndex(key uint32) int {
+	if t.globalDepth == 0 {
+		return 0
+	}
+	return int(hash(key) & ((1 << t.globalDepth) - 1))
+}
+
+// bucket is the decoded form of a bucket page.
+type bucket struct {
+	localDepth uint16
+	slots      []slot
+}
+
+type slot struct {
+	key       uint32
+	valLen    uint32
+	firstPage pagestore.PageID
+}
+
+func (t *Table) readBucket(id pagestore.PageID) (bucket, error) {
+	buf, err := t.store.Read(id)
+	if err != nil {
+		return bucket{}, err
+	}
+	b := bucket{localDepth: binary.LittleEndian.Uint16(buf[0:2])}
+	n := int(binary.LittleEndian.Uint16(buf[2:4]))
+	b.slots = make([]slot, n)
+	off := bucketHeader
+	for i := 0; i < n; i++ {
+		b.slots[i] = slot{
+			key:       binary.LittleEndian.Uint32(buf[off:]),
+			valLen:    binary.LittleEndian.Uint32(buf[off+4:]),
+			firstPage: pagestore.PageID(binary.LittleEndian.Uint32(buf[off+8:])),
+		}
+		off += slotSize
+	}
+	return b, nil
+}
+
+func (t *Table) writeBucket(id pagestore.PageID, b bucket) error {
+	if len(b.slots) > t.slotsPer {
+		return fmt.Errorf("exthash: bucket overflow: %d slots", len(b.slots))
+	}
+	buf := make([]byte, bucketHeader+len(b.slots)*slotSize)
+	binary.LittleEndian.PutUint16(buf[0:2], b.localDepth)
+	binary.LittleEndian.PutUint16(buf[2:4], uint16(len(b.slots)))
+	off := bucketHeader
+	for _, s := range b.slots {
+		binary.LittleEndian.PutUint32(buf[off:], s.key)
+		binary.LittleEndian.PutUint32(buf[off+4:], s.valLen)
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(s.firstPage))
+		off += slotSize
+	}
+	return t.store.Write(id, buf)
+}
+
+// writeValue stores val in a fresh chain of value pages, returning the head.
+func (t *Table) writeValue(val []byte) (pagestore.PageID, error) {
+	dataPer := t.store.PageSize() - chainHeader
+	var head, prev pagestore.PageID
+	for off := 0; off == 0 || off < len(val); off += dataPer {
+		p, err := t.store.Alloc()
+		if err != nil {
+			return 0, err
+		}
+		end := off + dataPer
+		if end > len(val) {
+			end = len(val)
+		}
+		chunk := val[off:end]
+		buf := make([]byte, chainHeader+len(chunk))
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(len(chunk)))
+		copy(buf[chainHeader:], chunk)
+		if err := t.store.Write(p, buf); err != nil {
+			return 0, err
+		}
+		if head == 0 {
+			head = p
+		} else {
+			// Patch the previous page's next pointer.
+			pb, err := t.store.Read(prev)
+			if err != nil {
+				return 0, err
+			}
+			binary.LittleEndian.PutUint32(pb[0:4], uint32(p))
+			if err := t.store.Write(prev, pb); err != nil {
+				return 0, err
+			}
+		}
+		prev = p
+		if len(val) == 0 {
+			break
+		}
+	}
+	return head, nil
+}
+
+// readValue reads a value of total length n from the chain starting at head.
+func (t *Table) readValue(head pagestore.PageID, n uint32) ([]byte, error) {
+	out := make([]byte, 0, n)
+	p := head
+	for p != 0 {
+		buf, err := t.store.Read(p)
+		if err != nil {
+			return nil, err
+		}
+		next := pagestore.PageID(binary.LittleEndian.Uint32(buf[0:4]))
+		used := binary.LittleEndian.Uint32(buf[4:8])
+		if int(used) > len(buf)-chainHeader {
+			return nil, errors.New("exthash: corrupt value chain")
+		}
+		out = append(out, buf[chainHeader:chainHeader+used]...)
+		p = next
+	}
+	if uint32(len(out)) != n {
+		return nil, fmt.Errorf("exthash: value length %d, expected %d", len(out), n)
+	}
+	return out, nil
+}
+
+// freeValue releases the value chain starting at head.
+func (t *Table) freeValue(head pagestore.PageID) error {
+	p := head
+	for p != 0 {
+		buf, err := t.store.Read(p)
+		if err != nil {
+			return err
+		}
+		next := pagestore.PageID(binary.LittleEndian.Uint32(buf[0:4]))
+		if err := t.store.Free(p); err != nil {
+			return err
+		}
+		p = next
+	}
+	return nil
+}
+
+// Get returns the value stored under key.
+func (t *Table) Get(key uint32) ([]byte, bool, error) {
+	b, err := t.readBucket(t.dir[t.dirIndex(key)])
+	if err != nil {
+		return nil, false, err
+	}
+	for _, s := range b.slots {
+		if s.key == key {
+			v, err := t.readValue(s.firstPage, s.valLen)
+			if err != nil {
+				return nil, false, err
+			}
+			return v, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Put stores val under key, replacing any previous value.
+func (t *Table) Put(key uint32, val []byte) error {
+	for {
+		idx := t.dirIndex(key)
+		pageID := t.dir[idx]
+		b, err := t.readBucket(pageID)
+		if err != nil {
+			return err
+		}
+		// Replace in place.
+		for i, s := range b.slots {
+			if s.key == key {
+				if err := t.freeValue(s.firstPage); err != nil {
+					return err
+				}
+				head, err := t.writeValue(val)
+				if err != nil {
+					return err
+				}
+				b.slots[i] = slot{key: key, valLen: uint32(len(val)), firstPage: head}
+				return t.writeBucket(pageID, b)
+			}
+		}
+		if len(b.slots) < t.slotsPer {
+			head, err := t.writeValue(val)
+			if err != nil {
+				return err
+			}
+			b.slots = append(b.slots, slot{key: key, valLen: uint32(len(val)), firstPage: head})
+			t.size++
+			return t.writeBucket(pageID, b)
+		}
+		// Bucket full: split and retry.
+		if err := t.split(idx, pageID, b); err != nil {
+			return err
+		}
+	}
+}
+
+// split divides the bucket at directory index idx on one more hash bit.
+func (t *Table) split(idx int, pageID pagestore.PageID, b bucket) error {
+	if uint(b.localDepth) == t.globalDepth {
+		if t.globalDepth >= 30 {
+			return errors.New("exthash: directory depth limit reached")
+		}
+		// Double the directory.
+		ndir := make([]pagestore.PageID, len(t.dir)*2)
+		copy(ndir, t.dir)
+		copy(ndir[len(t.dir):], t.dir)
+		t.dir = ndir
+		t.globalDepth++
+	}
+	newDepth := b.localDepth + 1
+	bit := uint32(1) << (newDepth - 1)
+	newPage, err := t.store.Alloc()
+	if err != nil {
+		return err
+	}
+	var keep, move []slot
+	for _, s := range b.slots {
+		if hash(s.key)&bit != 0 {
+			move = append(move, s)
+		} else {
+			keep = append(keep, s)
+		}
+	}
+	if err := t.writeBucket(pageID, bucket{localDepth: newDepth, slots: keep}); err != nil {
+		return err
+	}
+	if err := t.writeBucket(newPage, bucket{localDepth: newDepth, slots: move}); err != nil {
+		return err
+	}
+	// Repoint directory entries whose suffix matches the new bucket. All
+	// directory slots referring to the old bucket share the low
+	// (newDepth-1) bits; those with the new bit set move to newPage.
+	for i := range t.dir {
+		if t.dir[i] == pageID && uint32(i)&bit != 0 {
+			t.dir[i] = newPage
+		}
+	}
+	return nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Table) Delete(key uint32) (bool, error) {
+	idx := t.dirIndex(key)
+	pageID := t.dir[idx]
+	b, err := t.readBucket(pageID)
+	if err != nil {
+		return false, err
+	}
+	for i, s := range b.slots {
+		if s.key == key {
+			if err := t.freeValue(s.firstPage); err != nil {
+				return false, err
+			}
+			b.slots = append(b.slots[:i], b.slots[i+1:]...)
+			t.size--
+			return true, t.writeBucket(pageID, b)
+		}
+	}
+	return false, nil
+}
+
+// Keys appends all stored keys to dst (in unspecified order).
+func (t *Table) Keys(dst []uint32) ([]uint32, error) {
+	seen := make(map[pagestore.PageID]bool)
+	for _, p := range t.dir {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		b, err := t.readBucket(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range b.slots {
+			dst = append(dst, s.key)
+		}
+	}
+	return dst, nil
+}

@@ -1,0 +1,49 @@
+package exthash
+
+import (
+	"fmt"
+
+	"pvoronoi/internal/pagestore"
+)
+
+// Image is the serializable state of a Table (bucket pages live in the
+// page store and are captured by its own image).
+type Image struct {
+	Dir         []uint32
+	GlobalDepth uint32
+	Size        int
+}
+
+// Image captures the table's directory and counters.
+func (t *Table) Image() *Image {
+	img := &Image{
+		Dir:         make([]uint32, len(t.dir)),
+		GlobalDepth: uint32(t.globalDepth),
+		Size:        t.size,
+	}
+	for i, p := range t.dir {
+		img.Dir[i] = uint32(p)
+	}
+	return img
+}
+
+// FromImage reconstructs a table over a restored store.
+func FromImage(store *pagestore.Store, img *Image) (*Table, error) {
+	if len(img.Dir) != 1<<img.GlobalDepth {
+		return nil, fmt.Errorf("exthash: directory size %d does not match depth %d", len(img.Dir), img.GlobalDepth)
+	}
+	t := &Table{
+		store:       store,
+		slotsPer:    (store.PageSize() - bucketHeader) / slotSize,
+		dir:         make([]pagestore.PageID, len(img.Dir)),
+		globalDepth: uint(img.GlobalDepth),
+		size:        img.Size,
+	}
+	if t.slotsPer < 2 {
+		return nil, fmt.Errorf("exthash: page size %d too small", store.PageSize())
+	}
+	for i, p := range img.Dir {
+		t.dir[i] = pagestore.PageID(p)
+	}
+	return t, nil
+}

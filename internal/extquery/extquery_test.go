@@ -1,0 +1,291 @@
+package extquery
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/uncertain"
+)
+
+func randomDB(rng *rand.Rand, n, d int, span, maxSide float64, instances int) *uncertain.DB {
+	db := uncertain.NewDB(geom.UnitCube(d, span))
+	for i := 0; i < n; i++ {
+		lo := make(geom.Point, d)
+		hi := make(geom.Point, d)
+		for j := 0; j < d; j++ {
+			lo[j] = rng.Float64() * (span - maxSide)
+			hi[j] = lo[j] + 1 + rng.Float64()*(maxSide-1)
+		}
+		o := &uncertain.Object{ID: uncertain.ID(i), Region: geom.Rect{Lo: lo, Hi: hi}}
+		if instances > 0 {
+			o.Instances = uncertain.SampleInstances(o.Region, uncertain.PDFUniform, instances, rng)
+		}
+		_ = db.Add(o)
+	}
+	return db
+}
+
+// --- group NN --------------------------------------------------------------
+
+func TestGroupNNSingleQueryPointEqualsPNN(t *testing.T) {
+	// With |Q| = 1 both aggregates reduce to the plain possible-NN set.
+	rng := rand.New(rand.NewSource(1))
+	db := randomDB(rng, 80, 2, 800, 30, 0)
+	for iter := 0; iter < 50; iter++ {
+		q := geom.Point{rng.Float64() * 800, rng.Float64() * 800}
+		sum := GroupNNCandidates(db, []geom.Point{q}, AggSum)
+		max := GroupNNCandidates(db, []geom.Point{q}, AggMax)
+		if len(sum) != len(max) {
+			t.Fatalf("sum/max disagree on single-point group: %v vs %v", sum, max)
+		}
+		for i := range sum {
+			if sum[i] != max[i] {
+				t.Fatalf("sum/max order disagree: %v vs %v", sum, max)
+			}
+		}
+	}
+}
+
+// Every instance-level winner must be in the candidate set: for random
+// instantiations of all objects, the aggregate minimizer's ID appears among
+// GroupNNCandidates.
+func TestGroupNNCandidatesCoverSampledWorlds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := randomDB(rng, 40, 2, 600, 30, 15)
+	for iter := 0; iter < 40; iter++ {
+		qs := []geom.Point{
+			{rng.Float64() * 600, rng.Float64() * 600},
+			{rng.Float64() * 600, rng.Float64() * 600},
+			{rng.Float64() * 600, rng.Float64() * 600},
+		}
+		for _, agg := range []Agg{AggSum, AggMax} {
+			cands := map[uncertain.ID]bool{}
+			for _, id := range GroupNNCandidates(db, qs, agg) {
+				cands[id] = true
+			}
+			// Sample 50 possible worlds.
+			for w := 0; w < 50; w++ {
+				bestID := uncertain.ID(0)
+				best := math.Inf(1)
+				for _, o := range db.Objects() {
+					in := o.Instances[rng.Intn(len(o.Instances))]
+					score := aggPoint(in.Pos, qs, agg)
+					if score < best {
+						best = score
+						bestID = o.ID
+					}
+				}
+				if !cands[bestID] {
+					t.Fatalf("world winner %d not among candidates (agg=%d)", bestID, agg)
+				}
+			}
+		}
+	}
+}
+
+func TestGroupNNProbsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := randomDB(rng, 25, 2, 400, 25, 30)
+	qs := []geom.Point{{100, 100}, {300, 250}}
+	for _, agg := range []Agg{AggSum, AggMax} {
+		ids := GroupNNCandidates(db, qs, agg)
+		res := GroupNNProbs(db, ids, qs, agg)
+		var sum float64
+		for _, r := range res {
+			if r.Prob < 0 || r.Prob > 1+1e-9 {
+				t.Fatalf("prob out of range: %g", r.Prob)
+			}
+			sum += r.Prob
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Fatalf("agg=%d: probabilities sum to %g", agg, sum)
+		}
+	}
+}
+
+func TestGroupNNEmptyInputs(t *testing.T) {
+	db := uncertain.NewDB(geom.UnitCube(2, 100))
+	if got := GroupNNCandidates(db, []geom.Point{{1, 1}}, AggSum); got != nil {
+		t.Fatal("empty DB should yield nil")
+	}
+	_ = db.Add(&uncertain.Object{ID: 1, Region: geom.NewRect(geom.Point{1, 1}, geom.Point{2, 2})})
+	if got := GroupNNCandidates(db, nil, AggSum); got != nil {
+		t.Fatal("empty group should yield nil")
+	}
+}
+
+// --- k-NN --------------------------------------------------------------
+
+func TestKNNReducesToPNNAtK1(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db := randomDB(rng, 60, 3, 700, 35, 0)
+	for iter := 0; iter < 50; iter++ {
+		q := geom.Point{rng.Float64() * 700, rng.Float64() * 700, rng.Float64() * 700}
+		got := KNNCandidates(db, q, 1)
+		// Brute-force possible-NN definition.
+		best := math.Inf(1)
+		for _, o := range db.Objects() {
+			if m := o.MaxDist(q); m < best {
+				best = m
+			}
+		}
+		want := map[uncertain.ID]bool{}
+		for _, o := range db.Objects() {
+			if o.MinDist(q) <= best {
+				want[o.ID] = true
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=1: %d candidates, want %d", len(got), len(want))
+		}
+		for _, id := range got {
+			if !want[id] {
+				t.Fatalf("k=1: unexpected %d", id)
+			}
+		}
+	}
+}
+
+func TestKNNMonotoneInK(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := randomDB(rng, 60, 2, 700, 35, 0)
+	for iter := 0; iter < 30; iter++ {
+		q := geom.Point{rng.Float64() * 700, rng.Float64() * 700}
+		prev := map[uncertain.ID]bool{}
+		prevLen := 0
+		for k := 1; k <= 8; k *= 2 {
+			got := KNNCandidates(db, q, k)
+			if len(got) < prevLen {
+				t.Fatalf("candidate set shrank from k=%d to k=%d", k/2, k)
+			}
+			cur := map[uncertain.ID]bool{}
+			for _, id := range got {
+				cur[id] = true
+			}
+			for id := range prev {
+				if !cur[id] {
+					t.Fatalf("candidate %d lost when k grew", id)
+				}
+			}
+			prev, prevLen = cur, len(got)
+		}
+	}
+}
+
+// Sampled-world coverage: any object among the k nearest in a sampled world
+// must be in the candidate set.
+func TestKNNCandidatesCoverSampledWorlds(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	db := randomDB(rng, 30, 2, 500, 30, 12)
+	const k = 3
+	for iter := 0; iter < 30; iter++ {
+		q := geom.Point{rng.Float64() * 500, rng.Float64() * 500}
+		cands := map[uncertain.ID]bool{}
+		for _, id := range KNNCandidates(db, q, k) {
+			cands[id] = true
+		}
+		for w := 0; w < 40; w++ {
+			type scored struct {
+				id uncertain.ID
+				d  float64
+			}
+			var world []scored
+			for _, o := range db.Objects() {
+				in := o.Instances[rng.Intn(len(o.Instances))]
+				world = append(world, scored{o.ID, geom.Dist(in.Pos, q)})
+			}
+			for i := 1; i < len(world); i++ {
+				for j := i; j > 0 && world[j].d < world[j-1].d; j-- {
+					world[j], world[j-1] = world[j-1], world[j]
+				}
+			}
+			for _, s := range world[:k] {
+				if !cands[s.id] {
+					t.Fatalf("world top-%d member %d missing from candidates", k, s.id)
+				}
+			}
+		}
+	}
+}
+
+func TestKNNProbs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := randomDB(rng, 20, 2, 400, 30, 25)
+	q := geom.Point{200, 200}
+	const k = 3
+	ids := KNNCandidates(db, q, k)
+	res := KNNProbs(db, ids, q, k)
+	// Expected count of top-k members is k: probabilities sum to ~k when
+	// all candidates carry instances (they do here).
+	var sum float64
+	for _, r := range res {
+		if r.Prob < -1e-9 || r.Prob > 1+1e-9 {
+			t.Fatalf("prob out of range: %g", r.Prob)
+		}
+		sum += r.Prob
+	}
+	if math.Abs(sum-float64(k)) > 1e-6 {
+		t.Fatalf("top-%d membership probabilities sum to %g, want %d", k, sum, k)
+	}
+	// k >= n edge: everyone probability 1.
+	all := KNNProbs(db, ids, q, 1000)
+	for _, r := range all {
+		if r.Prob != 1 {
+			t.Fatalf("k>=n should give probability 1, got %g", r.Prob)
+		}
+	}
+}
+
+// --- reverse NN ----------------------------------------------------------
+
+// RNNCandidates must be a superset of the instance-level oracle.
+func TestRNNCandidatesCoverOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	db := randomDB(rng, 40, 2, 600, 30, 20)
+	for iter := 0; iter < 40; iter++ {
+		q := geom.Point{rng.Float64() * 600, rng.Float64() * 600}
+		cands := map[uncertain.ID]bool{}
+		for _, id := range RNNCandidates(db, q, 10) {
+			cands[id] = true
+		}
+		for _, id := range RNNBruteForce(db, q) {
+			if !cands[id] {
+				t.Fatalf("oracle RNN %d missing from candidates at %v", id, q)
+			}
+		}
+	}
+}
+
+// The candidate filter should actually prune: far-away objects with close
+// neighbors must not qualify.
+func TestRNNPrunesDominatedObjects(t *testing.T) {
+	db := uncertain.NewDB(geom.UnitCube(2, 1000))
+	// Object 1 far from q but hugged by object 2; object 3 near q.
+	_ = db.Add(&uncertain.Object{ID: 1, Region: geom.NewRect(geom.Point{900, 900}, geom.Point{910, 910})})
+	_ = db.Add(&uncertain.Object{ID: 2, Region: geom.NewRect(geom.Point{912, 900}, geom.Point{922, 910})})
+	_ = db.Add(&uncertain.Object{ID: 3, Region: geom.NewRect(geom.Point{80, 80}, geom.Point{90, 90})})
+	q := geom.Point{100, 100}
+	got := RNNCandidates(db, q, 12)
+	found := map[uncertain.ID]bool{}
+	for _, id := range got {
+		found[id] = true
+	}
+	if !found[3] {
+		t.Fatal("object adjacent to q should be an RNN candidate")
+	}
+	if found[1] {
+		t.Fatal("object 1 is dominated by its neighbor and must be pruned")
+	}
+}
+
+func TestRNNQInsideRegion(t *testing.T) {
+	db := uncertain.NewDB(geom.UnitCube(2, 100))
+	_ = db.Add(&uncertain.Object{ID: 1, Region: geom.NewRect(geom.Point{40, 40}, geom.Point{60, 60})})
+	_ = db.Add(&uncertain.Object{ID: 2, Region: geom.NewRect(geom.Point{0, 0}, geom.Point{5, 5})})
+	got := RNNCandidates(db, geom.Point{50, 50}, 10)
+	if len(got) == 0 || got[0] != 1 {
+		t.Fatalf("object containing q must qualify: %v", got)
+	}
+}

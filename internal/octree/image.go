@@ -1,0 +1,114 @@
+package octree
+
+import (
+	"fmt"
+
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/pagestore"
+)
+
+// NodeImage is one serialized octree node. Children holds indices into the
+// flattened node list (nil/empty for leaves).
+type NodeImage struct {
+	Children  []int32
+	FirstPage uint32
+	Pages     int32
+	Depth     int32
+}
+
+// Image is the serializable state of a Tree (leaf pages live in the page
+// store and are captured by its image).
+type Image struct {
+	DomainLo, DomainHi []float64
+	Nodes              []NodeImage // index 0 is the root
+	MemBudget          int
+	MemUsed            int
+	MaxDepth           int
+	Size               int
+	SplitCount         int
+}
+
+// Image captures the tree's structure.
+func (t *Tree) Image() *Image {
+	img := &Image{
+		DomainLo:   t.domain.Lo,
+		DomainHi:   t.domain.Hi,
+		MemBudget:  t.memBudget,
+		MemUsed:    t.memUsed,
+		MaxDepth:   t.maxDepth,
+		Size:       t.size,
+		SplitCount: t.SplitCount,
+	}
+	var flatten func(n *node) int32
+	flatten = func(n *node) int32 {
+		idx := int32(len(img.Nodes))
+		img.Nodes = append(img.Nodes, NodeImage{
+			FirstPage: uint32(n.firstPage),
+			Pages:     int32(n.pages),
+			Depth:     int32(n.depth),
+		})
+		if n.children != nil {
+			children := make([]int32, len(n.children))
+			for i, c := range n.children {
+				children[i] = flatten(c)
+			}
+			img.Nodes[idx].Children = children
+		}
+		return idx
+	}
+	flatten(t.root)
+	return img
+}
+
+// FromImage reconstructs a tree over a restored store. The lookup callback
+// must be re-supplied (closures do not serialize).
+func FromImage(store *pagestore.Store, lookup UBRLookup, img *Image) (*Tree, error) {
+	if len(img.Nodes) == 0 {
+		return nil, fmt.Errorf("octree: empty node list in image")
+	}
+	domain := geom.Rect{Lo: img.DomainLo, Hi: img.DomainHi}
+	t := &Tree{
+		domain:     domain,
+		dim:        domain.Dim(),
+		store:      store,
+		lookup:     lookup,
+		memBudget:  img.MemBudget,
+		memUsed:    img.MemUsed,
+		maxDepth:   img.MaxDepth,
+		size:       img.Size,
+		SplitCount: img.SplitCount,
+	}
+	fan := 1 << t.dim
+	var build func(idx int32) (*node, error)
+	build = func(idx int32) (*node, error) {
+		if idx < 0 || int(idx) >= len(img.Nodes) {
+			return nil, fmt.Errorf("octree: node index %d out of range", idx)
+		}
+		ni := img.Nodes[idx]
+		n := &node{
+			firstPage: pagestore.PageID(ni.FirstPage),
+			pages:     int(ni.Pages),
+			depth:     int(ni.Depth),
+		}
+		if len(ni.Children) > 0 {
+			if len(ni.Children) != fan {
+				return nil, fmt.Errorf("octree: node %d has %d children, want %d", idx, len(ni.Children), fan)
+			}
+			n.children = make([]*node, fan)
+			for i, ci := range ni.Children {
+				c, err := build(ci)
+				if err != nil {
+					return nil, err
+				}
+				n.children[i] = c
+			}
+		}
+		return n, nil
+	}
+	root, err := build(0)
+	if err != nil {
+		return nil, err
+	}
+	t.root = root
+	return t, nil
+}

@@ -1,0 +1,81 @@
+package octree
+
+import (
+	"math/rand"
+	"testing"
+
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/pagestore"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ti := newTestIndex(t, 2, 1000, 256, 1<<20)
+	for i := uint32(0); i < 300; i++ {
+		u := randSubRect(rng, 1000, 15, 2)
+		ti.insert(t, i, u, u.Expand(20))
+	}
+	img := ti.tree.Image()
+	// Restore over a copy of the store.
+	store2, err := pagestore.FromImage(ti.tree.store.Image())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree2, err := FromImage(store2, ti.tree.lookup, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree2.Size() != ti.tree.Size() || tree2.MemUsed() != ti.tree.MemUsed() {
+		t.Fatalf("size/mem mismatch: %d/%d vs %d/%d",
+			tree2.Size(), tree2.MemUsed(), ti.tree.Size(), ti.tree.MemUsed())
+	}
+	s1, s2 := ti.tree.TreeStats(), tree2.TreeStats()
+	if s1 != s2 {
+		t.Fatalf("tree stats diverge: %+v vs %+v", s1, s2)
+	}
+	for iter := 0; iter < 100; iter++ {
+		q := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		a, err := ti.tree.PointQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := tree2.PointQuery(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("q=%v: %d vs %d entries", q, len(a), len(b))
+		}
+	}
+}
+
+func TestFromImageRejectsCorruptStructures(t *testing.T) {
+	store := pagestore.New(256)
+	if _, err := FromImage(store, nil, &Image{DomainLo: []float64{0, 0}, DomainHi: []float64{1, 1}}); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+	// Child index out of range.
+	img := &Image{
+		DomainLo: []float64{0, 0},
+		DomainHi: []float64{1, 1},
+		Nodes: []NodeImage{
+			{Children: []int32{1, 2, 3, 99}},
+			{}, {}, {},
+		},
+	}
+	if _, err := FromImage(store, nil, img); err == nil {
+		t.Fatal("out-of-range child index accepted")
+	}
+	// Wrong child count for the dimensionality.
+	img2 := &Image{
+		DomainLo: []float64{0, 0},
+		DomainHi: []float64{1, 1},
+		Nodes: []NodeImage{
+			{Children: []int32{1, 2}},
+			{}, {},
+		},
+	}
+	if _, err := FromImage(store, nil, img2); err == nil {
+		t.Fatal("wrong fanout accepted")
+	}
+}

@@ -1,0 +1,567 @@
+// Package octree implements the PV-index's primary index (§VI-A of the
+// paper): a space-partitioning octree (quadtree at d=2) whose non-leaf nodes
+// live in a bounded main-memory budget and whose leaf nodes are linked lists
+// of disk pages holding (object ID, uncertainty region) entries.
+//
+// A leaf stores the objects whose UBRs overlap its cell. Point queries
+// descend purely in memory and read exactly one leaf's page chain — the
+// property that gives the PV-index its I/O advantage over the R-tree
+// (Figs. 9(c), 9(g)). When a leaf overflows, it splits into 2^d children if
+// the memory budget allows, otherwise it grows its page chain.
+package octree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/pagestore"
+)
+
+// Entry is one leaf record: an object ID and its uncertainty region u(o).
+type Entry struct {
+	ID     uint32
+	Region geom.Rect
+}
+
+// UBRLookup resolves an object's UBR during leaf splits (the UBR determines
+// which child cells an entry belongs to; it is stored in the secondary
+// index, not in the leaf). Returning ok=false makes the split conservative:
+// the entry is copied to every child.
+type UBRLookup func(id uint32) (geom.Rect, bool)
+
+// Tree is the primary index. Not safe for concurrent mutation.
+type Tree struct {
+	domain    geom.Rect
+	dim       int
+	store     *pagestore.Store
+	lookup    UBRLookup
+	root      *node
+	memBudget int // bytes available for non-leaf structure
+	memUsed   int
+	maxDepth  int
+	size      int // total entry copies across leaves
+
+	// SplitCount tallies leaf splits, for construction statistics.
+	SplitCount int
+}
+
+type node struct {
+	children  []*node // nil ⇒ leaf
+	firstPage pagestore.PageID
+	pages     int // length of the page chain
+	depth     int
+}
+
+// nodeBytes estimates the main-memory cost of one non-leaf conversion:
+// the children pointer array plus per-child node headers.
+func nodeBytes(dim int) int {
+	fan := 1 << dim
+	return fan*8 + fan*40
+}
+
+// Config bundles construction parameters.
+type Config struct {
+	Domain geom.Rect
+	Store  *pagestore.Store
+	Lookup UBRLookup
+	// MemBudget is the main-memory allowance for non-leaf nodes in bytes
+	// (paper default 5 MB).
+	MemBudget int
+	// MaxDepth caps subdivision (guards against degenerate splits).
+	MaxDepth int
+}
+
+// New creates an empty octree.
+func New(cfg Config) (*Tree, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("octree: nil page store")
+	}
+	if cfg.MaxDepth <= 0 {
+		cfg.MaxDepth = 24
+	}
+	if cfg.MemBudget <= 0 {
+		cfg.MemBudget = 5 << 20
+	}
+	t := &Tree{
+		domain:    cfg.Domain,
+		dim:       cfg.Domain.Dim(),
+		store:     cfg.Store,
+		lookup:    cfg.Lookup,
+		memBudget: cfg.MemBudget,
+		maxDepth:  cfg.MaxDepth,
+	}
+	p, err := cfg.Store.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.writeLeafPage(p, 0, nil); err != nil {
+		return nil, err
+	}
+	t.root = &node{firstPage: p, pages: 1}
+	return t, nil
+}
+
+// entrySize is the on-page footprint of one entry.
+func (t *Tree) entrySize() int { return 4 + 16*t.dim }
+
+// perPage is how many entries fit in one leaf page.
+func (t *Tree) perPage() int {
+	return (t.store.PageSize() - 8) / t.entrySize()
+}
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Domain returns the indexed domain.
+func (t *Tree) Domain() geom.Rect { return t.domain }
+
+// Size returns the total number of entry copies across all leaves.
+func (t *Tree) Size() int { return t.size }
+
+// MemUsed returns the bytes of main memory consumed by non-leaf structure.
+func (t *Tree) MemUsed() int { return t.memUsed }
+
+// --- page encoding -------------------------------------------------------
+
+// Leaf page layout: next PageID uint32 | count uint32 | entries...
+// Entry layout: id uint32 | lo [d]float64 | hi [d]float64.
+
+func (t *Tree) writeLeafPage(id pagestore.PageID, next pagestore.PageID, entries []Entry) error {
+	if len(entries) > t.perPage() {
+		return fmt.Errorf("octree: %d entries exceed page capacity %d", len(entries), t.perPage())
+	}
+	buf := make([]byte, 8+len(entries)*t.entrySize())
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(next))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(entries)))
+	off := 8
+	for _, e := range entries {
+		binary.LittleEndian.PutUint32(buf[off:], e.ID)
+		off += 4
+		for j := 0; j < t.dim; j++ {
+			binary.LittleEndian.PutUint64(buf[off:], floatBits(e.Region.Lo[j]))
+			off += 8
+		}
+		for j := 0; j < t.dim; j++ {
+			binary.LittleEndian.PutUint64(buf[off:], floatBits(e.Region.Hi[j]))
+			off += 8
+		}
+	}
+	return t.store.Write(id, buf)
+}
+
+func (t *Tree) readLeafPage(id pagestore.PageID) (next pagestore.PageID, entries []Entry, err error) {
+	buf, err := t.store.Read(id)
+	if err != nil {
+		return 0, nil, err
+	}
+	next = pagestore.PageID(binary.LittleEndian.Uint32(buf[0:4]))
+	n := int(binary.LittleEndian.Uint32(buf[4:8]))
+	entries = make([]Entry, n)
+	off := 8
+	for i := 0; i < n; i++ {
+		e := Entry{ID: binary.LittleEndian.Uint32(buf[off:])}
+		off += 4
+		lo := make(geom.Point, t.dim)
+		hi := make(geom.Point, t.dim)
+		for j := 0; j < t.dim; j++ {
+			lo[j] = bitsFloat(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		for j := 0; j < t.dim; j++ {
+			hi[j] = bitsFloat(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		e.Region = geom.Rect{Lo: lo, Hi: hi}
+		entries[i] = e
+	}
+	return next, entries, nil
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }
+
+// --- cell geometry -------------------------------------------------------
+
+// childRegion returns the sub-cell of region for child index mask (bit j set
+// means the upper half in dimension j).
+func childRegion(region geom.Rect, mask int) geom.Rect {
+	lo := region.Lo.Clone()
+	hi := region.Hi.Clone()
+	for j := 0; j < region.Dim(); j++ {
+		mid := (region.Lo[j] + region.Hi[j]) / 2
+		if mask&(1<<j) != 0 {
+			lo[j] = mid
+		} else {
+			hi[j] = mid
+		}
+	}
+	return geom.Rect{Lo: lo, Hi: hi}
+}
+
+// --- operations ----------------------------------------------------------
+
+// Insert adds an entry for object id with uncertainty region u to every leaf
+// whose cell intersects ubr.
+func (t *Tree) Insert(id uint32, u geom.Rect, ubr geom.Rect) error {
+	return t.insert(t.root, t.domain, Entry{ID: id, Region: u}, ubr)
+}
+
+// InsertDiff adds the entry only to leaves whose cells intersect newUBR but
+// not oldUBR — the N′−N leaf set of the paper's incremental deletion Step 4.
+func (t *Tree) InsertDiff(id uint32, u geom.Rect, newUBR, oldUBR geom.Rect) error {
+	return t.insertDiff(t.root, t.domain, Entry{ID: id, Region: u}, newUBR, oldUBR)
+}
+
+func (t *Tree) insert(n *node, region geom.Rect, e Entry, ubr geom.Rect) error {
+	if !region.Intersects(ubr) {
+		return nil
+	}
+	if n.children == nil {
+		return t.leafInsert(n, region, e)
+	}
+	for mask, c := range n.children {
+		if err := t.insert(c, childRegion(region, mask), e, ubr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Tree) insertDiff(n *node, region geom.Rect, e Entry, newUBR, oldUBR geom.Rect) error {
+	if !region.Intersects(newUBR) {
+		return nil
+	}
+	if n.children == nil {
+		if region.Intersects(oldUBR) {
+			return nil // leaf already holds the entry
+		}
+		return t.leafInsert(n, region, e)
+	}
+	for mask, c := range n.children {
+		if err := t.insertDiff(c, childRegion(region, mask), e, newUBR, oldUBR); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leafInsert places e into leaf n (cell = region), splitting or chaining on
+// overflow per the paper's construction Step 3.
+func (t *Tree) leafInsert(n *node, region geom.Rect, e Entry) error {
+	next, entries, err := t.readLeafPage(n.firstPage)
+	if err != nil {
+		return err
+	}
+	if len(entries) < t.perPage() {
+		entries = append(entries, e)
+		if err := t.writeLeafPage(n.firstPage, next, entries); err != nil {
+			return err
+		}
+		t.size++
+		return nil
+	}
+	// Head page full. Split if memory allows; otherwise chain a new page.
+	canSplit := n.depth < t.maxDepth && t.memUsed+nodeBytes(t.dim) <= t.memBudget
+	if !canSplit {
+		p, err := t.store.Alloc()
+		if err != nil {
+			return err
+		}
+		if err := t.writeLeafPage(p, n.firstPage, []Entry{e}); err != nil {
+			return err
+		}
+		n.firstPage = p
+		n.pages++
+		t.size++
+		return nil
+	}
+	return t.splitLeaf(n, region, e)
+}
+
+// splitLeaf converts leaf n into an internal node with 2^d leaf children and
+// redistributes its entries (plus the pending entry e) by UBR overlap.
+func (t *Tree) splitLeaf(n *node, region geom.Rect, e Entry) error {
+	all, err := t.drainLeaf(n)
+	if err != nil {
+		return err
+	}
+	all = append(all, e)
+
+	fan := 1 << t.dim
+	n.children = make([]*node, fan)
+	for mask := 0; mask < fan; mask++ {
+		p, err := t.store.Alloc()
+		if err != nil {
+			return err
+		}
+		if err := t.writeLeafPage(p, 0, nil); err != nil {
+			return err
+		}
+		n.children[mask] = &node{firstPage: p, pages: 1, depth: n.depth + 1}
+	}
+	n.firstPage = 0
+	n.pages = 0
+	t.memUsed += nodeBytes(t.dim)
+	t.SplitCount++
+
+	for _, entry := range all {
+		// Redistribute by the entry's UBR; fall back to every child when
+		// the UBR is unknown (conservative, never loses query answers).
+		var ubr geom.Rect
+		ok := false
+		if t.lookup != nil {
+			ubr, ok = t.lookup(entry.ID)
+		}
+		if !ok {
+			ubr = region
+		}
+		for mask, c := range n.children {
+			cr := childRegion(region, mask)
+			if cr.Intersects(ubr) {
+				if err := t.leafInsert(c, cr, entry); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// drainLeaf reads and frees leaf n's page chain, returning its entries and
+// removing them from the size count (they are re-counted on redistribution).
+func (t *Tree) drainLeaf(n *node) ([]Entry, error) {
+	var all []Entry
+	p := n.firstPage
+	for p != 0 {
+		next, entries, err := t.readLeafPage(p)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, entries...)
+		if err := t.store.Free(p); err != nil {
+			return nil, err
+		}
+		p = next
+	}
+	t.size -= len(all)
+	return all, nil
+}
+
+// Remove deletes all entries for object id from leaves whose cells intersect
+// ubr. It returns the number of entry copies removed.
+func (t *Tree) Remove(id uint32, ubr geom.Rect) (int, error) {
+	return t.remove(t.root, t.domain, id, ubr, nil)
+}
+
+// RemoveDiff deletes entries for id only from leaves intersecting oldUBR but
+// not newUBR — the N−N′ leaf set of the paper's incremental insertion Step 4.
+func (t *Tree) RemoveDiff(id uint32, oldUBR, newUBR geom.Rect) (int, error) {
+	return t.remove(t.root, t.domain, id, oldUBR, &newUBR)
+}
+
+func (t *Tree) remove(n *node, region geom.Rect, id uint32, ubr geom.Rect, except *geom.Rect) (int, error) {
+	if !region.Intersects(ubr) {
+		return 0, nil
+	}
+	if n.children == nil {
+		if except != nil && region.Intersects(*except) {
+			return 0, nil
+		}
+		return t.leafRemove(n, id)
+	}
+	total := 0
+	for mask, c := range n.children {
+		k, err := t.remove(c, childRegion(region, mask), id, ubr, except)
+		if err != nil {
+			return total, err
+		}
+		total += k
+	}
+	return total, nil
+}
+
+// leafRemove rewrites each page of the leaf without entries for id.
+func (t *Tree) leafRemove(n *node, id uint32) (int, error) {
+	removed := 0
+	p := n.firstPage
+	for p != 0 {
+		next, entries, err := t.readLeafPage(p)
+		if err != nil {
+			return removed, err
+		}
+		kept := entries[:0]
+		for _, e := range entries {
+			if e.ID != id {
+				kept = append(kept, e)
+			}
+		}
+		if len(kept) != len(entries) {
+			removed += len(entries) - len(kept)
+			if err := t.writeLeafPage(p, next, kept); err != nil {
+				return removed, err
+			}
+		}
+		p = next
+	}
+	t.size -= removed
+	return removed, nil
+}
+
+// PointQuery returns the entries of the unique leaf whose cell contains q.
+// Page reads are counted by the underlying store.
+func (t *Tree) PointQuery(q geom.Point) ([]Entry, error) {
+	if !t.domain.Contains(q) {
+		return nil, fmt.Errorf("octree: query point %v outside domain %v", q, t.domain)
+	}
+	n := t.root
+	region := t.domain
+	for n.children != nil {
+		mask := 0
+		for j := 0; j < t.dim; j++ {
+			mid := (region.Lo[j] + region.Hi[j]) / 2
+			if q[j] >= mid {
+				mask |= 1 << j
+			}
+		}
+		region = childRegion(region, mask)
+		n = n.children[mask]
+	}
+	var all []Entry
+	p := n.firstPage
+	for p != 0 {
+		next, entries, err := t.readLeafPage(p)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, entries...)
+		p = next
+	}
+	return all, nil
+}
+
+// RangeIDs returns the distinct object IDs stored in leaves whose cells
+// intersect r — Step 2 of the paper's incremental update (the potentially
+// affected set A).
+func (t *Tree) RangeIDs(r geom.Rect) (map[uint32]bool, error) {
+	out := make(map[uint32]bool)
+	err := t.rangeIDs(t.root, t.domain, r, out)
+	return out, err
+}
+
+func (t *Tree) rangeIDs(n *node, region geom.Rect, r geom.Rect, out map[uint32]bool) error {
+	if !region.Intersects(r) {
+		return nil
+	}
+	if n.children == nil {
+		p := n.firstPage
+		for p != 0 {
+			next, entries, err := t.readLeafPage(p)
+			if err != nil {
+				return err
+			}
+			for _, e := range entries {
+				out[e.ID] = true
+			}
+			p = next
+		}
+		return nil
+	}
+	for mask, c := range n.children {
+		if err := t.rangeIDs(c, childRegion(region, mask), r, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Validate walks the tree checking structural invariants: internal nodes
+// have exactly 2^d children, leaf page chains are readable, page counts
+// match the chain length, depths are consistent, and the entry count
+// matches the recorded size. Used by tests after mutation sequences.
+func (t *Tree) Validate() error {
+	fan := 1 << t.dim
+	entries := 0
+	var walk func(n *node, depth int) error
+	walk = func(n *node, depth int) error {
+		if n.depth != depth {
+			return fmt.Errorf("octree: node depth %d, expected %d", n.depth, depth)
+		}
+		if n.children != nil {
+			if len(n.children) != fan {
+				return fmt.Errorf("octree: internal node with %d children, want %d", len(n.children), fan)
+			}
+			if n.firstPage != 0 || n.pages != 0 {
+				return fmt.Errorf("octree: internal node still owns pages")
+			}
+			for _, c := range n.children {
+				if err := walk(c, depth+1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if n.firstPage == 0 {
+			return fmt.Errorf("octree: leaf without a page chain")
+		}
+		chain := 0
+		p := n.firstPage
+		for p != 0 {
+			next, es, err := t.readLeafPage(p)
+			if err != nil {
+				return fmt.Errorf("octree: unreadable leaf page %d: %w", p, err)
+			}
+			entries += len(es)
+			chain++
+			if chain > 1_000_000 {
+				return fmt.Errorf("octree: page chain cycle suspected at %d", p)
+			}
+			p = next
+		}
+		if chain != n.pages {
+			return fmt.Errorf("octree: leaf records %d pages, chain has %d", n.pages, chain)
+		}
+		return nil
+	}
+	if err := walk(t.root, 0); err != nil {
+		return err
+	}
+	if entries != t.size {
+		return fmt.Errorf("octree: counted %d entries, size says %d", entries, t.size)
+	}
+	return nil
+}
+
+// Stats describes the tree's shape.
+type Stats struct {
+	Leaves   int
+	Internal int
+	Pages    int
+	MaxDepth int
+	Entries  int
+	MemUsed  int
+	SplitOps int
+}
+
+// TreeStats walks the tree and reports shape statistics.
+func (t *Tree) TreeStats() Stats {
+	st := Stats{Entries: t.size, MemUsed: t.memUsed, SplitOps: t.SplitCount}
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.depth > st.MaxDepth {
+			st.MaxDepth = n.depth
+		}
+		if n.children == nil {
+			st.Leaves++
+			st.Pages += n.pages
+			return
+		}
+		st.Internal++
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return st
+}

@@ -1,0 +1,140 @@
+package pagestore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is an LRU buffer pool over a Store, modelling the buffer manager a
+// disk-resident index would sit behind. Reads served from the pool do not
+// touch the underlying store's I/O counters, so experiments can separate
+// cold (disk) from warm (buffered) query cost.
+//
+// Writes are write-through: the page goes to the store immediately and the
+// cached copy is refreshed, keeping the store durable at every point.
+type Cache struct {
+	mu       sync.Mutex
+	store    *Store
+	capacity int
+	lru      *list.List // front = most recent; values are *cacheEntry
+	pages    map[PageID]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	id   PageID
+	data []byte
+}
+
+// NewCache wraps store with a pool of at most capacity pages.
+func NewCache(store *Store, capacity int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache{
+		store:    store,
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[PageID]*list.Element),
+	}
+}
+
+// Store returns the underlying page store.
+func (c *Cache) Store() *Store { return c.store }
+
+// Read returns the page contents, from the pool when resident.
+func (c *Cache) Read(id PageID) ([]byte, error) {
+	c.mu.Lock()
+	if el, ok := c.pages[id]; ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		out := make([]byte, len(data))
+		copy(out, data)
+		c.mu.Unlock()
+		return out, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	data, err := c.store.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.insert(id, data)
+	c.mu.Unlock()
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Write stores the page (write-through) and refreshes the pooled copy.
+func (c *Cache) Write(id PageID, data []byte) error {
+	if err := c.store.Write(id, data); err != nil {
+		return err
+	}
+	// Re-read is avoided: normalize to page size locally.
+	buf := make([]byte, c.store.PageSize())
+	copy(buf, data)
+	c.mu.Lock()
+	if el, ok := c.pages[id]; ok {
+		el.Value.(*cacheEntry).data = buf
+		c.lru.MoveToFront(el)
+	} else {
+		c.insert(id, buf)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// Alloc passes through to the store.
+func (c *Cache) Alloc() (PageID, error) { return c.store.Alloc() }
+
+// Free releases the page and drops any pooled copy.
+func (c *Cache) Free(id PageID) error {
+	c.mu.Lock()
+	if el, ok := c.pages[id]; ok {
+		c.lru.Remove(el)
+		delete(c.pages, id)
+	}
+	c.mu.Unlock()
+	return c.store.Free(id)
+}
+
+// insert adds a page to the pool, evicting the least-recently-used page if
+// the pool is full. Caller holds c.mu.
+func (c *Cache) insert(id PageID, data []byte) {
+	if el, ok := c.pages[id]; ok {
+		el.Value.(*cacheEntry).data = data
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.capacity {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.pages, back.Value.(*cacheEntry).id)
+	}
+	c.pages[id] = c.lru.PushFront(&cacheEntry{id: id, data: data})
+}
+
+// CacheStats reports pool effectiveness.
+type CacheStats struct {
+	Hits, Misses int64
+	Resident     int
+}
+
+// Stats returns hit/miss counters and current residency.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Resident: c.lru.Len()}
+}
+
+// ResetStats zeroes the hit/miss counters.
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,165 @@
+package pagestore
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestCacheReadWriteThrough(t *testing.T) {
+	store := New(64)
+	cache := NewCache(store, 4)
+	id, _ := cache.Alloc()
+	if err := cache.Write(id, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	// Write-through: store has the data even before any cache read.
+	raw, err := store.Read(id)
+	if err != nil || !bytes.Equal(raw[:5], []byte("hello")) {
+		t.Fatalf("store missing write-through data: %q %v", raw[:5], err)
+	}
+	// First cached read after Write is a hit (Write populates the pool).
+	got, err := cache.Read(id)
+	if err != nil || !bytes.Equal(got[:5], []byte("hello")) {
+		t.Fatalf("cache read: %q %v", got[:5], err)
+	}
+	st := cache.Stats()
+	if st.Hits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	store := New(64)
+	cache := NewCache(store, 4)
+	id, _ := store.Alloc() // allocated behind the cache's back
+	_ = store.Write(id, []byte("direct"))
+	if _, err := cache.Read(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Read(id); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The second read must not have touched the store.
+	ioBefore := store.Stats().Reads
+	_, _ = cache.Read(id)
+	if store.Stats().Reads != ioBefore {
+		t.Fatal("cache hit leaked a store read")
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	store := New(64)
+	cache := NewCache(store, 2)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, _ := cache.Alloc()
+		_ = cache.Write(id, []byte{byte(i)})
+		ids = append(ids, id)
+	}
+	// Pool holds the 2 most recent; the first page was evicted.
+	st := cache.Stats()
+	if st.Resident != 2 {
+		t.Fatalf("resident = %d", st.Resident)
+	}
+	cache.ResetStats()
+	_, _ = cache.Read(ids[0]) // must miss
+	_, _ = cache.Read(ids[2]) // must hit
+	st = cache.Stats()
+	if st.Misses != 1 || st.Hits != 1 {
+		t.Fatalf("after eviction: %+v", st)
+	}
+}
+
+func TestCacheFreeDropsPage(t *testing.T) {
+	store := New(64)
+	cache := NewCache(store, 4)
+	id, _ := cache.Alloc()
+	_ = cache.Write(id, []byte("x"))
+	if err := cache.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.Read(id); err == nil {
+		t.Fatal("read of freed page served from cache")
+	}
+}
+
+func TestCacheIsolationOfReturnedBuffers(t *testing.T) {
+	store := New(8)
+	cache := NewCache(store, 2)
+	id, _ := cache.Alloc()
+	_ = cache.Write(id, []byte{1, 2, 3})
+	buf, _ := cache.Read(id)
+	buf[0] = 99 // caller scribbles on the returned buffer
+	again, _ := cache.Read(id)
+	if again[0] != 1 {
+		t.Fatal("cache returned an aliased buffer")
+	}
+}
+
+// Model test: cache-backed reads always agree with the bare store.
+func TestCacheCoherence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	store := New(32)
+	cache := NewCache(store, 8)
+	var ids []PageID
+	for i := 0; i < 32; i++ {
+		id, _ := cache.Alloc()
+		ids = append(ids, id)
+	}
+	for op := 0; op < 5000; op++ {
+		id := ids[rng.Intn(len(ids))]
+		if rng.Intn(2) == 0 {
+			data := make([]byte, rng.Intn(32))
+			rng.Read(data)
+			if err := cache.Write(id, data); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			fromCache, err := cache.Read(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fromStore, err := store.Read(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fromCache, fromStore) {
+				t.Fatalf("op %d: cache diverged from store on page %d", op, id)
+			}
+		}
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	store := New(64)
+	cache := NewCache(store, 8)
+	var ids []PageID
+	for i := 0; i < 16; i++ {
+		id, _ := cache.Alloc()
+		_ = cache.Write(id, []byte{byte(i)})
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 500; i++ {
+				id := ids[rng.Intn(len(ids))]
+				if rng.Intn(4) == 0 {
+					_ = cache.Write(id, []byte{byte(i)})
+				} else {
+					_, _ = cache.Read(id)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

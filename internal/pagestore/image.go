@@ -1,0 +1,58 @@
+package pagestore
+
+import "fmt"
+
+// Image is the serializable state of a Store, used by index persistence.
+// All fields are exported for encoding/gob.
+type Image struct {
+	PageSize int
+	Next     uint32
+	Free     []uint32
+	Pages    map[uint32][]byte
+}
+
+// Image captures the store's current pages and allocator state. The copy is
+// deep; later mutations of the store do not affect it.
+func (s *Store) Image() *Image {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	img := &Image{
+		PageSize: s.pageSize,
+		Next:     uint32(s.next),
+		Free:     make([]uint32, len(s.free)),
+		Pages:    make(map[uint32][]byte, len(s.pages)),
+	}
+	for i, id := range s.free {
+		img.Free[i] = uint32(id)
+	}
+	for id, data := range s.pages {
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		img.Pages[uint32(id)] = buf
+	}
+	return img
+}
+
+// FromImage reconstructs a store from a snapshot. I/O counters start at
+// zero; allocator state (next ID, free list) is restored exactly so that
+// page IDs recorded by the structures above remain valid.
+func FromImage(img *Image) (*Store, error) {
+	if img.PageSize <= 0 {
+		return nil, fmt.Errorf("pagestore: invalid page size %d in image", img.PageSize)
+	}
+	s := New(img.PageSize)
+	s.next = PageID(img.Next)
+	s.free = make([]PageID, len(img.Free))
+	for i, id := range img.Free {
+		s.free[i] = PageID(id)
+	}
+	for id, data := range img.Pages {
+		if len(data) != img.PageSize {
+			return nil, fmt.Errorf("pagestore: page %d has %d bytes, want %d", id, len(data), img.PageSize)
+		}
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		s.pages[PageID(id)] = buf
+	}
+	return s, nil
+}

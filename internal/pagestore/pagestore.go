@@ -1,0 +1,165 @@
+// Package pagestore simulates the disk layer of the paper's testbed: a store
+// of fixed-size pages (4 KB in the experiments) with read/write counters.
+//
+// The paper reports query cost partly as leaf-page I/O (Figs. 9(c), 9(g));
+// counting page touches on an in-memory store preserves the orderings and
+// ratios between competing indexes without needing a physical disk. All
+// disk-resident structures (octree leaf lists, extendible-hash buckets,
+// R-tree leaves) allocate their pages here.
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// DefaultPageSize is the page size used throughout the experiments (4 KB).
+const DefaultPageSize = 4096
+
+// PageID identifies a page within a Store. Zero is never a valid page.
+type PageID uint32
+
+// Stats is a snapshot of I/O counters.
+type Stats struct {
+	Reads  int64 // pages read
+	Writes int64 // pages written
+	Allocs int64 // pages allocated over the store's lifetime
+	Frees  int64 // pages freed
+}
+
+// Sub returns the counter deltas from an earlier snapshot.
+func (s Stats) Sub(earlier Stats) Stats {
+	return Stats{
+		Reads:  s.Reads - earlier.Reads,
+		Writes: s.Writes - earlier.Writes,
+		Allocs: s.Allocs - earlier.Allocs,
+		Frees:  s.Frees - earlier.Frees,
+	}
+}
+
+// IO returns total page touches (reads + writes).
+func (s Stats) IO() int64 { return s.Reads + s.Writes }
+
+// Store is a page allocator with I/O accounting. It is safe for concurrent
+// use; the indexes built on top serialize their own higher-level operations.
+type Store struct {
+	mu       sync.Mutex
+	pageSize int
+	pages    map[PageID][]byte
+	free     []PageID
+	next     PageID
+	stats    Stats
+	limit    int // max live pages; 0 = unlimited
+}
+
+// ErrFull is returned by Alloc when the store's page limit is exhausted.
+var ErrFull = errors.New("pagestore: page limit exhausted")
+
+// New returns a store with the given page size (DefaultPageSize if <= 0).
+func New(pageSize int) *Store {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Store{pageSize: pageSize, pages: make(map[PageID][]byte), next: 1}
+}
+
+// NewLimited returns a store that fails Alloc after maxPages live pages,
+// for failure-injection tests.
+func NewLimited(pageSize, maxPages int) *Store {
+	s := New(pageSize)
+	s.limit = maxPages
+	return s
+}
+
+// PageSize returns the size in bytes of each page.
+func (s *Store) PageSize() int { return s.pageSize }
+
+// Alloc reserves a new zeroed page and returns its ID.
+func (s *Store) Alloc() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.limit > 0 && len(s.pages) >= s.limit {
+		return 0, ErrFull
+	}
+	var id PageID
+	if n := len(s.free); n > 0 {
+		id = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		id = s.next
+		s.next++
+	}
+	s.pages[id] = make([]byte, s.pageSize)
+	s.stats.Allocs++
+	return id, nil
+}
+
+// Free releases a page back to the store.
+func (s *Store) Free(id PageID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.pages[id]; !ok {
+		return fmt.Errorf("pagestore: free of unknown page %d", id)
+	}
+	delete(s.pages, id)
+	s.free = append(s.free, id)
+	s.stats.Frees++
+	return nil
+}
+
+// Read copies the page contents into a fresh buffer and counts one read I/O.
+func (s *Store) Read(id PageID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[id]
+	if !ok {
+		return nil, fmt.Errorf("pagestore: read of unknown page %d", id)
+	}
+	s.stats.Reads++
+	buf := make([]byte, s.pageSize)
+	copy(buf, p)
+	return buf, nil
+}
+
+// Write replaces the page contents and counts one write I/O. Short buffers
+// are zero-padded; long buffers are an error (a page overflow bug upstream).
+func (s *Store) Write(id PageID, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pages[id]
+	if !ok {
+		return fmt.Errorf("pagestore: write of unknown page %d", id)
+	}
+	if len(data) > s.pageSize {
+		return fmt.Errorf("pagestore: write of %d bytes exceeds page size %d", len(data), s.pageSize)
+	}
+	s.stats.Writes++
+	copy(p, data)
+	for i := len(data); i < s.pageSize; i++ {
+		p[i] = 0
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes the read/write counters (allocation counters persist).
+func (s *Store) ResetStats() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Reads = 0
+	s.stats.Writes = 0
+}
+
+// Live returns the number of currently allocated pages.
+func (s *Store) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pages)
+}

@@ -1,0 +1,162 @@
+package pagestore
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestAllocReadWrite(t *testing.T) {
+	s := New(128)
+	id, err := s.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("zero page ID allocated")
+	}
+	data := []byte("hello page store")
+	if err := s.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:len(data)], data) {
+		t.Fatalf("read back %q", got[:len(data)])
+	}
+	for _, b := range got[len(data):] {
+		if b != 0 {
+			t.Fatal("page not zero-padded")
+		}
+	}
+	st := s.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.Allocs != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWriteOverflow(t *testing.T) {
+	s := New(16)
+	id, _ := s.Alloc()
+	if err := s.Write(id, make([]byte, 17)); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+}
+
+func TestWriteShorterClearsOldContent(t *testing.T) {
+	s := New(16)
+	id, _ := s.Alloc()
+	_ = s.Write(id, bytes.Repeat([]byte{0xff}, 16))
+	_ = s.Write(id, []byte{1, 2})
+	got, _ := s.Read(id)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatal("prefix lost")
+	}
+	for _, b := range got[2:] {
+		if b != 0 {
+			t.Fatal("stale bytes survive shorter write")
+		}
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	s := New(32)
+	id1, _ := s.Alloc()
+	if err := s.Free(id1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(id1); err == nil {
+		t.Fatal("double free accepted")
+	}
+	if _, err := s.Read(id1); err == nil {
+		t.Fatal("read of freed page accepted")
+	}
+	id2, _ := s.Alloc()
+	if id2 != id1 {
+		t.Fatalf("freed page not reused: got %d want %d", id2, id1)
+	}
+	got, _ := s.Read(id2)
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("reused page not zeroed")
+		}
+	}
+	if s.Live() != 1 {
+		t.Fatalf("Live = %d", s.Live())
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s := NewLimited(32, 2)
+	if _, err := s.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc(); !errors.Is(err, ErrFull) {
+		t.Fatalf("expected ErrFull, got %v", err)
+	}
+	// Freeing makes room again.
+	_ = s.Free(id2)
+	if _, err := s.Alloc(); err != nil {
+		t.Fatalf("alloc after free: %v", err)
+	}
+}
+
+func TestStatsSubAndReset(t *testing.T) {
+	s := New(32)
+	id, _ := s.Alloc()
+	before := s.Stats()
+	_ = s.Write(id, []byte{1})
+	_, _ = s.Read(id)
+	_, _ = s.Read(id)
+	delta := s.Stats().Sub(before)
+	if delta.Reads != 2 || delta.Writes != 1 || delta.IO() != 3 {
+		t.Fatalf("delta = %+v", delta)
+	}
+	s.ResetStats()
+	st := s.Stats()
+	if st.Reads != 0 || st.Writes != 0 {
+		t.Fatalf("reset failed: %+v", st)
+	}
+	if st.Allocs != 1 {
+		t.Fatalf("alloc counter should persist: %+v", st)
+	}
+}
+
+func TestDefaultPageSize(t *testing.T) {
+	s := New(0)
+	if s.PageSize() != DefaultPageSize {
+		t.Fatalf("PageSize = %d", s.PageSize())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(64)
+	ids := make([]PageID, 32)
+	for i := range ids {
+		ids[i], _ = s.Alloc()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := ids[(w*100+i)%len(ids)]
+				_ = s.Write(id, []byte{byte(w)})
+				_, _ = s.Read(id)
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Reads != 800 || st.Writes != 800 {
+		t.Fatalf("stats after concurrent ops: %+v", st)
+	}
+}

@@ -1,0 +1,215 @@
+// Package pnnq implements PNNQ Step 2: computing the qualification
+// probability of each Step-1 candidate — the probability that the object is
+// the nearest neighbor of the query point — under the discrete uncertainty
+// model (Cheng, Kalashnikov, Prabhakar, TKDE 2004).
+//
+// Restricting the computation to Step-1 candidates is exact: any object that
+// is not a possible NN has distmin > min-max distance, so for every instance
+// of a candidate that could win (distance <= min-max), the non-candidate is
+// farther with probability 1 and contributes factor 1 to the product.
+package pnnq
+
+import (
+	"sort"
+
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/uncertain"
+)
+
+// CandidateData carries the per-object data Step 2 needs: the pdf instances
+// fetched from the secondary index.
+type CandidateData struct {
+	ID        uncertain.ID
+	Instances []uncertain.Instance
+}
+
+// Result is one object's qualification probability.
+type Result struct {
+	ID   uncertain.ID
+	Prob float64
+}
+
+// Compute returns the qualification probability of every candidate with
+// respect to query point q, in decreasing probability order. Candidates with
+// zero probability (possible under the discrete pdf even when regions
+// overlap the cutoff) are omitted.
+//
+//	P(o is NN) = Σ_{s ∈ instances(o)} p(s) · Π_{o'≠o} P(dist(o', q) > dist(s, q))
+func Compute(cands []CandidateData, q geom.Point) []Result {
+	if len(cands) == 0 {
+		return nil
+	}
+	// Sorted instance-distance arrays give each candidate's distance CDF.
+	dists := make([][]float64, len(cands))
+	for i, c := range cands {
+		ds := make([]float64, len(c.Instances))
+		for j, in := range c.Instances {
+			ds[j] = geom.Dist(in.Pos, q)
+		}
+		sort.Float64s(ds)
+		dists[i] = ds
+	}
+	var out []Result
+	for i, c := range cands {
+		var total float64
+		for _, in := range c.Instances {
+			r := geom.Dist(in.Pos, q)
+			prod := in.Prob
+			for k := range cands {
+				if k == i {
+					continue
+				}
+				prod *= probFarther(dists[k], r)
+				if prod == 0 {
+					break
+				}
+			}
+			total += prod
+		}
+		if total > 0 {
+			out = append(out, Result{ID: c.ID, Prob: total})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// probFarther returns the fraction of instances (equally weighted within the
+// sorted distance slice) strictly farther than r. Ties count as farther,
+// matching the strict "closest" semantics of the paper's NN definition.
+func probFarther(sorted []float64, r float64) float64 {
+	if len(sorted) == 0 {
+		return 1 // no instances: treat as unconstrained (region-only object)
+	}
+	idx := sort.SearchFloat64s(sorted, r)
+	for idx < len(sorted) && sorted[idx] == r {
+		idx++
+	}
+	return float64(len(sorted)-idx) / float64(len(sorted))
+}
+
+// Bounds computes lower and upper bounds on each candidate's qualification
+// probability without the full O(n²·m) product, in the spirit of the
+// probabilistic verifiers of Cheng et al. (ICDE 2008): for candidate o, any
+// instance closer than every other candidate's minimum instance distance
+// wins outright (lower bound), and any instance farther than some other
+// candidate's maximum instance distance never wins (upper bound).
+type Bound struct {
+	ID     uncertain.ID
+	Lo, Hi float64
+}
+
+// ComputeBounds returns per-candidate probability bounds. The exact
+// probability from Compute always lies within [Lo, Hi].
+func ComputeBounds(cands []CandidateData, q geom.Point) []Bound {
+	n := len(cands)
+	if n == 0 {
+		return nil
+	}
+	minD := make([]float64, n)
+	maxD := make([]float64, n)
+	for i, c := range cands {
+		lo, hi := distExtremes(c.Instances, q)
+		minD[i], maxD[i] = lo, hi
+	}
+	out := make([]Bound, n)
+	for i, c := range cands {
+		// othersMin: the smallest minimum distance among other candidates;
+		// othersMax: the smallest maximum distance among other candidates.
+		othersMin, othersMax := 1e308, 1e308
+		for k := 0; k < n; k++ {
+			if k == i {
+				continue
+			}
+			if minD[k] < othersMin {
+				othersMin = minD[k]
+			}
+			if maxD[k] < othersMax {
+				othersMax = maxD[k]
+			}
+		}
+		var lo, hi float64
+		for _, in := range c.Instances {
+			r := geom.Dist(in.Pos, q)
+			if r < othersMin {
+				lo += in.Prob // beats every possible position of everyone else
+			}
+			if r <= othersMax {
+				hi += in.Prob // could beat the closest rival's worst case
+			}
+		}
+		if hi > 1 {
+			hi = 1
+		}
+		out[i] = Bound{ID: c.ID, Lo: lo, Hi: hi}
+	}
+	return out
+}
+
+// ComputeVerified evaluates Step 2 the way the probabilistic verifiers of
+// Cheng et al. (ICDE 2008) propose: cheap per-candidate probability bounds
+// first, the expensive exact product only for candidates whose bounds leave
+// the answer open. A candidate whose upper bound is zero is discarded; one
+// whose bounds pin its probability within eps is reported at the bound
+// midpoint. The result therefore differs from Compute by at most eps per
+// object (exactly equal when eps = 0).
+func ComputeVerified(cands []CandidateData, q geom.Point, eps float64) []Result {
+	if len(cands) == 0 {
+		return nil
+	}
+	bounds := ComputeBounds(cands, q)
+	var settled []Result
+	var open []CandidateData
+	for i, b := range bounds {
+		switch {
+		case b.Hi == 0:
+			// Verified non-answer: no instance can win.
+		case b.Hi-b.Lo <= eps:
+			settled = append(settled, Result{ID: b.ID, Prob: (b.Lo + b.Hi) / 2})
+		default:
+			open = append(open, cands[i])
+		}
+	}
+	// The exact product needs every rival's distance distribution, not just
+	// the open ones — pass all candidates but report only the open IDs.
+	if len(open) > 0 {
+		openIDs := make(map[uncertain.ID]bool, len(open))
+		for _, c := range open {
+			openIDs[c.ID] = true
+		}
+		for _, r := range Compute(cands, q) {
+			if openIDs[r.ID] {
+				settled = append(settled, r)
+			}
+		}
+	}
+	sort.Slice(settled, func(i, j int) bool {
+		if settled[i].Prob != settled[j].Prob {
+			return settled[i].Prob > settled[j].Prob
+		}
+		return settled[i].ID < settled[j].ID
+	})
+	return settled
+}
+
+func distExtremes(ins []uncertain.Instance, q geom.Point) (lo, hi float64) {
+	lo, hi = 1e308, 0
+	for _, in := range ins {
+		d := geom.Dist(in.Pos, q)
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if len(ins) == 0 {
+		lo, hi = 0, 0
+	}
+	return lo, hi
+}

@@ -1,0 +1,166 @@
+package pnnq
+
+import (
+	"sort"
+
+	"pvoronoi/internal/uncertain"
+)
+
+// ScoredCandidate generalizes Step 2 beyond plain point distance: each
+// instance carries a scalar score (e.g. an aggregate distance over a group
+// of query points), and the winner is the object whose realized score is the
+// minimum. Weights must sum to 1 per candidate.
+type ScoredCandidate struct {
+	ID      uncertain.ID
+	Scores  []float64 // one per instance
+	Weights []float64 // instance probabilities; uniform if nil
+}
+
+// ComputeScores returns P(candidate's score is the strict minimum) for each
+// candidate, in decreasing probability order — the engine behind both plain
+// PNNQ Step 2 and the group-NN extension.
+func ComputeScores(cands []ScoredCandidate) []Result {
+	if len(cands) == 0 {
+		return nil
+	}
+	sorted := make([][]float64, len(cands))
+	for i, c := range cands {
+		s := append([]float64(nil), c.Scores...)
+		sort.Float64s(s)
+		sorted[i] = s
+	}
+	var out []Result
+	for i, c := range cands {
+		var total float64
+		for j, score := range c.Scores {
+			w := 1.0 / float64(len(c.Scores))
+			if c.Weights != nil {
+				w = c.Weights[j]
+			}
+			prod := w
+			for k := range cands {
+				if k == i {
+					continue
+				}
+				prod *= probFarther(sorted[k], score)
+				if prod == 0 {
+					break
+				}
+			}
+			total += prod
+		}
+		if total > 0 {
+			out = append(out, Result{ID: c.ID, Prob: total})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// KNNResult is one object's probability of ranking within the k nearest.
+type KNNResult struct {
+	ID   uncertain.ID
+	Prob float64
+}
+
+// ComputeKNN returns, for every candidate, the probability that it ranks
+// among the k nearest to the (implicit) query — i.e. that fewer than k other
+// candidates realize a strictly smaller score. Independence across objects
+// gives a Poisson-binomial count, evaluated by the standard O(n·k) dynamic
+// program per instance.
+func ComputeKNN(cands []ScoredCandidate, k int) []KNNResult {
+	n := len(cands)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k >= n {
+		// Everyone is trivially within the k nearest.
+		out := make([]KNNResult, n)
+		for i, c := range cands {
+			out[i] = KNNResult{ID: c.ID, Prob: 1}
+		}
+		return out
+	}
+	sorted := make([][]float64, n)
+	for i, c := range cands {
+		s := append([]float64(nil), c.Scores...)
+		sort.Float64s(s)
+		sorted[i] = s
+	}
+	out := make([]KNNResult, 0, n)
+	dp := make([]float64, k) // dp[j] = P(exactly j others closer), truncated at k-1
+	next := make([]float64, k)
+	for i, c := range cands {
+		var total float64
+		for j, score := range c.Scores {
+			w := 1.0 / float64(len(c.Scores))
+			if c.Weights != nil {
+				w = c.Weights[j]
+			}
+			// pCloser[k] for each other candidate = 1 - P(farther-or-equal).
+			for x := range dp {
+				dp[x] = 0
+			}
+			dp[0] = 1
+			alive := true
+			for o := range cands {
+				if o == i {
+					continue
+				}
+				pCloser := 1 - probFarther(sorted[o], score)
+				if pCloser == 1 {
+					// Shift the whole distribution; if it all falls off the
+					// truncated end, this instance cannot be within top-k.
+					copy(next[1:], dp[:k-1])
+					next[0] = 0
+					dp, next = next, dp
+					allZero := true
+					for _, v := range dp {
+						if v != 0 {
+							allZero = false
+							break
+						}
+					}
+					if allZero {
+						alive = false
+						break
+					}
+					continue
+				}
+				if pCloser == 0 {
+					continue
+				}
+				for x := 0; x < k; x++ {
+					next[x] = dp[x] * (1 - pCloser)
+					if x > 0 {
+						next[x] += dp[x-1] * pCloser
+					}
+				}
+				dp, next = next, dp
+			}
+			if !alive {
+				continue
+			}
+			var pWithin float64
+			for _, v := range dp {
+				pWithin += v
+			}
+			total += w * pWithin
+		}
+		if total > 0 {
+			out = append(out, KNNResult{ID: c.ID, Prob: total})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prob != out[j].Prob {
+			return out[i].Prob > out[j].Prob
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

@@ -1,0 +1,126 @@
+package pnnq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/uncertain"
+)
+
+// ComputeScores with plain distances must agree with Compute.
+func TestComputeScoresMatchesCompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := geom.Point{50, 50}
+	var plain []CandidateData
+	var scored []ScoredCandidate
+	for i := 0; i < 10; i++ {
+		n := 5 + rng.Intn(20)
+		ins := make([]uncertain.Instance, n)
+		sc := ScoredCandidate{ID: uncertain.ID(i), Scores: make([]float64, n), Weights: make([]float64, n)}
+		for j := 0; j < n; j++ {
+			p := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+			ins[j] = uncertain.Instance{Pos: p, Prob: 1 / float64(n)}
+			sc.Scores[j] = geom.Dist(p, q)
+			sc.Weights[j] = 1 / float64(n)
+		}
+		plain = append(plain, CandidateData{ID: uncertain.ID(i), Instances: ins})
+		scored = append(scored, sc)
+	}
+	a := Compute(plain, q)
+	b := ComputeScores(scored)
+	if len(a) != len(b) {
+		t.Fatalf("result counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || math.Abs(a[i].Prob-b[i].Prob) > 1e-12 {
+			t.Fatalf("result %d: (%d, %g) vs (%d, %g)", i, a[i].ID, a[i].Prob, b[i].ID, b[i].Prob)
+		}
+	}
+}
+
+func TestComputeScoresNilWeightsUniform(t *testing.T) {
+	cands := []ScoredCandidate{
+		{ID: 1, Scores: []float64{1, 3}},
+		{ID: 2, Scores: []float64{2, 4}},
+	}
+	res := ComputeScores(cands)
+	probs := map[uncertain.ID]float64{}
+	for _, r := range res {
+		probs[r.ID] = r.Prob
+	}
+	// P(1 wins) = 0.5·P(s2>1)=0.5·1 + 0.5·P(s2>3)=0.5·0.5 → 0.75.
+	if math.Abs(probs[1]-0.75) > 1e-12 || math.Abs(probs[2]-0.25) > 1e-12 {
+		t.Fatalf("probs = %v", probs)
+	}
+}
+
+// ComputeKNN must match a Monte-Carlo estimate of top-k membership.
+func TestComputeKNNMatchesMonteCarlo(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n, k = 6, 2
+	cands := make([]ScoredCandidate, n)
+	for i := range cands {
+		m := 4 + rng.Intn(6)
+		sc := ScoredCandidate{ID: uncertain.ID(i), Scores: make([]float64, m)}
+		for j := range sc.Scores {
+			sc.Scores[j] = rng.Float64() * 100
+		}
+		cands[i] = sc
+	}
+	got := ComputeKNN(cands, k)
+	gotMap := map[uncertain.ID]float64{}
+	for _, r := range got {
+		gotMap[r.ID] = r.Prob
+	}
+	// Monte Carlo over 200k sampled worlds.
+	const worlds = 200000
+	hits := make([]int, n)
+	for w := 0; w < worlds; w++ {
+		type sv struct {
+			idx int
+			s   float64
+		}
+		var world []sv
+		for i, c := range cands {
+			world = append(world, sv{i, c.Scores[rng.Intn(len(c.Scores))]})
+		}
+		for i := 1; i < len(world); i++ {
+			for j := i; j > 0 && world[j].s < world[j-1].s; j-- {
+				world[j], world[j-1] = world[j-1], world[j]
+			}
+		}
+		for _, s := range world[:k] {
+			hits[s.idx]++
+		}
+	}
+	for i := range cands {
+		mc := float64(hits[i]) / worlds
+		if math.Abs(gotMap[uncertain.ID(i)]-mc) > 0.01 {
+			t.Fatalf("candidate %d: DP %g vs MC %g", i, gotMap[uncertain.ID(i)], mc)
+		}
+	}
+	// Membership probabilities sum to k.
+	var sum float64
+	for _, r := range got {
+		sum += r.Prob
+	}
+	if math.Abs(sum-k) > 1e-9 {
+		t.Fatalf("sum = %g, want %d", sum, k)
+	}
+}
+
+func TestComputeKNNEdges(t *testing.T) {
+	if got := ComputeKNN(nil, 3); got != nil {
+		t.Fatal("nil candidates")
+	}
+	cands := []ScoredCandidate{{ID: 1, Scores: []float64{1}}}
+	if got := ComputeKNN(cands, 0); got != nil {
+		t.Fatal("k=0 should be nil")
+	}
+	got := ComputeKNN(cands, 5)
+	if len(got) != 1 || got[0].Prob != 1 {
+		t.Fatalf("k>n: %v", got)
+	}
+}

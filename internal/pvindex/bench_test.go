@@ -1,0 +1,69 @@
+package pvindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/uncertain"
+)
+
+func benchIndex(b *testing.B, n int) *Index {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	db := randomDB(rng, n, 3, 10000, 60, false)
+	cfg := DefaultConfig()
+	ix, err := Build(db, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+func BenchmarkPossibleNN2k(b *testing.B) {
+	ix := benchIndex(b, 2000)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := geom.Point{rng.Float64() * 10000, rng.Float64() * 10000, rng.Float64() * 10000}
+		if _, err := ix.PossibleNN(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncrementalInsert(b *testing.B) {
+	ix := benchIndex(b, 1000)
+	rng := rand.New(rand.NewSource(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := geom.Point{rng.Float64() * 9900, rng.Float64() * 9900, rng.Float64() * 9900}
+		o := &uncertain.Object{
+			ID:     uncertain.ID(100000 + i),
+			Region: geom.NewRect(lo, geom.Point{lo[0] + 30, lo[1] + 30, lo[2] + 30}),
+		}
+		if _, err := ix.Insert(o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIncrementalDelete(b *testing.B) {
+	// Rebuild a fresh index whenever the pool drains.
+	ix := benchIndex(b, 2000)
+	next := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if next >= 2000 {
+			b.StopTimer()
+			ix = benchIndex(b, 2000)
+			next = 0
+			b.StartTimer()
+		}
+		if _, err := ix.Delete(uncertain.ID(next)); err != nil {
+			b.Fatal(err)
+		}
+		next++
+	}
+}

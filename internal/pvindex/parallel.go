@@ -1,0 +1,94 @@
+package pvindex
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"pvoronoi/internal/core"
+	"pvoronoi/internal/exthash"
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/octree"
+	"pvoronoi/internal/pagestore"
+	"pvoronoi/internal/rtree"
+	"pvoronoi/internal/uncertain"
+)
+
+// BuildParallel constructs the PV-index like Build but computes UBRs with a
+// pool of workers (the SE algorithm is read-only over the database and the
+// region tree, so per-object UBR computation parallelizes embarrassingly;
+// only index insertion is serialized). workers <= 0 uses GOMAXPROCS.
+//
+// The resulting index answers queries identically to a serial Build — the
+// paper's bulk-loading direction from its conclusion, realized as a
+// construction-time optimization.
+func BuildParallel(db *uncertain.DB, cfg Config, workers int) (*Index, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Store == nil {
+		cfg.Store = pagestore.New(pagestore.DefaultPageSize)
+	}
+	if cfg.MemBudget <= 0 {
+		cfg.MemBudget = 5 << 20
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = rtree.DefaultFanout
+	}
+	ix := &Index{db: db, store: cfg.Store, cfg: cfg}
+
+	start := time.Now()
+	var err error
+	ix.secondary, err = exthash.New(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	ix.primary, err = octree.New(octree.Config{
+		Domain:    db.Domain,
+		Store:     cfg.Store,
+		Lookup:    ix.lookupUBR,
+		MemBudget: cfg.MemBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix.regionTree = core.BuildRegionTree(db, cfg.Fanout)
+
+	objs := db.Objects()
+	ubrs := make([]geom.Rect, len(objs))
+	seStats := make([]core.Stats, len(objs))
+
+	// NN iterators on the shared R*-tree mutate its LeafIO counter but not
+	// its structure; structural reads are safe concurrently.
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ubrs[i], seStats[i] = core.ComputeUBR(db, ix.regionTree, objs[i], cfg.SE)
+			}
+		}()
+	}
+	for i := range objs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	t0 := time.Now()
+	for i, o := range objs {
+		ix.Build.SE.Add(seStats[i])
+		ix.Build.CSetTime += seStats[i].CSetTime
+		ix.Build.UBRTime += seStats[i].UBRTime
+		ix.Build.CSetSizeSum += seStats[i].CSetSize
+		if err := ix.addObject(o, ubrs[i]); err != nil {
+			return nil, err
+		}
+		ix.Build.Objects++
+	}
+	ix.Build.InsertTime = time.Since(t0)
+	ix.Build.Total = time.Since(start)
+	return ix, nil
+}

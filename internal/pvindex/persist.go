@@ -1,0 +1,98 @@
+package pvindex
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"pvoronoi/internal/core"
+	"pvoronoi/internal/exthash"
+	"pvoronoi/internal/octree"
+	"pvoronoi/internal/pagestore"
+	"pvoronoi/internal/rtree"
+	"pvoronoi/internal/uncertain"
+)
+
+// persistHeader identifies the on-disk format.
+const persistMagic = "PVIDX1"
+
+// indexImage bundles the serializable state of all index layers.
+type indexImage struct {
+	Magic     string
+	SE        core.Options
+	MemBudget int
+	Fanout    int
+	Objects   int
+	Store     *pagestore.Image
+	Primary   *octree.Image
+	Secondary *exthash.Image
+}
+
+// SaveTo serializes the index (page store, octree skeleton, hash directory,
+// and configuration) to w. The database itself is not written — it is the
+// caller's input at load time, matching the paper's separation of data and
+// access structure.
+func (ix *Index) SaveTo(w io.Writer) error {
+	img := indexImage{
+		Magic:     persistMagic,
+		SE:        ix.cfg.SE,
+		MemBudget: ix.cfg.MemBudget,
+		Fanout:    ix.cfg.Fanout,
+		Objects:   ix.db.Len(),
+		Store:     ix.store.Image(),
+		Primary:   ix.primary.Image(),
+		Secondary: ix.secondary.Image(),
+	}
+	return gob.NewEncoder(w).Encode(&img)
+}
+
+// LoadFrom reconstructs an index from r over the given database. The
+// database must be the same object set the index was built on (checked by
+// cardinality and by per-object UBR presence).
+func LoadFrom(r io.Reader, db *uncertain.DB) (*Index, error) {
+	var img indexImage
+	if err := gob.NewDecoder(r).Decode(&img); err != nil {
+		return nil, fmt.Errorf("pvindex: decoding index image: %w", err)
+	}
+	if img.Magic != persistMagic {
+		return nil, fmt.Errorf("pvindex: bad magic %q", img.Magic)
+	}
+	if img.Objects != db.Len() {
+		return nil, fmt.Errorf("pvindex: index was built over %d objects, database has %d", img.Objects, db.Len())
+	}
+	store, err := pagestore.FromImage(img.Store)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{
+		db:    db,
+		store: store,
+		cfg: Config{
+			Store:     store,
+			MemBudget: img.MemBudget,
+			Fanout:    img.Fanout,
+			SE:        img.SE,
+		},
+	}
+	ix.secondary, err = exthash.FromImage(store, img.Secondary)
+	if err != nil {
+		return nil, err
+	}
+	ix.primary, err = octree.FromImage(store, ix.lookupUBR, img.Primary)
+	if err != nil {
+		return nil, err
+	}
+	fanout := img.Fanout
+	if fanout <= 0 {
+		fanout = rtree.DefaultFanout
+	}
+	ix.regionTree = core.BuildRegionTree(db, fanout)
+
+	// Sanity: every database object must have a stored record.
+	for _, o := range db.Objects() {
+		if _, ok := ix.lookupUBR(uint32(o.ID)); !ok {
+			return nil, fmt.Errorf("pvindex: object %d missing from loaded index", o.ID)
+		}
+	}
+	return ix, nil
+}

@@ -1,0 +1,135 @@
+package pvindex
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pvoronoi/internal/bruteforce"
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/uncertain"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := randomDB(rng, 150, 3, 1000, 40, true)
+	ix, err := Build(db, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFrom(&buf, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries must be identical to the original index and brute force.
+	for iter := 0; iter < 100; iter++ {
+		q := geom.Point{rng.Float64() * 1000, rng.Float64() * 1000, rng.Float64() * 1000}
+		a, err := ix.PossibleNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.PossibleNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(idsOf(a), idsOf(b)) {
+			t.Fatalf("q=%v: original %v loaded %v", q, idsOf(a), idsOf(b))
+		}
+		if !sameIDs(idsOf(b), bruteforce.PossibleNN(db, q)) {
+			t.Fatalf("q=%v: loaded index wrong vs brute force", q)
+		}
+	}
+	// Stored records (UBR + instances) must survive.
+	for _, o := range db.Objects() {
+		ua, _ := ix.UBR(o.ID)
+		ub, ok := loaded.UBR(o.ID)
+		if !ok || !ua.Equal(ub) {
+			t.Fatalf("object %d UBR mismatch after load", o.ID)
+		}
+		ins, err := loaded.Instances(o.ID)
+		if err != nil || len(ins) != len(o.Instances) {
+			t.Fatalf("object %d instances corrupted: %v", o.ID, err)
+		}
+	}
+}
+
+func TestLoadedIndexSupportsUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := randomDB(rng, 100, 2, 800, 35, false)
+	ix, err := Build(db, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFrom(&buf, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Incremental maintenance must keep working on the loaded index.
+	for i := 0; i < 10; i++ {
+		lo := geom.Point{rng.Float64() * 750, rng.Float64() * 750}
+		o := &uncertain.Object{
+			ID:     uncertain.ID(2000 + i),
+			Region: geom.NewRect(lo, geom.Point{lo[0] + 20, lo[1] + 20}),
+		}
+		if _, err := loaded.Insert(o); err != nil {
+			t.Fatalf("insert on loaded index: %v", err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := loaded.Delete(uncertain.ID(i)); err != nil {
+			t.Fatalf("delete on loaded index: %v", err)
+		}
+	}
+	for iter := 0; iter < 80; iter++ {
+		q := geom.Point{rng.Float64() * 800, rng.Float64() * 800}
+		got, err := loaded.PossibleNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(idsOf(got), bruteforce.PossibleNN(loaded.DB(), q)) {
+			t.Fatalf("loaded+updated index wrong at %v", q)
+		}
+	}
+}
+
+func TestLoadRejectsMismatchedDB(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := randomDB(rng, 50, 2, 500, 25, false)
+	ix, err := Build(db, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Different cardinality.
+	other := randomDB(rng, 49, 2, 500, 25, false)
+	if _, err := LoadFrom(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("load accepted a database with different cardinality")
+	}
+	// Same cardinality, different IDs.
+	shifted := uncertain.NewDB(db.Domain)
+	for i, o := range db.Objects() {
+		_ = shifted.Add(&uncertain.Object{ID: uncertain.ID(5000 + i), Region: o.Region})
+	}
+	if _, err := LoadFrom(bytes.NewReader(buf.Bytes()), shifted); err == nil {
+		t.Fatal("load accepted a database with foreign IDs")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db := randomDB(rng, 10, 2, 100, 10, false)
+	if _, err := LoadFrom(bytes.NewReader([]byte("junk")), db); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

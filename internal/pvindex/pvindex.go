@@ -1,0 +1,383 @@
+// Package pvindex assembles the paper's PV-index (§VI): UBRs computed by the
+// SE algorithm, organized in an octree primary index for point-query pruning
+// and an extendible-hash secondary index holding each object's UBR and
+// discretized pdf. It implements PNNQ Step 1 (retrieval of objects with
+// non-zero qualification probability) and the incremental insert/delete
+// maintenance of §VI-B.
+package pvindex
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"pvoronoi/internal/core"
+	"pvoronoi/internal/exthash"
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/octree"
+	"pvoronoi/internal/pagestore"
+	"pvoronoi/internal/rtree"
+	"pvoronoi/internal/uncertain"
+)
+
+// Config bundles the index's resource parameters (Table I defaults).
+type Config struct {
+	// Store is the simulated disk; a fresh 4 KB-page store if nil.
+	Store *pagestore.Store
+	// MemBudget is the primary index's non-leaf memory allowance
+	// (paper default 5 MB).
+	MemBudget int
+	// Fanout of the helper R*-tree used during construction.
+	Fanout int
+	// SE are the Shrink-and-Expand parameters.
+	SE core.Options
+}
+
+// DefaultConfig returns the paper's defaults.
+func DefaultConfig() Config {
+	return Config{MemBudget: 5 << 20, Fanout: rtree.DefaultFanout, SE: core.DefaultOptions()}
+}
+
+// BuildStats aggregates construction cost, feeding Figs. 10(b)–10(f).
+type BuildStats struct {
+	Objects     int
+	Total       time.Duration
+	CSetTime    time.Duration // chooseCSet portion of SE
+	UBRTime     time.Duration // shrink/expand portion of SE
+	InsertTime  time.Duration // primary+secondary insertion portion
+	CSetSizeSum int           // divide by Objects for the average
+	SE          core.Stats
+}
+
+// Index is a built PV-index over a database.
+type Index struct {
+	db         *uncertain.DB
+	store      *pagestore.Store
+	primary    *octree.Tree
+	secondary  *exthash.Table
+	regionTree *rtree.Tree
+	cfg        Config
+
+	// Build records the construction cost profile.
+	Build BuildStats
+}
+
+// Build constructs the PV-index for every object in db. The database is
+// referenced, not copied: subsequent Insert/Delete calls on the index keep
+// db and the index in sync.
+func Build(db *uncertain.DB, cfg Config) (*Index, error) {
+	if cfg.Store == nil {
+		cfg.Store = pagestore.New(pagestore.DefaultPageSize)
+	}
+	if cfg.MemBudget <= 0 {
+		cfg.MemBudget = 5 << 20
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = rtree.DefaultFanout
+	}
+	ix := &Index{db: db, store: cfg.Store, cfg: cfg}
+
+	start := time.Now()
+	var err error
+	ix.secondary, err = exthash.New(cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	ix.primary, err = octree.New(octree.Config{
+		Domain:    db.Domain,
+		Store:     cfg.Store,
+		Lookup:    ix.lookupUBR,
+		MemBudget: cfg.MemBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix.regionTree = core.BuildRegionTree(db, cfg.Fanout)
+
+	for _, o := range db.Objects() {
+		ubr, st := core.ComputeUBR(db, ix.regionTree, o, cfg.SE)
+		ix.Build.SE.Add(st)
+		ix.Build.CSetTime += st.CSetTime
+		ix.Build.UBRTime += st.UBRTime
+		ix.Build.CSetSizeSum += st.CSetSize
+		t0 := time.Now()
+		if err := ix.addObject(o, ubr); err != nil {
+			return nil, err
+		}
+		ix.Build.InsertTime += time.Since(t0)
+		ix.Build.Objects++
+	}
+	ix.Build.Total = time.Since(start)
+	return ix, nil
+}
+
+// lookupUBR serves octree leaf splits from the secondary index.
+func (ix *Index) lookupUBR(id uint32) (geom.Rect, bool) {
+	buf, ok, err := ix.secondary.Get(id)
+	if err != nil || !ok {
+		return geom.Rect{}, false
+	}
+	rec, err := decodeRecord(buf)
+	if err != nil {
+		return geom.Rect{}, false
+	}
+	return rec.UBR, true
+}
+
+// addObject writes o's record to the secondary index and its entries to the
+// primary index.
+func (ix *Index) addObject(o *uncertain.Object, ubr geom.Rect) error {
+	rec := record{UBR: ubr, Region: o.Region, Instances: o.Instances}
+	if err := ix.secondary.Put(uint32(o.ID), encodeRecord(rec)); err != nil {
+		return err
+	}
+	return ix.primary.Insert(uint32(o.ID), o.Region, ubr)
+}
+
+// UBR returns the stored UBR of an object.
+func (ix *Index) UBR(id uncertain.ID) (geom.Rect, bool) {
+	return ix.lookupUBR(uint32(id))
+}
+
+// Store exposes the underlying page store (for I/O accounting).
+func (ix *Index) Store() *pagestore.Store { return ix.store }
+
+// PrimaryStats reports the octree's shape.
+func (ix *Index) PrimaryStats() octree.Stats { return ix.primary.TreeStats() }
+
+// DB returns the indexed database.
+func (ix *Index) DB() *uncertain.DB { return ix.db }
+
+// Candidate is a PNNQ Step-1 survivor: an object with non-zero probability
+// of being the query's nearest neighbor.
+type Candidate struct {
+	ID      uncertain.ID
+	Region  geom.Rect
+	MinDist float64
+	MaxDist float64
+}
+
+// PossibleNN evaluates PNNQ Step 1: it walks the primary index to the leaf
+// containing q and prunes the leaf's candidate list by min/max distance.
+// The result is exactly the set of objects whose PV-cells contain q.
+func (ix *Index) PossibleNN(q geom.Point) ([]Candidate, error) {
+	entries, err := ix.primary.PointQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) == 0 {
+		return nil, nil
+	}
+	// Deduplicate (an object appears once per overlapping leaf page set —
+	// the point query hits one leaf, but defensive against double inserts).
+	seen := make(map[uint32]bool, len(entries))
+	cands := make([]Candidate, 0, len(entries))
+	bestMax := -1.0
+	for _, e := range entries {
+		if seen[e.ID] {
+			continue
+		}
+		seen[e.ID] = true
+		c := Candidate{
+			ID:      uncertain.ID(e.ID),
+			Region:  e.Region,
+			MinDist: e.Region.MinDist(q),
+			MaxDist: e.Region.MaxDist(q),
+		}
+		if bestMax < 0 || c.MaxDist < bestMax {
+			bestMax = c.MaxDist
+		}
+		cands = append(cands, c)
+	}
+	out := cands[:0]
+	for _, c := range cands {
+		if c.MinDist <= bestMax {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Instances fetches the stored pdf instances for an object from the
+// secondary index (PNNQ Step 2's data access).
+func (ix *Index) Instances(id uncertain.ID) ([]uncertain.Instance, error) {
+	buf, ok, err := ix.secondary.Get(uint32(id))
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("pvindex: object %d not in secondary index", id)
+	}
+	rec, err := decodeRecord(buf)
+	if err != nil {
+		return nil, err
+	}
+	return rec.Instances, nil
+}
+
+// UpdateStats reports the cost of one incremental maintenance operation.
+type UpdateStats struct {
+	Affected  int           // objects whose UBRs were recomputed
+	Examined  int           // objects touched by the range filter
+	SETime    time.Duration // UBR recomputation time
+	IndexTime time.Duration // primary/secondary maintenance time
+	TotalTime time.Duration
+}
+
+// Insert adds object o to the database and incrementally refreshes the
+// index (§VI-B, insertion). The PV-cells of affected objects can only
+// shrink (Lemma 9), so their UBRs are recomputed warm-started from the old
+// UBR as the upper bound.
+func (ix *Index) Insert(o *uncertain.Object) (UpdateStats, error) {
+	var st UpdateStats
+	start := time.Now()
+	defer func() { st.TotalTime = time.Since(start) }()
+
+	if err := ix.db.Add(o); err != nil {
+		return st, err
+	}
+	ix.regionTree.Insert(rtree.Item{Rect: o.Region, ID: uint32(o.ID)})
+
+	// Step 1: UBR of the newcomer over the updated database.
+	t0 := time.Now()
+	newB, seStats := core.ComputeUBR(ix.db, ix.regionTree, o, ix.cfg.SE)
+	st.SETime += time.Since(t0)
+	_ = seStats
+
+	// Step 2: candidate affected set from the primary index.
+	ids, err := ix.primary.RangeIDs(newB)
+	if err != nil {
+		return st, err
+	}
+	st.Examined = len(ids)
+
+	for id := range ids {
+		oid := uncertain.ID(id)
+		if oid == o.ID {
+			continue
+		}
+		other := ix.db.Get(oid)
+		if other == nil {
+			continue
+		}
+		// Lemma 8(3): objects whose regions overlap u(o') are unaffected.
+		if other.Region.Intersects(o.Region) {
+			continue
+		}
+		oldB, ok := ix.lookupUBR(id)
+		if !ok {
+			continue
+		}
+		// Lemma 8(2) via UBRs: disjoint bounding rectangles imply disjoint
+		// PV-cells, hence unaffected.
+		if !oldB.Intersects(newB) {
+			continue
+		}
+		st.Affected++
+
+		// Step 3: warm-started SE (h = old UBR).
+		t1 := time.Now()
+		updated, _ := core.ComputeUBRAfterInsert(ix.db, ix.regionTree, other, oldB, ix.cfg.SE)
+		st.SETime += time.Since(t1)
+
+		// Step 4: drop entries from leaves no longer covered, refresh record.
+		t2 := time.Now()
+		if _, err := ix.primary.RemoveDiff(id, oldB, updated); err != nil {
+			return st, err
+		}
+		rec := record{UBR: updated, Region: other.Region, Instances: other.Instances}
+		if err := ix.secondary.Put(id, encodeRecord(rec)); err != nil {
+			return st, err
+		}
+		st.IndexTime += time.Since(t2)
+	}
+
+	t3 := time.Now()
+	err = ix.addObject(o, newB)
+	st.IndexTime += time.Since(t3)
+	return st, err
+}
+
+// Delete removes the object with the given ID from the database and
+// incrementally refreshes the index (§VI-B, deletion). Affected PV-cells can
+// only grow, so UBRs are recomputed warm-started from the old UBR as the
+// lower bound and entries are added to newly covered leaves.
+func (ix *Index) Delete(id uncertain.ID) (UpdateStats, error) {
+	var st UpdateStats
+	start := time.Now()
+	defer func() { st.TotalTime = time.Since(start) }()
+
+	victim := ix.db.Get(id)
+	if victim == nil {
+		return st, fmt.Errorf("pvindex: delete of unknown object %d", id)
+	}
+	victimUBR, ok := ix.lookupUBR(uint32(id))
+	if !ok {
+		return st, fmt.Errorf("pvindex: object %d missing from secondary index", id)
+	}
+
+	if _, err := ix.db.Remove(id); err != nil {
+		return st, err
+	}
+	ix.regionTree.Delete(rtree.Item{Rect: victim.Region, ID: uint32(id)})
+
+	// Step 2: candidate affected set.
+	ids, err := ix.primary.RangeIDs(victimUBR)
+	if err != nil {
+		return st, err
+	}
+	st.Examined = len(ids)
+
+	// Step 4a: remove the victim's entries and record first, so warm-started
+	// SE and leaf splits see the post-delete state.
+	t0 := time.Now()
+	if _, err := ix.primary.Remove(uint32(id), victimUBR); err != nil {
+		return st, err
+	}
+	if _, err := ix.secondary.Delete(uint32(id)); err != nil {
+		return st, err
+	}
+	st.IndexTime += time.Since(t0)
+
+	for otherID := range ids {
+		oid := uncertain.ID(otherID)
+		if oid == id {
+			continue
+		}
+		other := ix.db.Get(oid)
+		if other == nil {
+			continue
+		}
+		// Lemma 8(3): overlap with the victim means unaffected.
+		if other.Region.Intersects(victim.Region) {
+			continue
+		}
+		oldB, ok := ix.lookupUBR(otherID)
+		if !ok {
+			continue
+		}
+		// Lemma 8(1) via UBRs.
+		if !oldB.Intersects(victimUBR) {
+			continue
+		}
+		st.Affected++
+
+		// Step 3: warm-started SE (l = old UBR).
+		t1 := time.Now()
+		updated, _ := core.ComputeUBRAfterDelete(ix.db, ix.regionTree, other, oldB, ix.cfg.SE)
+		st.SETime += time.Since(t1)
+
+		// Step 4b: extend coverage to newly reached leaves (N′−N).
+		t2 := time.Now()
+		rec := record{UBR: updated, Region: other.Region, Instances: other.Instances}
+		if err := ix.secondary.Put(otherID, encodeRecord(rec)); err != nil {
+			return st, err
+		}
+		if err := ix.primary.InsertDiff(otherID, other.Region, updated, oldB); err != nil {
+			return st, err
+		}
+		st.IndexTime += time.Since(t2)
+	}
+	return st, nil
+}

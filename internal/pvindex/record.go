@@ -1,0 +1,97 @@
+package pvindex
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/uncertain"
+)
+
+// record is the secondary-index payload for one object: its UBR, its
+// uncertainty region, and the discretized pdf (§VI-A: "for every entry ...
+// we store the object's UBR, as well as its uncertainty pdf").
+type record struct {
+	UBR       geom.Rect
+	Region    geom.Rect
+	Instances []uncertain.Instance
+}
+
+// encodeRecord serializes r. Layout:
+//
+//	dim uint16 | nInstances uint32 | UBR lo/hi (2d float64) |
+//	region lo/hi (2d float64) | instances (d+1 float64 each)
+func encodeRecord(r record) []byte {
+	d := r.UBR.Dim()
+	n := len(r.Instances)
+	buf := make([]byte, 2+4+2*8*d+2*8*d+n*(8*d+8))
+	binary.LittleEndian.PutUint16(buf[0:2], uint16(d))
+	binary.LittleEndian.PutUint32(buf[2:6], uint32(n))
+	off := 6
+	putRect := func(rc geom.Rect) {
+		for j := 0; j < d; j++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(rc.Lo[j]))
+			off += 8
+		}
+		for j := 0; j < d; j++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(rc.Hi[j]))
+			off += 8
+		}
+	}
+	putRect(r.UBR)
+	putRect(r.Region)
+	for _, in := range r.Instances {
+		for j := 0; j < d; j++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(in.Pos[j]))
+			off += 8
+		}
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(in.Prob))
+		off += 8
+	}
+	return buf
+}
+
+// decodeRecord parses an encoded record.
+func decodeRecord(buf []byte) (record, error) {
+	if len(buf) < 6 {
+		return record{}, fmt.Errorf("pvindex: record too short (%d bytes)", len(buf))
+	}
+	d := int(binary.LittleEndian.Uint16(buf[0:2]))
+	n := int(binary.LittleEndian.Uint32(buf[2:6]))
+	want := 2 + 4 + 4*8*d + n*(8*d+8)
+	if len(buf) != want {
+		return record{}, fmt.Errorf("pvindex: record length %d, want %d (d=%d, n=%d)", len(buf), want, d, n)
+	}
+	off := 6
+	getRect := func() geom.Rect {
+		lo := make(geom.Point, d)
+		hi := make(geom.Point, d)
+		for j := 0; j < d; j++ {
+			lo[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		for j := 0; j < d; j++ {
+			hi[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		return geom.Rect{Lo: lo, Hi: hi}
+	}
+	rec := record{}
+	rec.UBR = getRect()
+	rec.Region = getRect()
+	if n > 0 {
+		rec.Instances = make([]uncertain.Instance, n)
+		for i := 0; i < n; i++ {
+			p := make(geom.Point, d)
+			for j := 0; j < d; j++ {
+				p[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+			prob := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+			rec.Instances[i] = uncertain.Instance{Pos: p, Prob: prob}
+		}
+	}
+	return rec, nil
+}

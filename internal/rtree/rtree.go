@@ -1,0 +1,616 @@
+// Package rtree implements an R*-tree (Beckmann et al., SIGMOD 1990) over
+// d-dimensional rectangles, the access method the paper uses both as the
+// PNNQ Step-1 baseline (branch-and-prune, Cheng et al. 2004) and as the
+// substrate for nearest-neighbor browsing during PV-index construction
+// (Hjaltason–Samet distance browsing, used by the FS and IS C-set strategies).
+//
+// The tree is main-memory resident but models the paper's disk layout: one
+// leaf node corresponds to one disk page, and every leaf visited during a
+// query counts one I/O against the tree's counter (Figs. 9(c), 9(g)).
+package rtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+
+	"pvoronoi/internal/geom"
+)
+
+// Item is a stored entry: a rectangle and the caller's identifier.
+type Item struct {
+	Rect geom.Rect
+	ID   uint32
+}
+
+// DefaultFanout matches the paper's experimental setting.
+const DefaultFanout = 100
+
+// Tree is an R*-tree. Not safe for concurrent mutation.
+type Tree struct {
+	dim        int
+	maxEntries int
+	minEntries int
+	root       *node
+	size       int
+
+	// leafIO counts leaf-node accesses during queries — the simulated
+	// disk reads of the paper's experiments. Atomic so concurrent readers
+	// (e.g. parallel index construction) do not race.
+	leafIO atomic.Int64
+}
+
+type node struct {
+	level   int // 0 = leaf
+	entries []entry
+}
+
+// entry is either a child pointer (internal nodes) or an item (leaves).
+type entry struct {
+	rect  geom.Rect
+	child *node
+	item  Item
+}
+
+func (n *node) leaf() bool { return n.level == 0 }
+
+func (n *node) mbr() geom.Rect {
+	r := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+// New returns an empty R*-tree for dim-dimensional data with the given
+// fanout (maximum entries per node; DefaultFanout if <= 0). The minimum
+// fill is 40% of the fanout, per the R*-tree paper.
+func New(dim, fanout int) *Tree {
+	if fanout <= 0 {
+		fanout = DefaultFanout
+	}
+	if fanout < 4 {
+		fanout = 4
+	}
+	minE := fanout * 2 / 5
+	if minE < 1 {
+		minE = 1
+	}
+	return &Tree{
+		dim:        dim,
+		maxEntries: fanout,
+		minEntries: minE,
+		root:       &node{level: 0},
+	}
+}
+
+// Len returns the number of stored items.
+func (t *Tree) Len() int { return t.size }
+
+// Dim returns the tree's dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Height returns the tree height (1 for a root-only tree).
+func (t *Tree) Height() int { return t.root.level + 1 }
+
+// LeafIO returns the number of leaf-node accesses recorded since the last
+// ResetLeafIO — the simulated disk reads of the paper's experiments.
+func (t *Tree) LeafIO() int64 { return t.leafIO.Load() }
+
+// ResetLeafIO zeroes the leaf access counter.
+func (t *Tree) ResetLeafIO() { t.leafIO.Store(0) }
+
+// pendingEntry is an entry awaiting (re)insertion at a given level.
+type pendingEntry struct {
+	e     entry
+	level int
+}
+
+// Insert adds an item to the tree.
+func (t *Tree) Insert(item Item) {
+	if item.Rect.Dim() != t.dim {
+		panic(fmt.Sprintf("rtree: item dim %d, tree dim %d", item.Rect.Dim(), t.dim))
+	}
+	t.insertAtLevel(entry{rect: item.Rect, item: item}, 0)
+	t.size++
+}
+
+// insertAtLevel places e into a node at the given level, applying R*
+// overflow treatment (forced reinsert once per level, then split). Forced
+// reinserts are deferred to a worklist so the recursive descent never
+// mutates nodes on its own path.
+func (t *Tree) insertAtLevel(e entry, level int) {
+	queue := []pendingEntry{{e, level}}
+	reinserted := make(map[int]bool)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		split := t.insertRec(t.root, p.e, p.level, reinserted, &queue)
+		if split != nil {
+			// Root split: grow the tree.
+			newRoot := &node{level: t.root.level + 1}
+			newRoot.entries = []entry{
+				{rect: t.root.mbr(), child: t.root},
+				{rect: split.mbr(), child: split},
+			}
+			t.root = newRoot
+		}
+	}
+}
+
+// insertRec descends to the target level, inserts, and handles overflow.
+// It returns a new sibling if n was split. Entries evicted by forced
+// reinsert are appended to queue for the caller's worklist.
+func (t *Tree) insertRec(n *node, e entry, level int, reinserted map[int]bool, queue *[]pendingEntry) *node {
+	if n.level == level {
+		n.entries = append(n.entries, e)
+	} else {
+		idx := t.chooseSubtree(n, e.rect)
+		child := n.entries[idx].child
+		split := t.insertRec(child, e, level, reinserted, queue)
+		n.entries[idx].rect = child.mbr()
+		if split != nil {
+			n.entries = append(n.entries, entry{rect: split.mbr(), child: split})
+		}
+	}
+	if len(n.entries) <= t.maxEntries {
+		return nil
+	}
+	// Overflow treatment: forced reinsert once per level per insertion,
+	// except at the root.
+	if n != t.root && !reinserted[n.level] {
+		reinserted[n.level] = true
+		t.forcedReinsert(n, queue)
+		return nil
+	}
+	return t.splitNode(n)
+}
+
+// chooseSubtree picks the child to descend into, per R*: at the level above
+// leaves minimize overlap enlargement; above that minimize area enlargement.
+func (t *Tree) chooseSubtree(n *node, r geom.Rect) int {
+	best := 0
+	if n.level == 1 {
+		// Minimum overlap enlargement, ties by area enlargement then area.
+		bestOverlap, bestEnl, bestArea := math.Inf(1), math.Inf(1), math.Inf(1)
+		for i, e := range n.entries {
+			enlarged := e.rect.Union(r)
+			var overlapBefore, overlapAfter float64
+			for j, f := range n.entries {
+				if i == j {
+					continue
+				}
+				if inter, ok := e.rect.Intersection(f.rect); ok {
+					overlapBefore += inter.Volume()
+				}
+				if inter, ok := enlarged.Intersection(f.rect); ok {
+					overlapAfter += inter.Volume()
+				}
+			}
+			dOverlap := overlapAfter - overlapBefore
+			enl := enlarged.Volume() - e.rect.Volume()
+			area := e.rect.Volume()
+			if dOverlap < bestOverlap ||
+				(dOverlap == bestOverlap && enl < bestEnl) ||
+				(dOverlap == bestOverlap && enl == bestEnl && area < bestArea) {
+				best, bestOverlap, bestEnl, bestArea = i, dOverlap, enl, area
+			}
+		}
+		return best
+	}
+	bestEnl, bestArea := math.Inf(1), math.Inf(1)
+	for i, e := range n.entries {
+		enl := e.rect.Union(r).Volume() - e.rect.Volume()
+		area := e.rect.Volume()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// forcedReinsert removes the 30% of n's entries whose centers are farthest
+// from n's MBR center and defers them to the worklist (close-reinsert order).
+func (t *Tree) forcedReinsert(n *node, queue *[]pendingEntry) {
+	center := n.mbr().Center()
+	type distEntry struct {
+		e entry
+		d float64
+	}
+	des := make([]distEntry, len(n.entries))
+	for i, e := range n.entries {
+		des[i] = distEntry{e, geom.Dist2(e.rect.Center(), center)}
+	}
+	sort.Slice(des, func(i, j int) bool { return des[i].d < des[j].d })
+	p := len(des) * 3 / 10
+	if p < 1 {
+		p = 1
+	}
+	keep := des[:len(des)-p]
+	evict := des[len(des)-p:]
+	n.entries = n.entries[:0]
+	for _, de := range keep {
+		n.entries = append(n.entries, de.e)
+	}
+	// Close reinsert: nearest evicted entries first.
+	for _, de := range evict {
+		*queue = append(*queue, pendingEntry{de.e, n.level})
+	}
+}
+
+// splitNode performs the R* topological split and returns the new sibling.
+func (t *Tree) splitNode(n *node) *node {
+	entries := n.entries
+	m := t.minEntries
+
+	// Choose split axis: minimize total margin over all distributions.
+	bestAxis, bestMargin := 0, math.Inf(1)
+	for axis := 0; axis < t.dim; axis++ {
+		for _, byUpper := range []bool{false, true} {
+			sortEntries(entries, axis, byUpper)
+			var margin float64
+			for k := m; k <= len(entries)-m; k++ {
+				margin += mbrOf(entries[:k]).Margin() + mbrOf(entries[k:]).Margin()
+			}
+			if margin < bestMargin {
+				bestMargin, bestAxis = margin, axis
+			}
+		}
+	}
+
+	// Choose distribution along the best axis: minimize overlap, tie by area.
+	bestK, bestUpper := -1, false
+	bestOverlap, bestArea := math.Inf(1), math.Inf(1)
+	for _, byUpper := range []bool{false, true} {
+		sortEntries(entries, bestAxis, byUpper)
+		for k := m; k <= len(entries)-m; k++ {
+			left, right := mbrOf(entries[:k]), mbrOf(entries[k:])
+			var overlap float64
+			if inter, ok := left.Intersection(right); ok {
+				overlap = inter.Volume()
+			}
+			area := left.Volume() + right.Volume()
+			if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+				bestOverlap, bestArea, bestK, bestUpper = overlap, area, k, byUpper
+			}
+		}
+	}
+	sortEntries(entries, bestAxis, bestUpper)
+
+	sibling := &node{level: n.level}
+	sibling.entries = append(sibling.entries, entries[bestK:]...)
+	n.entries = entries[:bestK]
+	return sibling
+}
+
+func sortEntries(es []entry, axis int, byUpper bool) {
+	sort.Slice(es, func(i, j int) bool {
+		if byUpper {
+			if es[i].rect.Hi[axis] != es[j].rect.Hi[axis] {
+				return es[i].rect.Hi[axis] < es[j].rect.Hi[axis]
+			}
+			return es[i].rect.Lo[axis] < es[j].rect.Lo[axis]
+		}
+		if es[i].rect.Lo[axis] != es[j].rect.Lo[axis] {
+			return es[i].rect.Lo[axis] < es[j].rect.Lo[axis]
+		}
+		return es[i].rect.Hi[axis] < es[j].rect.Hi[axis]
+	})
+}
+
+func mbrOf(es []entry) geom.Rect {
+	r := es[0].rect
+	for _, e := range es[1:] {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+// Delete removes the item with the given rect and ID. It reports whether an
+// item was removed. Underfull nodes are condensed and their entries
+// reinserted, per the classic R-tree deletion algorithm.
+func (t *Tree) Delete(item Item) bool {
+	path, idx := t.findLeaf(t.root, item, nil)
+	if path == nil {
+		return false
+	}
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(path)
+	// Shrink the root while it is an internal node with a single child.
+	for !t.root.leaf() && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+	}
+	if len(t.root.entries) == 0 && !t.root.leaf() {
+		t.root = &node{level: 0}
+	}
+	return true
+}
+
+// findLeaf returns the root-to-leaf path to the leaf containing item and the
+// entry index within that leaf, or (nil, -1).
+func (t *Tree) findLeaf(n *node, item Item, path []*node) ([]*node, int) {
+	path = append(path, n)
+	if n.leaf() {
+		for i, e := range n.entries {
+			if e.item.ID == item.ID && e.rect.Equal(item.Rect) {
+				return path, i
+			}
+		}
+		return nil, -1
+	}
+	for _, e := range n.entries {
+		if e.rect.ContainsRect(item.Rect) {
+			if p, i := t.findLeaf(e.child, item, path); p != nil {
+				return p, i
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condense walks the deletion path bottom-up, removing underfull nodes and
+// reinserting their entries at their original level.
+func (t *Tree) condense(path []*node) {
+	type orphan struct {
+		e     entry
+		level int
+	}
+	var orphans []orphan
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i]
+		parent := path[i-1]
+		childIdx := -1
+		for j, e := range parent.entries {
+			if e.child == n {
+				childIdx = j
+				break
+			}
+		}
+		if childIdx < 0 {
+			continue
+		}
+		if len(n.entries) < t.minEntries {
+			parent.entries = append(parent.entries[:childIdx], parent.entries[childIdx+1:]...)
+			for _, e := range n.entries {
+				orphans = append(orphans, orphan{e, n.level})
+			}
+		} else {
+			parent.entries[childIdx].rect = n.mbr()
+		}
+	}
+	// Entries of a dissolved node re-enter at the node's level.
+	for _, o := range orphans {
+		t.insertAtLevel(o.e, o.level)
+	}
+}
+
+// Search appends to dst all items whose rectangles intersect r, counting
+// leaf I/O, and returns the extended slice.
+func (t *Tree) Search(r geom.Rect, dst []Item) []Item {
+	return t.search(t.root, r, dst)
+}
+
+func (t *Tree) search(n *node, r geom.Rect, dst []Item) []Item {
+	if n.leaf() {
+		t.leafIO.Add(1)
+		for _, e := range n.entries {
+			if e.rect.Intersects(r) {
+				dst = append(dst, e.item)
+			}
+		}
+		return dst
+	}
+	for _, e := range n.entries {
+		if e.rect.Intersects(r) {
+			dst = t.search(e.child, r, dst)
+		}
+	}
+	return dst
+}
+
+// All appends every stored item to dst.
+func (t *Tree) All(dst []Item) []Item {
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf() {
+			for _, e := range n.entries {
+				dst = append(dst, e.item)
+			}
+			return
+		}
+		for _, e := range n.entries {
+			walk(e.child)
+		}
+	}
+	walk(t.root)
+	return dst
+}
+
+// DistFunc maps an item rectangle to a non-negative key for NN browsing.
+// It must be lower-bounded by the MinDist of any rectangle enclosing the
+// item's rectangle (true for both MinDist itself and center distance).
+type DistFunc func(geom.Rect) float64
+
+// MinDistTo returns the DistFunc ordering by minimum distance from q.
+func MinDistTo(q geom.Point) DistFunc {
+	return func(r geom.Rect) float64 { return r.MinDist(q) }
+}
+
+// CenterDistTo returns the DistFunc ordering by distance of rectangle
+// centers from q — the "mean position" ordering of the FS strategy.
+func CenterDistTo(q geom.Point) DistFunc {
+	return func(r geom.Rect) float64 { return geom.Dist(r.Center(), q) }
+}
+
+// nnHeapItem is a priority-queue element for distance browsing.
+type nnHeapItem struct {
+	dist  float64
+	node  *node // nil for item entries
+	item  Item
+	order int64 // tie-break for determinism
+}
+
+type nnHeap []nnHeapItem
+
+func (h nnHeap) Len() int { return len(h) }
+func (h nnHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].order < h[j].order
+}
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnHeapItem)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// NNIter browses items in non-decreasing order of a distance function
+// (Hjaltason & Samet, TODS 1999). Create with NewNNIter; call Next until
+// ok == false.
+type NNIter struct {
+	tree    *Tree
+	q       geom.Point
+	distFn  DistFunc
+	h       nnHeap
+	counter int64
+}
+
+// NewNNIter starts an incremental NN browse from q. distFn orders the
+// results; pass MinDistTo(q) or CenterDistTo(q).
+func NewNNIter(t *Tree, q geom.Point, distFn DistFunc) *NNIter {
+	it := &NNIter{tree: t, q: q, distFn: distFn}
+	if t.size > 0 {
+		heap.Push(&it.h, nnHeapItem{dist: t.root.mbr().MinDist(q), node: t.root})
+	}
+	return it
+}
+
+// Next returns the next item in distance order.
+func (it *NNIter) Next() (Item, float64, bool) {
+	for it.h.Len() > 0 {
+		top := heap.Pop(&it.h).(nnHeapItem)
+		if top.node == nil {
+			return top.item, top.dist, true
+		}
+		n := top.node
+		if n.leaf() {
+			it.tree.leafIO.Add(1)
+			for _, e := range n.entries {
+				it.counter++
+				heap.Push(&it.h, nnHeapItem{dist: it.distFn(e.rect), item: e.item, order: it.counter})
+			}
+			continue
+		}
+		for _, e := range n.entries {
+			it.counter++
+			heap.Push(&it.h, nnHeapItem{dist: e.rect.MinDist(it.q), node: e.child, order: it.counter})
+		}
+	}
+	return Item{}, 0, false
+}
+
+// PossibleNN implements the paper's R-tree baseline for PNNQ Step 1
+// (branch-and-prune, Cheng et al. 2004): it returns the IDs of all items o
+// with distmin(o, q) <= min_o' distmax(o', q), visiting only nodes whose
+// MinDist does not exceed the running best max-distance.
+func (t *Tree) PossibleNN(q geom.Point) []uint32 {
+	if t.size == 0 {
+		return nil
+	}
+	bestMax := math.Inf(1)
+	type cand struct {
+		id      uint32
+		minDist float64
+	}
+	var cands []cand
+
+	var h nnHeap
+	var counter int64
+	heap.Push(&h, nnHeapItem{dist: t.root.mbr().MinDist(q), node: t.root})
+	for h.Len() > 0 {
+		top := heap.Pop(&h).(nnHeapItem)
+		if top.dist > bestMax {
+			break // all remaining nodes are farther than the pruning bound
+		}
+		n := top.node
+		if n.leaf() {
+			t.leafIO.Add(1)
+			for _, e := range n.entries {
+				minD := e.rect.MinDist(q)
+				if maxD := e.rect.MaxDist(q); maxD < bestMax {
+					bestMax = maxD
+				}
+				cands = append(cands, cand{e.item.ID, minD})
+			}
+			continue
+		}
+		for _, e := range n.entries {
+			d := e.rect.MinDist(q)
+			if d <= bestMax {
+				counter++
+				heap.Push(&h, nnHeapItem{dist: d, node: e.child, order: counter})
+			}
+		}
+	}
+	var out []uint32
+	for _, c := range cands {
+		if c.minDist <= bestMax {
+			out = append(out, c.id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// checkInvariants validates structural invariants; used by tests.
+func (t *Tree) checkInvariants() error {
+	var count int
+	var walk func(n *node, isRoot bool) (geom.Rect, error)
+	walk = func(n *node, isRoot bool) (geom.Rect, error) {
+		if len(n.entries) == 0 {
+			if isRoot && n.leaf() {
+				return geom.Rect{}, nil
+			}
+			return geom.Rect{}, fmt.Errorf("empty non-root node at level %d", n.level)
+		}
+		if !isRoot && len(n.entries) < t.minEntries {
+			return geom.Rect{}, fmt.Errorf("underfull node: %d < %d", len(n.entries), t.minEntries)
+		}
+		if len(n.entries) > t.maxEntries {
+			return geom.Rect{}, fmt.Errorf("overfull node: %d > %d", len(n.entries), t.maxEntries)
+		}
+		if n.leaf() {
+			count += len(n.entries)
+			return n.mbr(), nil
+		}
+		for _, e := range n.entries {
+			if e.child.level != n.level-1 {
+				return geom.Rect{}, fmt.Errorf("level mismatch: child %d under parent %d", e.child.level, n.level)
+			}
+			childMBR, err := walk(e.child, false)
+			if err != nil {
+				return geom.Rect{}, err
+			}
+			if !e.rect.Equal(childMBR) {
+				return geom.Rect{}, fmt.Errorf("stale MBR at level %d: have %v, children span %v", n.level, e.rect, childMBR)
+			}
+		}
+		return n.mbr(), nil
+	}
+	if _, err := walk(t.root, true); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("size mismatch: counted %d, recorded %d", count, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package uncertain
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pvoronoi/internal/geom"
+)
+
+func region2D(lox, loy, hix, hiy float64) geom.Rect {
+	return geom.NewRect(geom.Point{lox, loy}, geom.Point{hix, hiy})
+}
+
+func TestValidate(t *testing.T) {
+	o := &Object{ID: 1, Region: region2D(0, 0, 10, 10)}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("region-only object should validate: %v", err)
+	}
+
+	o.Instances = []Instance{
+		{Pos: geom.Point{1, 1}, Prob: 0.5},
+		{Pos: geom.Point{9, 9}, Prob: 0.5},
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("valid instances rejected: %v", err)
+	}
+
+	o.Instances[0].Pos = geom.Point{11, 1} // outside region
+	if err := o.Validate(); err == nil {
+		t.Fatal("instance outside region accepted")
+	}
+
+	o.Instances[0].Pos = geom.Point{1, 1}
+	o.Instances[0].Prob = 0.9 // sums to 1.4
+	if err := o.Validate(); err == nil {
+		t.Fatal("probabilities not summing to 1 accepted")
+	}
+
+	o.Instances[0].Prob = -0.5
+	if err := o.Validate(); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+}
+
+func TestSampleInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	region := region2D(10, 20, 14, 26)
+	for _, kind := range []PDFKind{PDFUniform, PDFGaussian} {
+		ins := SampleInstances(region, kind, 500, rng)
+		if len(ins) != 500 {
+			t.Fatalf("got %d instances", len(ins))
+		}
+		var sum float64
+		for _, in := range ins {
+			if !region.Contains(in.Pos) {
+				t.Fatalf("kind %d: instance %v outside region", kind, in.Pos)
+			}
+			sum += in.Prob
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("kind %d: probs sum to %g", kind, sum)
+		}
+	}
+}
+
+func TestSampleInstancesGaussianConcentration(t *testing.T) {
+	// Gaussian samples should concentrate near the center more than uniform.
+	rng := rand.New(rand.NewSource(17))
+	region := region2D(0, 0, 100, 100)
+	center := region.Center()
+	meanDist := func(kind PDFKind) float64 {
+		ins := SampleInstances(region, kind, 2000, rng)
+		var s float64
+		for _, in := range ins {
+			s += geom.Dist(in.Pos, center)
+		}
+		return s / float64(len(ins))
+	}
+	if g, u := meanDist(PDFGaussian), meanDist(PDFUniform); g >= u {
+		t.Errorf("gaussian mean dist %g >= uniform %g", g, u)
+	}
+}
+
+func TestMinMaxDistDelegation(t *testing.T) {
+	o := &Object{ID: 1, Region: region2D(1, 1, 3, 3)}
+	p := geom.Point{0, 2}
+	if got := o.MinDist(p); got != 1 {
+		t.Errorf("MinDist = %g", got)
+	}
+	if got, want := o.MaxDist(p), math.Sqrt(10); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MaxDist = %g, want %g", got, want)
+	}
+}
+
+func TestDBAddRemove(t *testing.T) {
+	db := NewDB(geom.UnitCube(2, 100))
+	for i := 0; i < 10; i++ {
+		o := &Object{ID: ID(i), Region: region2D(float64(i), 0, float64(i+1), 1)}
+		if err := db.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Len() != 10 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if err := db.Add(&Object{ID: 3, Region: region2D(0, 0, 1, 1)}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("duplicate add: %v", err)
+	}
+	got, err := db.Remove(3)
+	if err != nil || got.ID != 3 {
+		t.Fatalf("Remove(3) = %v, %v", got, err)
+	}
+	if db.Get(3) != nil {
+		t.Fatal("removed object still retrievable")
+	}
+	if _, err := db.Remove(3); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("double remove: %v", err)
+	}
+	// Remaining objects all retrievable with consistent IDs.
+	for i := 0; i < 10; i++ {
+		if i == 3 {
+			continue
+		}
+		o := db.Get(ID(i))
+		if o == nil || o.ID != ID(i) {
+			t.Fatalf("Get(%d) = %v", i, o)
+		}
+	}
+	if db.Len() != 9 {
+		t.Fatalf("Len after remove = %d", db.Len())
+	}
+}
+
+func TestDBDimensionMismatch(t *testing.T) {
+	db := NewDB(geom.UnitCube(3, 100))
+	err := db.Add(&Object{ID: 1, Region: region2D(0, 0, 1, 1)})
+	if err == nil {
+		t.Fatal("2D object accepted into 3D database")
+	}
+}
+
+func TestDBClone(t *testing.T) {
+	db := NewDB(geom.UnitCube(2, 100))
+	for i := 0; i < 5; i++ {
+		_ = db.Add(&Object{ID: ID(i), Region: region2D(float64(i), 0, float64(i+1), 1)})
+	}
+	c := db.Clone()
+	if _, err := c.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	if db.Get(2) == nil {
+		t.Fatal("removal from clone affected original")
+	}
+	if c.Get(2) != nil {
+		t.Fatal("clone removal ineffective")
+	}
+	if err := c.Add(&Object{ID: 100, Region: region2D(0, 0, 1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if db.Get(100) != nil {
+		t.Fatal("addition to clone affected original")
+	}
+}

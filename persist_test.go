@@ -1,0 +1,58 @@
+package pvoronoi
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPublicSaveLoad(t *testing.T) {
+	db := buildSmallDB(t, 60, true)
+	ix, err := Build(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(&buf, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Point{500, 500}
+	a, err := ix.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("loaded index returned %d results, original %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Prob != b[i].Prob {
+			t.Fatalf("result %d differs after load", i)
+		}
+	}
+}
+
+func TestPublicBuildParallel(t *testing.T) {
+	db := buildSmallDB(t, 80, false)
+	serial, err := Build(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := BuildParallel(db, testOptions(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range db.Objects() {
+		a, _ := serial.UBR(o.ID)
+		b, _ := parallel.UBR(o.ID)
+		if !a.Equal(b) {
+			t.Fatalf("object %d: UBRs differ between serial and parallel build", o.ID)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package pvoronoi
+
+import "math/rand"
+
+// newRand builds a seeded PRNG for the sampling helpers.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
