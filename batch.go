@@ -1,0 +1,77 @@
+package pvoronoi
+
+import (
+	"runtime"
+	"sync"
+)
+
+// batchRun evaluates fn for every query point using a bounded worker pool.
+// Results land positionally; the first error aborts outstanding work (workers
+// drain quickly because submission stops). workers <= 0 uses GOMAXPROCS.
+func batchRun[T any](qs []Point, workers int, fn func(Point) (T, error)) ([]T, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(qs) {
+		workers = len(qs)
+	}
+	out := make([]T, len(qs))
+	if len(qs) == 0 {
+		return out, nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		failed   = make(chan struct{})
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				r, err := fn(qs[i])
+				if err != nil {
+					errOnce.Do(func() {
+						firstErr = err
+						close(failed)
+					})
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+submit:
+	for i := range qs {
+		select {
+		case jobs <- i:
+		case <-failed:
+			break submit
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// QueryBatch evaluates a full PNNQ for every point in qs using a pool of
+// workers (GOMAXPROCS when workers <= 0). Each query runs under the index's
+// shared read lock, so batches interleave safely with concurrent Insert and
+// Delete calls; result i corresponds to qs[i] and is identical to what a
+// sequential Query(qs[i]) would return against the same index state. The
+// first failing query (e.g. a point outside the domain) fails the batch.
+func (ix *Index) QueryBatch(qs []Point, workers int) ([][]Result, error) {
+	return batchRun(qs, workers, ix.Query)
+}
+
+// PossibleNNBatch evaluates PNNQ Step 1 for every point in qs using a pool
+// of workers (GOMAXPROCS when workers <= 0). Semantics match QueryBatch.
+func (ix *Index) PossibleNNBatch(qs []Point, workers int) ([][]Candidate, error) {
+	return batchRun(qs, workers, ix.PossibleNN)
+}

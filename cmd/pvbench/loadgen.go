@@ -1,0 +1,295 @@
+package main
+
+// Load-generator mode: sustained query traffic against a PV-index, either
+// through a running pvserve instance over HTTP or through the in-process
+// batch API. Arrivals are open-loop (generated at the target QPS regardless
+// of completion pace), so reported latency includes queueing delay when the
+// index can't keep up — the honest way to measure a serving system.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pvoronoi"
+	"pvoronoi/internal/dataset"
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/stats"
+)
+
+// loadConfig bundles the load-generator parameters.
+type loadConfig struct {
+	URL      string        // pvserve base URL; empty = in-process batch API
+	QPS      int           // target arrivals per second; 0 = max throughput
+	Duration time.Duration // measurement window
+	Conns    int           // HTTP connections / batch workers
+	Batch    int           // max batch size for the in-process dispatcher
+	Step1    bool          // PossibleNN only instead of the full PNNQ
+
+	// In-process dataset parameters.
+	N, Dim, Instances int
+	Seed              int64
+}
+
+// runLoad executes the load test and prints a throughput/latency report.
+func runLoad(cfg loadConfig) error {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 16
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+
+	if cfg.URL != "" {
+		return runLoadHTTP(cfg)
+	}
+	return runLoadInProcess(cfg)
+}
+
+// collector gathers per-query latencies from many goroutines.
+type collector struct {
+	mu        sync.Mutex
+	latencies stats.Sample
+	completed int64
+	errors    int64
+	shed      atomic.Int64 // paced arrivals dropped because the queue was full
+}
+
+func (c *collector) record(d time.Duration, n int, failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if failed {
+		c.errors += int64(n)
+		return
+	}
+	c.completed += int64(n)
+	for i := 0; i < n; i++ {
+		c.latencies.Add(float64(d.Microseconds()))
+	}
+}
+
+func (c *collector) report(mode string, cfg loadConfig, elapsed time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	target := "max"
+	if cfg.QPS > 0 {
+		target = fmt.Sprintf("%d", cfg.QPS)
+	}
+	fmt.Printf("\nload report (%s)\n", mode)
+	fmt.Printf("  target QPS        %s\n", target)
+	fmt.Printf("  duration          %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  completed         %d\n", c.completed)
+	fmt.Printf("  errors            %d\n", c.errors)
+	fmt.Printf("  throughput        %.1f queries/s\n", float64(c.completed)/elapsed.Seconds())
+	fmt.Printf("  latency p50       %v\n", time.Duration(c.latencies.Percentile(50))*time.Microsecond)
+	fmt.Printf("  latency p95       %v\n", time.Duration(c.latencies.Percentile(95))*time.Microsecond)
+	fmt.Printf("  latency p99       %v\n", time.Duration(c.latencies.Percentile(99))*time.Microsecond)
+	fmt.Printf("  latency mean      %v\n", time.Duration(c.latencies.Mean())*time.Microsecond)
+	if shed := c.shed.Load(); shed > 0 {
+		offered := shed + c.completed + c.errors
+		fmt.Printf("  shed arrivals     %d of %d offered (%.1f%%) — consumers saturated\n",
+			shed, offered, 100*float64(shed)/float64(offered))
+	}
+}
+
+// arrival is one generated query with its arrival timestamp (latency is
+// measured from arrival, so queueing delay counts).
+type arrival struct {
+	q  pvoronoi.Point
+	at time.Time
+}
+
+// generateArrivals feeds the queue at the target QPS until the deadline,
+// counting paced arrivals it had to drop into shed. QPS <= 0 keeps the
+// queue saturated (max-throughput mode; saturation there is by design, not
+// shed load).
+func generateArrivals(queue chan<- arrival, domain geom.Rect, qps int, deadline time.Time, seed int64, shed *atomic.Int64) {
+	rng := rand.New(rand.NewSource(seed))
+	randPoint := func() pvoronoi.Point {
+		p := make(pvoronoi.Point, domain.Dim())
+		for j := range p {
+			p[j] = domain.Lo[j] + rng.Float64()*(domain.Hi[j]-domain.Lo[j])
+		}
+		return p
+	}
+	if qps <= 0 {
+		for time.Now().Before(deadline) {
+			select {
+			case queue <- arrival{q: randPoint(), at: time.Now()}:
+			default:
+				// Queue full: consumers are saturated; yield briefly.
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+		close(queue)
+		return
+	}
+	interval := time.Second / time.Duration(qps)
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		now := time.Now()
+		if now.Before(next) {
+			time.Sleep(next.Sub(now))
+		}
+		next = next.Add(interval)
+		select {
+		case queue <- arrival{q: randPoint(), at: time.Now()}:
+		default:
+			// Queue overflow is shed load; keep the arrival clock honest
+			// rather than blocking the generator, but count the drop.
+			shed.Add(1)
+		}
+	}
+	close(queue)
+}
+
+// runLoadInProcess builds a synthetic index and drives it through the batch
+// API: a dispatcher drains the arrival queue into batches of at most
+// cfg.Batch and submits each batch to QueryBatch/PossibleNNBatch with
+// cfg.Conns workers.
+func runLoadInProcess(cfg loadConfig) error {
+	fmt.Printf("building PV-index over %d objects (d=%d) for in-process load test...\n", cfg.N, cfg.Dim)
+	db := dataset.Synthetic(dataset.SyntheticParams{
+		N: cfg.N, Dim: cfg.Dim, MaxSide: 60, Instances: cfg.Instances, Seed: cfg.Seed,
+	})
+	t0 := time.Now()
+	ix, err := pvoronoi.BuildParallel(db, pvoronoi.DefaultOptions(), 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("built in %v\n", time.Since(t0).Round(time.Millisecond))
+
+	col := &collector{}
+	queue := make(chan arrival, 4*cfg.Batch*cfg.Conns)
+	deadline := time.Now().Add(cfg.Duration)
+	go generateArrivals(queue, db.Domain, cfg.QPS, deadline, cfg.Seed+99, &col.shed)
+
+	start := time.Now()
+	for {
+		first, ok := <-queue
+		if !ok {
+			break
+		}
+		batch := []arrival{first}
+	drain:
+		for len(batch) < cfg.Batch {
+			select {
+			case a, ok := <-queue:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, a)
+			default:
+				break drain
+			}
+		}
+		points := make([]pvoronoi.Point, len(batch))
+		for i, a := range batch {
+			points[i] = a.q
+		}
+		var batchErr error
+		if cfg.Step1 {
+			_, batchErr = ix.PossibleNNBatch(points, cfg.Conns)
+		} else {
+			_, batchErr = ix.QueryBatch(points, cfg.Conns)
+		}
+		done := time.Now()
+		if batchErr != nil {
+			col.record(0, len(batch), true)
+			continue
+		}
+		for _, a := range batch {
+			col.record(done.Sub(a.at), 1, false)
+		}
+	}
+	elapsed := time.Since(start)
+
+	mode := fmt.Sprintf("in-process batch, n=%d d=%d batch<=%d workers=%d", cfg.N, cfg.Dim, cfg.Batch, cfg.Conns)
+	col.report(mode, cfg, elapsed)
+	io := ix.IO()
+	fmt.Printf("  store I/O         %d reads, %d writes\n", io.Reads, io.Writes)
+	return nil
+}
+
+// runLoadHTTP drives a running pvserve instance: cfg.Conns workers consume
+// the arrival queue and each issues one HTTP query per arrival.
+func runLoadHTTP(cfg loadConfig) error {
+	domain, err := fetchDomain(cfg.URL)
+	if err != nil {
+		return fmt.Errorf("fetching /v1/stats from %s: %w", cfg.URL, err)
+	}
+	path := "/v1/query"
+	if cfg.Step1 {
+		path = "/v1/possiblenn"
+	}
+	client := &http.Client{
+		Transport: &http.Transport{MaxIdleConnsPerHost: cfg.Conns},
+		Timeout:   30 * time.Second,
+	}
+
+	col := &collector{}
+	queue := make(chan arrival, 8192)
+	deadline := time.Now().Add(cfg.Duration)
+	go generateArrivals(queue, domain, cfg.QPS, deadline, cfg.Seed+99, &col.shed)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Conns; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range queue {
+				body, _ := json.Marshal(map[string]any{"point": []float64(a.q)})
+				resp, err := client.Post(cfg.URL+path, "application/json", bytes.NewReader(body))
+				if err != nil {
+					col.record(0, 1, true)
+					continue
+				}
+				// Drain so the keep-alive connection is reusable.
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				col.record(time.Since(a.at), 1, resp.StatusCode != http.StatusOK)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	col.report(fmt.Sprintf("HTTP %s%s, conns=%d", cfg.URL, path, cfg.Conns), cfg, elapsed)
+	return nil
+}
+
+// fetchDomain reads the served dataset's domain rectangle from /v1/stats.
+func fetchDomain(url string) (geom.Rect, error) {
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return geom.Rect{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var stats struct {
+		Domain struct {
+			Lo []float64 `json:"lo"`
+			Hi []float64 `json:"hi"`
+		} `json:"domain"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		return geom.Rect{}, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	if len(stats.Domain.Lo) == 0 {
+		return geom.Rect{}, fmt.Errorf("stats response has no domain")
+	}
+	return geom.NewRect(geom.Point(stats.Domain.Lo), geom.Point(stats.Domain.Hi)), nil
+}

@@ -1,20 +1,25 @@
 // Command pvbench regenerates the paper's evaluation (§VII): every figure of
 // Figs. 9 and 10 plus Table I and the parameter-sensitivity study, on
-// synthetic and simulated real datasets.
+// synthetic and simulated real datasets. It also doubles as a load generator
+// for the serving layer (the "load" experiment).
 //
 // Usage:
 //
 //	pvbench [flags] <experiment>...
 //	pvbench -scale 0.05 fig9a fig9c
 //	pvbench -scale 0.02 all
+//	pvbench -qps 500 -load-duration 10s load             # in-process batch API
+//	pvbench -url http://localhost:8080 -qps 200 load     # against pvserve
 //
 // Experiments: fig9a fig9b fig9c fig9d fig9e fig9f fig9g fig9h
 //
 //	fig10a fig10b fig10c fig10d fig10e fig10f fig10g fig10h fig10i
-//	params table1 all
+//	params table1 ablations all load
 //
-// Results print as aligned tables; EXPERIMENTS.md records the paper-reported
-// shapes next to measured values.
+// Results print as aligned tables; the load experiment prints achieved
+// throughput and p50/p95/p99 latency (open-loop arrivals, so latency
+// includes queueing delay once the index saturates). "all" covers the paper
+// experiments only — load runs when named explicitly.
 package main
 
 import (
@@ -34,6 +39,16 @@ func main() {
 		instances = flag.Int("instances", 100, "pdf samples per object (paper: 500)")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		verbose   = flag.Bool("v", false, "progress logging")
+
+		// Load-generator flags (the "load" experiment).
+		url     = flag.String("url", "", "load: pvserve base URL (empty = in-process batch API)")
+		qps     = flag.Int("qps", 0, "load: target queries per second (0 = max throughput)")
+		loadDur = flag.Duration("load-duration", 10*time.Second, "load: measurement window")
+		conns   = flag.Int("conns", 16, "load: HTTP connections / batch workers")
+		batch   = flag.Int("batch", 32, "load: max in-process batch size")
+		step1   = flag.Bool("step1only", false, "load: PossibleNN only (skip Step 2)")
+		loadN   = flag.Int("n", 20000, "load: object count for the in-process index")
+		loadD   = flag.Int("d", 2, "load: dimensionality for the in-process index")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -88,21 +103,49 @@ func main() {
 	}
 
 	var names []string
+	wantLoad := false
+	allSeen := false
 	for _, arg := range flag.Args() {
-		if arg == "all" {
-			names = order
-			break
+		switch {
+		case arg == "load":
+			wantLoad = true
+		case arg == "all":
+			allSeen = true
+		default:
+			if _, ok := experiments[arg]; !ok {
+				fmt.Fprintf(os.Stderr, "pvbench: unknown experiment %q\n", arg)
+				usage()
+				os.Exit(2)
+			}
+			names = append(names, arg)
 		}
-		if _, ok := experiments[arg]; !ok {
-			fmt.Fprintf(os.Stderr, "pvbench: unknown experiment %q\n", arg)
-			usage()
-			os.Exit(2)
+	}
+	if allSeen {
+		names = order
+	}
+	if wantLoad {
+		err := runLoad(loadConfig{
+			URL:       *url,
+			QPS:       *qps,
+			Duration:  *loadDur,
+			Conns:     *conns,
+			Batch:     *batch,
+			Step1:     *step1,
+			N:         *loadN,
+			Dim:       *loadD,
+			Instances: *instances,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvbench: load: %v\n", err)
+			os.Exit(1)
 		}
-		names = append(names, arg)
 	}
 
-	fmt.Printf("pvbench: scale=%.3g queries=%d instances=%d seed=%d\n\n",
-		p.Scale, p.Queries, p.Instances, p.Seed)
+	if len(names) > 0 {
+		fmt.Printf("pvbench: scale=%.3g queries=%d instances=%d seed=%d\n\n",
+			p.Scale, p.Queries, p.Instances, p.Seed)
+	}
 	for _, name := range names {
 		start := time.Now()
 		for _, tab := range experiments[name](p) {
@@ -131,14 +174,17 @@ experiments:
   fig10a..fig10i                construction & update performance (Fig. 10)
   params                        parameter sensitivity study (§VII-C a)
   all                           everything above, in order
+  load                          load generator: throughput + p50/p95/p99
 
 flags:
 `)
 	flag.PrintDefaults()
 	fmt.Fprintf(os.Stderr, `
 examples:
-  pvbench fig9a                 # query time vs |S|, laptop scale
-  pvbench -scale 0.2 -v all     # larger run with progress logs
-  pvbench -scale 1 fig9a        # paper-scale (slow: 100k objects)
+  pvbench fig9a                         # query time vs |S|, laptop scale
+  pvbench -scale 0.2 -v all             # larger run with progress logs
+  pvbench -scale 1 fig9a                # paper-scale (slow: 100k objects)
+  pvbench -qps 500 load                 # paced load on the in-process batch API
+  pvbench -url http://localhost:8080 -qps 200 -conns 32 load
 `)
 }

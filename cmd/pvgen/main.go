@@ -1,11 +1,21 @@
 // Command pvgen generates the paper's evaluation datasets and writes them to
-// a file loadable by pvquery (and reusable across runs).
+// a file loadable by pvquery and pvserve (and reusable across runs).
 //
 // Usage:
 //
 //	pvgen -out data.gob -n 20000 -d 3 -uo 60 -instances 500
 //	pvgen -out roads.gob -real roads
 //	pvgen -out air.gob -real airports -n 5000
+//
+// Flags: -out (required) names the output file; -n, -d, -uo, -instances and
+// -seed parameterize synthetic generation (object count, dimensionality, max
+// uncertainty-region side, pdf samples per object, RNG seed); -clustered
+// switches synthetic placement from uniform to Gaussian clusters; -real
+// selects a simulated real dataset (roads | rrlines | airports) instead.
+//
+// Output format: a single gob-encoded dataset image (domain rectangle plus
+// every object's ID, region and instances — see internal/dataset/file.go).
+// On success pvgen prints a one-line summary of what it wrote to stdout.
 package main
 
 import (

@@ -6,6 +6,19 @@
 //	pvquery -data data.gob -q "5000,5000,100"          # one query point
 //	pvquery -data data.gob -random 20                  # 20 random queries
 //	pvquery -n 5000 -d 2 -random 5 -step1only          # generate in-process
+//
+// Flags: -data loads a pvgen dataset (omitted: -n/-d/-uo/-instances/-seed
+// generate one in-process); -q takes one comma-separated query point and
+// -random adds that many uniform query points; -step1only skips probability
+// computation; -cset picks the C-set strategy (all | fs | is); -workers
+// enables the parallel builder; -saveindex/-loadindex persist and reuse the
+// built index across runs.
+//
+// Output format (stdout, human-readable): a build or load summary line,
+// then per query one header line — "q=[...]: N possible NNs (Step 1 took
+// ...)" — followed by up to ten result lines. With -step1only each line is
+// "object <id> dist [min, max]"; otherwise Step 2 runs and each line is
+// "object <id> p=<probability>", sorted by decreasing probability.
 package main
 
 import (

@@ -1,0 +1,124 @@
+// Command pvserve serves probabilistic nearest neighbor queries over a
+// PV-index via an HTTP JSON API — the concurrent serving layer on top of the
+// index of Zhang et al., ICDE 2013. Any number of in-flight queries evaluate
+// in parallel against the shared index; insert and delete requests apply the
+// paper's incremental maintenance and serialize as exclusive writers.
+//
+// Usage:
+//
+//	pvserve -n 20000 -d 2                      # synthetic dataset, port 8080
+//	pvserve -data roads.gob -addr :9000        # dataset from pvgen
+//	pvserve -loadindex ix.pvidx -data d.gob    # pre-built index from pvquery
+//
+// Endpoints (request and response bodies are JSON; see server.go routes):
+//
+//	POST /v1/query        full PNNQ: candidates + qualification probabilities
+//	POST /v1/possiblenn   PNNQ Step 1 only (index retrieval, no pdf math)
+//	POST /v1/possibleknn  probabilistic k-NN membership probabilities
+//	POST /v1/groupnn      probabilistic group NN (agg: sum or max)
+//	POST /v1/insert       add an object, incremental index maintenance
+//	POST /v1/delete       remove an object, incremental index maintenance
+//	GET  /v1/stats        per-endpoint latency percentiles, leaf I/O, counts
+//	GET  /healthz         liveness probe
+//
+// Every query response carries its own server-side latency in microseconds
+// and (for /v1/query, /v1/possiblenn) the exact number of primary-index leaf
+// pages it read; /v1/stats aggregates both into p50/p95/p99 and means.
+//
+// Try it:
+//
+//	pvserve -n 5000 -d 2 &
+//	curl 'localhost:8080/v1/query?point=5000,5000'
+//	curl -d '{"point":[5000,5000]}' localhost:8080/v1/query
+//	curl localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"pvoronoi"
+	"pvoronoi/internal/dataset"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		data      = flag.String("data", "", "dataset file from pvgen (omit to generate synthetic in-process)")
+		n         = flag.Int("n", 20000, "object count for in-process generation")
+		d         = flag.Int("d", 2, "dimensionality for in-process generation")
+		uo        = flag.Float64("uo", 60, "max |u(o)| for in-process generation")
+		instances = flag.Int("instances", 100, "pdf samples for in-process generation")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		strategy  = flag.String("cset", "is", "C-set strategy: all | fs | is")
+		workers   = flag.Int("workers", 0, "parallel build workers (0 = GOMAXPROCS)")
+		loadIdx   = flag.String("loadindex", "", "load a pvquery-saved index instead of building")
+	)
+	flag.Parse()
+
+	db, err := loadOrGenerate(*data, *n, *d, *uo, *instances, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	opts := pvoronoi.DefaultOptions()
+	switch strings.ToLower(*strategy) {
+	case "all":
+		opts.Strategy = pvoronoi.CSetAll
+	case "fs":
+		opts.Strategy = pvoronoi.CSetFS
+	case "is":
+		opts.Strategy = pvoronoi.CSetIS
+	default:
+		fail(fmt.Errorf("unknown C-set strategy %q", *strategy))
+	}
+
+	var ix *pvoronoi.Index
+	if *loadIdx != "" {
+		f, err := os.Open(*loadIdx)
+		if err != nil {
+			fail(err)
+		}
+		t0 := time.Now()
+		ix, err = pvoronoi.LoadIndex(f, db)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		log.Printf("loaded index over %d objects in %v", db.Len(), time.Since(t0).Round(time.Millisecond))
+	} else {
+		log.Printf("building PV-index over %d objects (d=%d, strategy=%s)...",
+			db.Len(), db.Dim(), strings.ToUpper(*strategy))
+		t0 := time.Now()
+		ix, err = pvoronoi.BuildParallel(db, opts, *workers)
+		if err != nil {
+			fail(err)
+		}
+		log.Printf("built in %v", time.Since(t0).Round(time.Millisecond))
+	}
+
+	srv := newServer(ix)
+	log.Printf("serving on %s (domain %v – %v)", *addr, db.Domain.Lo, db.Domain.Hi)
+	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+		fail(err)
+	}
+}
+
+func loadOrGenerate(path string, n, d int, uo float64, instances int, seed int64) (*pvoronoi.DB, error) {
+	if path != "" {
+		return dataset.Load(path)
+	}
+	return dataset.Synthetic(dataset.SyntheticParams{
+		N: n, Dim: d, MaxSide: uo, Instances: instances, Seed: seed,
+	}), nil
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pvserve: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,463 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"pvoronoi"
+	"pvoronoi/internal/uncertain"
+)
+
+// server wires a shared PV-index to the HTTP API. Every query handler runs
+// on the request's own goroutine: net/http gives us one goroutine per
+// request, and the index's internal read lock lets them all evaluate in
+// parallel while insert/delete requests serialize as writers.
+type server struct {
+	ix      *pvoronoi.Index
+	dim     int // domain dimensionality, for request validation
+	metrics *metrics
+}
+
+func newServer(ix *pvoronoi.Index) *server {
+	return &server{ix: ix, dim: ix.DB().Domain.Dim(), metrics: newMetrics()}
+}
+
+// checkPoint rejects points whose dimensionality doesn't match the indexed
+// domain (the geometry layer assumes matching dims and would panic).
+func (s *server) checkPoint(p pvoronoi.Point) error {
+	if len(p) != s.dim {
+		return fmt.Errorf("point has %d coordinates, domain is %d-dimensional", len(p), s.dim)
+	}
+	return nil
+}
+
+// readPoint decodes the request body and its query point, validating the
+// point's dimensionality. On failure it writes the 400 response itself and
+// returns ok=false.
+func (s *server) readPoint(w http.ResponseWriter, r *http.Request) (pvoronoi.Point, map[string]json.RawMessage, bool) {
+	body, err := decodeBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, nil, false
+	}
+	q, err := decodePoint(r, body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, nil, false
+	}
+	if err := s.checkPoint(q); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, nil, false
+	}
+	return q, body, true
+}
+
+// routes builds the HTTP handler. API summary (all bodies JSON):
+//
+//	POST /v1/query       {"point":[...], "eps":0}    full PNNQ (eps>0: verified mode)
+//	POST /v1/possiblenn  {"point":[...]}             PNNQ Step 1 only
+//	POST /v1/possibleknn {"point":[...], "k":3}      probabilistic k-NN membership
+//	POST /v1/groupnn     {"points":[[...],...], "agg":"sum"|"max"}  group NN
+//	POST /v1/insert      {"id":1, "region":{"lo":[...],"hi":[...]}, "instances":[...]} or {"sample":{"kind":"uniform","n":100,"seed":1}}
+//	POST /v1/delete      {"id":1}
+//	GET  /v1/stats                                   serving metrics + index shape
+//	GET  /healthz                                    liveness probe
+//
+// /v1/query and /v1/possiblenn also accept GET with ?point=x,y,... for
+// curl-friendly exploration.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/possiblenn", s.handlePossibleNN)
+	mux.HandleFunc("/v1/possibleknn", s.handlePossibleKNN)
+	mux.HandleFunc("/v1/groupnn", s.handleGroupNN)
+	mux.HandleFunc("/v1/insert", s.handleInsert)
+	mux.HandleFunc("/v1/delete", s.handleDelete)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// --- JSON wire types -----------------------------------------------------
+
+type regionJSON struct {
+	Lo []float64 `json:"lo"`
+	Hi []float64 `json:"hi"`
+}
+
+type instanceJSON struct {
+	Pos  []float64 `json:"pos"`
+	Prob float64   `json:"prob"`
+}
+
+type resultJSON struct {
+	ID   uint32  `json:"id"`
+	Prob float64 `json:"prob"`
+}
+
+type candidateJSON struct {
+	ID      uint32  `json:"id"`
+	MinDist float64 `json:"min_dist"`
+	MaxDist float64 `json:"max_dist"`
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+// decodePoint reads a query point from the JSON body (POST) or the ?point=
+// parameter (GET).
+func decodePoint(r *http.Request, body map[string]json.RawMessage) (pvoronoi.Point, error) {
+	if r.Method == http.MethodGet {
+		raw := r.URL.Query().Get("point")
+		if raw == "" {
+			return nil, fmt.Errorf("missing point parameter")
+		}
+		parts := strings.Split(raw, ",")
+		p := make(pvoronoi.Point, len(parts))
+		for i, part := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad coordinate %q", part)
+			}
+			p[i] = v
+		}
+		return p, nil
+	}
+	raw, ok := body["point"]
+	if !ok {
+		return nil, fmt.Errorf("missing point field")
+	}
+	var p []float64
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, fmt.Errorf("bad point: %v", err)
+	}
+	return pvoronoi.Point(p), nil
+}
+
+// decodeBody parses a JSON object body into raw fields (empty map for GET).
+func decodeBody(r *http.Request) (map[string]json.RawMessage, error) {
+	if r.Method == http.MethodGet {
+		return map[string]json.RawMessage{}, nil
+	}
+	body := make(map[string]json.RawMessage)
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("bad JSON body: %v", err)
+	}
+	return body, nil
+}
+
+// --- query handlers ------------------------------------------------------
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, body, ok := s.readPoint(w, r)
+	if !ok {
+		return
+	}
+	var eps float64
+	if raw, ok := body["eps"]; ok {
+		if err := json.Unmarshal(raw, &eps); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad eps: %v", err))
+			return
+		}
+	}
+
+	start := time.Now()
+	var (
+		results []pvoronoi.Result
+		cost    pvoronoi.QueryCost
+		err     error
+	)
+	if eps > 0 {
+		results, cost, err = s.ix.QueryVerifiedWithCost(q, eps)
+	} else {
+		results, cost, err = s.ix.QueryWithCost(q)
+	}
+	elapsed := time.Since(start)
+	s.metrics.observe("query", elapsed, cost.LeafIO, err != nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	out := make([]resultJSON, len(results))
+	for i, res := range results {
+		out[i] = resultJSON{ID: uint32(res.ID), Prob: res.Prob}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":    out,
+		"candidates": cost.Candidates,
+		"leaf_io":    cost.LeafIO,
+		"latency_us": elapsed.Microseconds(),
+	})
+}
+
+func (s *server) handlePossibleNN(w http.ResponseWriter, r *http.Request) {
+	q, _, ok := s.readPoint(w, r)
+	if !ok {
+		return
+	}
+
+	start := time.Now()
+	cands, cost, err := s.ix.PossibleNNWithCost(q)
+	elapsed := time.Since(start)
+	s.metrics.observe("possiblenn", elapsed, cost.LeafIO, err != nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	out := make([]candidateJSON, len(cands))
+	for i, c := range cands {
+		out[i] = candidateJSON{ID: uint32(c.ID), MinDist: c.MinDist, MaxDist: c.MaxDist}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"candidates": out,
+		"leaf_io":    cost.LeafIO,
+		"latency_us": elapsed.Microseconds(),
+	})
+}
+
+func (s *server) handlePossibleKNN(w http.ResponseWriter, r *http.Request) {
+	q, body, ok := s.readPoint(w, r)
+	if !ok {
+		return
+	}
+	k := 1
+	if raw, ok := body["k"]; ok {
+		if err := json.Unmarshal(raw, &k); err != nil || k < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k"))
+			return
+		}
+	}
+
+	start := time.Now()
+	results, err := s.ix.PossibleKNN(q, k)
+	elapsed := time.Since(start)
+	s.metrics.observe("possibleknn", elapsed, 0, err != nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	out := make([]resultJSON, len(results))
+	for i, res := range results {
+		out[i] = resultJSON{ID: uint32(res.ID), Prob: res.Prob}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":    out,
+		"k":          k,
+		"latency_us": elapsed.Microseconds(),
+	})
+}
+
+func (s *server) handleGroupNN(w http.ResponseWriter, r *http.Request) {
+	body, err := decodeBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var pts [][]float64
+	if raw, ok := body["points"]; ok {
+		if err := json.Unmarshal(raw, &pts); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad points: %v", err))
+			return
+		}
+	}
+	if len(pts) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing points field"))
+		return
+	}
+	group := make([]pvoronoi.Point, len(pts))
+	for i, p := range pts {
+		group[i] = pvoronoi.Point(p)
+		if err := s.checkPoint(group[i]); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("points[%d]: %w", i, err))
+			return
+		}
+	}
+	agg := pvoronoi.AggSum
+	if raw, ok := body["agg"]; ok {
+		var name string
+		if err := json.Unmarshal(raw, &name); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad agg: %v", err))
+			return
+		}
+		switch strings.ToLower(name) {
+		case "sum", "":
+			agg = pvoronoi.AggSum
+		case "max":
+			agg = pvoronoi.AggMax
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown agg %q (want sum or max)", name))
+			return
+		}
+	}
+
+	start := time.Now()
+	results, err := s.ix.GroupNN(group, agg)
+	elapsed := time.Since(start)
+	s.metrics.observe("groupnn", elapsed, 0, err != nil)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	out := make([]resultJSON, len(results))
+	for i, res := range results {
+		out[i] = resultJSON{ID: uint32(res.ID), Prob: res.Prob}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":    out,
+		"latency_us": elapsed.Microseconds(),
+	})
+}
+
+// --- update handlers -----------------------------------------------------
+
+type insertRequest struct {
+	ID        uint32         `json:"id"`
+	Region    regionJSON     `json:"region"`
+	Instances []instanceJSON `json:"instances"`
+	Sample    *struct {
+		Kind string `json:"kind"` // "uniform" (default) or "gaussian"
+		N    int    `json:"n"`
+		Seed int64  `json:"seed"`
+	} `json:"sample"`
+}
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req insertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %v", err))
+		return
+	}
+	if len(req.Region.Lo) == 0 || len(req.Region.Lo) != len(req.Region.Hi) {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("region needs matching lo/hi"))
+		return
+	}
+	for i := range req.Region.Lo {
+		if req.Region.Lo[i] > req.Region.Hi[i] {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("inverted region in dim %d", i))
+			return
+		}
+	}
+	region := pvoronoi.NewRect(pvoronoi.Point(req.Region.Lo), pvoronoi.Point(req.Region.Hi))
+
+	o := &pvoronoi.Object{ID: pvoronoi.ID(req.ID), Region: region}
+	switch {
+	case len(req.Instances) > 0:
+		o.Instances = make([]pvoronoi.Instance, len(req.Instances))
+		for i, in := range req.Instances {
+			o.Instances[i] = pvoronoi.Instance{Pos: pvoronoi.Point(in.Pos), Prob: in.Prob}
+		}
+		if err := o.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	case req.Sample != nil:
+		n := req.Sample.N
+		if n <= 0 {
+			n = 100
+		}
+		if strings.EqualFold(req.Sample.Kind, "gaussian") {
+			o.Instances = pvoronoi.SampleGaussian(region, n, req.Sample.Seed)
+		} else {
+			o.Instances = pvoronoi.SampleUniform(region, n, req.Sample.Seed)
+		}
+	}
+
+	start := time.Now()
+	st, err := s.ix.InsertWithStats(o)
+	elapsed := time.Since(start)
+	s.metrics.observe("insert", elapsed, 0, err != nil)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, uncertain.ErrDuplicateID) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":         req.ID,
+		"affected":   st.Affected,
+		"examined":   st.Examined,
+		"latency_us": elapsed.Microseconds(),
+	})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req struct {
+		ID uint32 `json:"id"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %v", err))
+		return
+	}
+
+	start := time.Now()
+	st, err := s.ix.DeleteWithStats(pvoronoi.ID(req.ID))
+	elapsed := time.Since(start)
+	s.metrics.observe("delete", elapsed, 0, err != nil)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, uncertain.ErrUnknownID) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":         req.ID,
+		"affected":   st.Affected,
+		"examined":   st.Examined,
+		"latency_us": elapsed.Microseconds(),
+	})
+}
+
+// --- stats ---------------------------------------------------------------
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	endpoints, uptime := s.metrics.snapshot()
+	io := s.ix.IO()
+	domain := s.ix.DB().Domain // immutable after NewDB; safe without the lock
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_s": uptime.Seconds(),
+		"objects":  s.ix.Len(),
+		"domain": regionJSON{
+			Lo: []float64(domain.Lo),
+			Hi: []float64(domain.Hi),
+		},
+		"io": map[string]int64{
+			"reads":  io.Reads,
+			"writes": io.Writes,
+		},
+		"endpoints": endpoints,
+	})
+}

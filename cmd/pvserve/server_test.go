@@ -1,0 +1,291 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"pvoronoi"
+)
+
+func testIndex(t *testing.T, n int) *pvoronoi.Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	db := pvoronoi.NewDB(pvoronoi.NewRect(pvoronoi.Point{0, 0}, pvoronoi.Point{1000, 1000}))
+	for i := 0; i < n; i++ {
+		lo := pvoronoi.Point{rng.Float64() * 950, rng.Float64() * 950}
+		region := pvoronoi.NewRect(lo, pvoronoi.Point{lo[0] + 5 + rng.Float64()*30, lo[1] + 5 + rng.Float64()*30})
+		o := &pvoronoi.Object{ID: pvoronoi.ID(i), Region: region,
+			Instances: pvoronoi.SampleUniform(region, 20, int64(i))}
+		if err := db.Add(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := pvoronoi.DefaultOptions()
+	opts.K = 20
+	opts.KPartition = 3
+	opts.KGlobal = 40
+	opts.MemBudget = 1 << 18
+	ix, err := pvoronoi.Build(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any) (*http.Response, map[string]json.RawMessage) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out := make(map[string]json.RawMessage)
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s: decoding response: %v", path, err)
+	}
+	return resp, out
+}
+
+// TestServePNNQOverHTTP is the acceptance check: the server answers a full
+// PNNQ over HTTP with sane probabilities and per-query cost metrics.
+func TestServePNNQOverHTTP(t *testing.T) {
+	ix := testIndex(t, 80)
+	ts := httptest.NewServer(newServer(ix).routes())
+	defer ts.Close()
+
+	resp, out := postJSON(t, ts, "/v1/query", map[string]any{"point": []float64{500, 500}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, out["error"])
+	}
+	var results []struct {
+		ID   uint32  `json:"id"`
+		Prob float64 `json:"prob"`
+	}
+	if err := json.Unmarshal(out["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results for an interior query point")
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.Prob
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("probabilities sum to %g, want 1", sum)
+	}
+	var leafIO int
+	if err := json.Unmarshal(out["leaf_io"], &leafIO); err != nil || leafIO < 1 {
+		t.Fatalf("leaf_io = %d (err %v), want >= 1", leafIO, err)
+	}
+
+	// Direct library call must agree with the HTTP answer.
+	want, err := ix.Query(pvoronoi.Point{500, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(results) {
+		t.Fatalf("HTTP returned %d results, library %d", len(results), len(want))
+	}
+	for i := range want {
+		if uint32(want[i].ID) != results[i].ID || math.Abs(want[i].Prob-results[i].Prob) > 1e-9 {
+			t.Fatalf("result %d: HTTP (%d, %g) != library (%d, %g)",
+				i, results[i].ID, results[i].Prob, want[i].ID, want[i].Prob)
+		}
+	}
+
+	// GET form works too.
+	getResp, err := http.Get(ts.URL + "/v1/query?point=500,500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET query status %d", getResp.StatusCode)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	ix := testIndex(t, 60)
+	ts := httptest.NewServer(newServer(ix).routes())
+	defer ts.Close()
+
+	resp, out := postJSON(t, ts, "/v1/possiblenn", map[string]any{"point": []float64{200, 700}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("possiblenn status %d: %s", resp.StatusCode, out["error"])
+	}
+
+	resp, out = postJSON(t, ts, "/v1/possibleknn", map[string]any{"point": []float64{200, 700}, "k": 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("possibleknn status %d: %s", resp.StatusCode, out["error"])
+	}
+
+	resp, out = postJSON(t, ts, "/v1/groupnn", map[string]any{
+		"points": [][]float64{{100, 100}, {300, 200}}, "agg": "max"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("groupnn status %d: %s", resp.StatusCode, out["error"])
+	}
+
+	// Insert a fresh object right at a probe point, then find it.
+	resp, out = postJSON(t, ts, "/v1/insert", map[string]any{
+		"id":     9000,
+		"region": map[string]any{"lo": []float64{499, 499}, "hi": []float64{501, 501}},
+		"sample": map[string]any{"kind": "uniform", "n": 20, "seed": 5},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d: %s", resp.StatusCode, out["error"])
+	}
+	resp, out = postJSON(t, ts, "/v1/query", map[string]any{"point": []float64{500, 500}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, out["error"])
+	}
+	var results []struct {
+		ID   uint32  `json:"id"`
+		Prob float64 `json:"prob"`
+	}
+	if err := json.Unmarshal(out["results"], &results); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range results {
+		if r.ID == 9000 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted object 9000 not returned for a query at its center")
+	}
+
+	// Wrong-dimension points are rejected cleanly, not panicked on.
+	resp, out = postJSON(t, ts, "/v1/query", map[string]any{"point": []float64{1, 2, 3}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("3-d point on 2-d index: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts, "/v1/groupnn", map[string]any{"points": [][]float64{{1}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("1-d group point on 2-d index: status %d, want 400", resp.StatusCode)
+	}
+
+	// Duplicate insert conflicts; delete works; unknown delete is 404.
+	resp, _ = postJSON(t, ts, "/v1/insert", map[string]any{
+		"id":     9000,
+		"region": map[string]any{"lo": []float64{10, 10}, "hi": []float64{20, 20}},
+	})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate insert status %d, want 409", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts, "/v1/delete", map[string]any{"id": 9000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts, "/v1/delete", map[string]any{"id": 9000})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete status %d, want 404", resp.StatusCode)
+	}
+
+	// Stats reflect the traffic.
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats struct {
+		Objects   int `json:"objects"`
+		Endpoints map[string]struct {
+			Count int64 `json:"count"`
+			P50   int64 `json:"p50_us"`
+		} `json:"endpoints"`
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Objects != 60 {
+		t.Fatalf("stats report %d objects, want 60", stats.Objects)
+	}
+	if stats.Endpoints["query"].Count < 1 {
+		t.Fatalf("stats report %d query calls, want >= 1", stats.Endpoints["query"].Count)
+	}
+	if stats.Endpoints["insert"].Count < 1 || stats.Endpoints["delete"].Count < 1 {
+		t.Fatal("stats missing insert/delete traffic")
+	}
+}
+
+// TestServeConcurrentTraffic drives queries and writes through the full HTTP
+// stack in parallel — the serving-layer analogue of the library's
+// concurrency stress test.
+func TestServeConcurrentTraffic(t *testing.T) {
+	ix := testIndex(t, 60)
+	ts := httptest.NewServer(newServer(ix).routes())
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 30; i++ {
+				body, _ := json.Marshal(map[string]any{
+					"point": []float64{rng.Float64() * 1000, rng.Float64() * 1000}})
+				resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("query status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			id := 5000 + i
+			body, _ := json.Marshal(map[string]any{
+				"id":     id,
+				"region": map[string]any{"lo": []float64{10, 10}, "hi": []float64{40, 40}},
+				"sample": map[string]any{"n": 10, "seed": id},
+			})
+			resp, err := http.Post(ts.URL+"/v1/insert", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("insert status %d", resp.StatusCode)
+				return
+			}
+			body, _ = json.Marshal(map[string]any{"id": id})
+			resp, err = http.Post(ts.URL+"/v1/delete", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("delete status %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := ix.Len(); got != 60 {
+		t.Fatalf("index has %d objects after churn, want 60", got)
+	}
+}

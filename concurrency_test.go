@@ -1,0 +1,204 @@
+package pvoronoi
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesWithWriter hammers the index with parallel readers —
+// Query, QueryBatch, PossibleNN, PossibleKNN, GroupNN — while one writer
+// goroutine interleaves Insert and Delete of a churn set. Under -race this
+// is the serving layer's core safety guarantee; without the race detector it
+// still checks that every read observes a consistent index (probabilities
+// sum to 1, no errors from half-applied updates).
+func TestConcurrentQueriesWithWriter(t *testing.T) {
+	db := buildSmallDB(t, 120, true)
+	ix, err := Build(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const churn = 20 // IDs 1000.. cycle through insert/delete
+	makeChurnObject := func(rng *rand.Rand, id ID) *Object {
+		lo := Point{rng.Float64() * 950, rng.Float64() * 950}
+		region := NewRect(lo, Point{lo[0] + 5 + rng.Float64()*30, lo[1] + 5 + rng.Float64()*30})
+		return &Object{ID: id, Region: region, Instances: SampleUniform(region, 10, int64(id))}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writer: insert a churn object, then delete it, round-robin.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		for round := 0; round < 8; round++ {
+			for i := 0; i < churn; i++ {
+				id := ID(1000 + i)
+				if err := ix.Insert(makeChurnObject(rng, id)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			for i := 0; i < churn; i++ {
+				if err := ix.Delete(ID(1000 + i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+		close(stop)
+	}()
+
+	// Readers: single queries plus small batches until the writer finishes.
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			randPoint := func() Point {
+				return Point{rng.Float64() * 1000, rng.Float64() * 1000}
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := randPoint()
+				results, err := ix.Query(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var sum float64
+				for _, res := range results {
+					sum += res.Prob
+				}
+				if len(results) > 0 && (sum < 0.999 || sum > 1.001) {
+					t.Errorf("inconsistent read: probabilities sum to %g", sum)
+					return
+				}
+				if _, err := ix.PossibleNN(randPoint()); err != nil {
+					t.Error(err)
+					return
+				}
+				batch := []Point{randPoint(), randPoint(), randPoint()}
+				if _, err := ix.QueryBatch(batch, 2); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ix.PossibleKNN(randPoint(), 3); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := ix.GroupNN([]Point{randPoint(), randPoint()}, AggSum); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+
+	// After all churn objects are gone, queries must agree with a fresh
+	// build over the surviving database.
+	if db.Len() != 120 {
+		t.Fatalf("database has %d objects after churn, want 120", db.Len())
+	}
+}
+
+// TestBatchMatchesSequential checks that QueryBatch and PossibleNNBatch
+// return, position for position, exactly what sequential calls return.
+func TestBatchMatchesSequential(t *testing.T) {
+	db := buildSmallDB(t, 100, true)
+	ix, err := Build(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	qs := make([]Point, 60)
+	for i := range qs {
+		qs[i] = Point{rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+
+	batchResults, err := ix.QueryBatch(qs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchCands, err := ix.PossibleNNBatch(qs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batchResults) != len(qs) || len(batchCands) != len(qs) {
+		t.Fatalf("batch lengths %d/%d, want %d", len(batchResults), len(batchCands), len(qs))
+	}
+	for i, q := range qs {
+		seq, err := ix.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, batchResults[i]) {
+			t.Fatalf("query %d: batch result differs from sequential\nbatch: %v\nseq:   %v", i, batchResults[i], seq)
+		}
+		seqCands, err := ix.PossibleNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seqCands, batchCands[i]) {
+			t.Fatalf("query %d: batch candidates differ from sequential", i)
+		}
+	}
+}
+
+// TestBatchErrorAborts checks that an out-of-domain point fails the whole
+// batch rather than returning partial results.
+func TestBatchErrorAborts(t *testing.T) {
+	db := buildSmallDB(t, 40, false)
+	ix, err := Build(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []Point{{10, 10}, {-5000, -5000}, {20, 20}}
+	if _, err := ix.PossibleNNBatch(qs, 2); err == nil {
+		t.Fatal("expected error for out-of-domain point")
+	}
+}
+
+// TestQueryCostReporting checks the per-query cost plumbing: candidate
+// counts match and leaf I/O is at least one page.
+func TestQueryCostReporting(t *testing.T) {
+	db := buildSmallDB(t, 80, true)
+	ix, err := Build(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Point{500, 500}
+	cands, cost, err := ix.PossibleNNWithCost(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Candidates != len(cands) {
+		t.Fatalf("cost.Candidates = %d, want %d", cost.Candidates, len(cands))
+	}
+	if cost.LeafIO < 1 {
+		t.Fatalf("cost.LeafIO = %d, want >= 1", cost.LeafIO)
+	}
+	results, qcost, err := ix.QueryWithCost(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qcost.Candidates != len(cands) {
+		t.Fatalf("QueryWithCost candidates = %d, want %d", qcost.Candidates, len(cands))
+	}
+	seq, err := ix.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, results) {
+		t.Fatal("QueryWithCost results differ from Query")
+	}
+}

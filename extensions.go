@@ -3,6 +3,7 @@ package pvoronoi
 import (
 	"pvoronoi/internal/extquery"
 	"pvoronoi/internal/pnnq"
+	"pvoronoi/internal/uncertain"
 )
 
 // Agg selects the aggregate for group nearest neighbor queries.
@@ -19,34 +20,56 @@ const (
 // KNNResult is an object's probability of ranking among the k nearest.
 type KNNResult = pnnq.KNNResult
 
+// The extension queries walk the raw database rather than the PV-index, so
+// they run under the index's read lock (inner.View) to stay consistent with
+// concurrent Insert/Delete writers.
+
 // GroupNN evaluates a probabilistic group nearest neighbor query: the
 // objects that may minimize the aggregate distance to the query points,
 // with their probabilities (computed from stored instances). This is the
 // group-NN extension the paper's conclusion proposes for the PV-index.
 func (ix *Index) GroupNN(group []Point, agg Agg) ([]Result, error) {
-	db := ix.inner.DB()
-	ids := extquery.GroupNNCandidates(db, group, agg)
-	return extquery.GroupNNProbs(db, ids, group, agg), nil
+	var out []Result
+	err := ix.inner.View(func(db *uncertain.DB) error {
+		ids := extquery.GroupNNCandidates(db, group, agg)
+		out = extquery.GroupNNProbs(db, ids, group, agg)
+		return nil
+	})
+	return out, err
 }
 
 // GroupNNCandidates returns only the candidate set of a group NN query
 // (objects with non-zero probability, region-level bound).
 func (ix *Index) GroupNNCandidates(group []Point, agg Agg) []ID {
-	return extquery.GroupNNCandidates(ix.inner.DB(), group, agg)
+	var out []ID
+	_ = ix.inner.View(func(db *uncertain.DB) error {
+		out = extquery.GroupNNCandidates(db, group, agg)
+		return nil
+	})
+	return out
 }
 
 // PossibleKNN returns the objects with a non-zero chance of ranking among
 // the k nearest neighbors of q, with membership probabilities (probability
 // that the object is within the top k). k=1 coincides with Query.
 func (ix *Index) PossibleKNN(q Point, k int) ([]KNNResult, error) {
-	db := ix.inner.DB()
-	ids := extquery.KNNCandidates(db, q, k)
-	return extquery.KNNProbs(db, ids, q, k), nil
+	var out []KNNResult
+	err := ix.inner.View(func(db *uncertain.DB) error {
+		ids := extquery.KNNCandidates(db, q, k)
+		out = extquery.KNNProbs(db, ids, q, k)
+		return nil
+	})
+	return out, err
 }
 
 // PossibleRNN returns the objects with a non-zero chance that q is their
 // nearest neighbor (probabilistic reverse NN candidates, region-level
 // domination test with the paper's m_max granularity).
 func (ix *Index) PossibleRNN(q Point) []ID {
-	return extquery.RNNCandidates(ix.inner.DB(), q, 10)
+	var out []ID
+	_ = ix.inner.View(func(db *uncertain.DB) error {
+		out = extquery.RNNCandidates(db, q, 10)
+		return nil
+	})
+	return out
 }

@@ -1,0 +1,3 @@
+module pvoronoi
+
+go 1.24

@@ -412,8 +412,16 @@ func (t *Tree) leafRemove(n *node, id uint32) (int, error) {
 // PointQuery returns the entries of the unique leaf whose cell contains q.
 // Page reads are counted by the underlying store.
 func (t *Tree) PointQuery(q geom.Point) ([]Entry, error) {
+	entries, _, err := t.PointQueryIO(q)
+	return entries, err
+}
+
+// PointQueryIO is PointQuery plus the number of leaf pages read to answer
+// it — the per-query leaf I/O cost of Figs. 9(c)/9(g), attributable to this
+// call even when many queries share the store concurrently.
+func (t *Tree) PointQueryIO(q geom.Point) ([]Entry, int, error) {
 	if !t.domain.Contains(q) {
-		return nil, fmt.Errorf("octree: query point %v outside domain %v", q, t.domain)
+		return nil, 0, fmt.Errorf("octree: query point %v outside domain %v", q, t.domain)
 	}
 	n := t.root
 	region := t.domain
@@ -429,16 +437,18 @@ func (t *Tree) PointQuery(q geom.Point) ([]Entry, error) {
 		n = n.children[mask]
 	}
 	var all []Entry
+	pagesRead := 0
 	p := n.firstPage
 	for p != 0 {
 		next, entries, err := t.readLeafPage(p)
 		if err != nil {
-			return nil, err
+			return nil, pagesRead, err
 		}
+		pagesRead++
 		all = append(all, entries...)
 		p = next
 	}
-	return all, nil
+	return all, pagesRead, nil
 }
 
 // RangeIDs returns the distinct object IDs stored in leaves whose cells

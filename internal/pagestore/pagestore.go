@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultPageSize is the page size used throughout the experiments (4 KB).
@@ -42,15 +43,18 @@ func (s Stats) Sub(earlier Stats) Stats {
 func (s Stats) IO() int64 { return s.Reads + s.Writes }
 
 // Store is a page allocator with I/O accounting. It is safe for concurrent
-// use; the indexes built on top serialize their own higher-level operations.
+// use: reads share an RWMutex read lock so concurrent readers proceed in
+// parallel, mutations (write/alloc/free) take the write lock, and the I/O
+// counters are atomics so accounting never serializes the read path.
 type Store struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	pageSize int
 	pages    map[PageID][]byte
 	free     []PageID
 	next     PageID
-	stats    Stats
 	limit    int // max live pages; 0 = unlimited
+
+	reads, writes, allocs, frees atomic.Int64
 }
 
 // ErrFull is returned by Alloc when the store's page limit is exhausted.
@@ -91,7 +95,7 @@ func (s *Store) Alloc() (PageID, error) {
 		s.next++
 	}
 	s.pages[id] = make([]byte, s.pageSize)
-	s.stats.Allocs++
+	s.allocs.Add(1)
 	return id, nil
 }
 
@@ -104,21 +108,23 @@ func (s *Store) Free(id PageID) error {
 	}
 	delete(s.pages, id)
 	s.free = append(s.free, id)
-	s.stats.Frees++
+	s.frees.Add(1)
 	return nil
 }
 
 // Read copies the page contents into a fresh buffer and counts one read I/O.
+// Concurrent reads proceed in parallel.
 func (s *Store) Read(id PageID) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	p, ok := s.pages[id]
 	if !ok {
+		s.mu.RUnlock()
 		return nil, fmt.Errorf("pagestore: read of unknown page %d", id)
 	}
-	s.stats.Reads++
 	buf := make([]byte, s.pageSize)
 	copy(buf, p)
+	s.mu.RUnlock()
+	s.reads.Add(1)
 	return buf, nil
 }
 
@@ -134,7 +140,7 @@ func (s *Store) Write(id PageID, data []byte) error {
 	if len(data) > s.pageSize {
 		return fmt.Errorf("pagestore: write of %d bytes exceeds page size %d", len(data), s.pageSize)
 	}
-	s.stats.Writes++
+	s.writes.Add(1)
 	copy(p, data)
 	for i := len(data); i < s.pageSize; i++ {
 		p[i] = 0
@@ -142,24 +148,27 @@ func (s *Store) Write(id PageID, data []byte) error {
 	return nil
 }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the I/O counters. Under concurrent traffic the
+// four counters are read independently (each is internally consistent; the
+// snapshot as a whole is approximate, which is fine for metrics).
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Reads:  s.reads.Load(),
+		Writes: s.writes.Load(),
+		Allocs: s.allocs.Load(),
+		Frees:  s.frees.Load(),
+	}
 }
 
 // ResetStats zeroes the read/write counters (allocation counters persist).
 func (s *Store) ResetStats() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.stats.Reads = 0
-	s.stats.Writes = 0
+	s.reads.Store(0)
+	s.writes.Store(0)
 }
 
 // Live returns the number of currently allocated pages.
 func (s *Store) Live() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.pages)
 }

@@ -33,6 +33,8 @@ type indexImage struct {
 // caller's input at load time, matching the paper's separation of data and
 // access structure.
 func (ix *Index) SaveTo(w io.Writer) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	img := indexImage{
 		Magic:     persistMagic,
 		SE:        ix.cfg.SE,

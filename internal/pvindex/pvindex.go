@@ -9,6 +9,7 @@ package pvindex
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"pvoronoi/internal/core"
@@ -49,8 +50,14 @@ type BuildStats struct {
 	SE          core.Stats
 }
 
-// Index is a built PV-index over a database.
+// Index is a built PV-index over a database. It is safe for concurrent use:
+// queries (PossibleNN, Instances, UBR, Snapshot reads) share a read lock and
+// run in parallel; Insert and Delete take the write lock and serialize
+// against everything else. The octree, hash table, region tree and database
+// are all guarded by this one lock — they are never safe to mutate
+// concurrently on their own.
 type Index struct {
+	mu         sync.RWMutex
 	db         *uncertain.DB
 	store      *pagestore.Store
 	primary    *octree.Tree
@@ -136,6 +143,8 @@ func (ix *Index) addObject(o *uncertain.Object, ubr geom.Rect) error {
 
 // UBR returns the stored UBR of an object.
 func (ix *Index) UBR(id uncertain.ID) (geom.Rect, bool) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return ix.lookupUBR(uint32(id))
 }
 
@@ -143,10 +152,24 @@ func (ix *Index) UBR(id uncertain.ID) (geom.Rect, bool) {
 func (ix *Index) Store() *pagestore.Store { return ix.store }
 
 // PrimaryStats reports the octree's shape.
-func (ix *Index) PrimaryStats() octree.Stats { return ix.primary.TreeStats() }
+func (ix *Index) PrimaryStats() octree.Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.primary.TreeStats()
+}
 
-// DB returns the indexed database.
+// DB returns the indexed database. The pointer itself is stable; reading
+// through it while writers run requires View.
 func (ix *Index) DB() *uncertain.DB { return ix.db }
+
+// View runs fn under the index's read lock, giving it a consistent view of
+// the database while Insert/Delete writers are excluded. Queries that walk
+// the raw database (the extension queries of extquery) go through here.
+func (ix *Index) View(fn func(db *uncertain.DB) error) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return fn(ix.db)
+}
 
 // Candidate is a PNNQ Step-1 survivor: an object with non-zero probability
 // of being the query's nearest neighbor.
@@ -161,12 +184,30 @@ type Candidate struct {
 // containing q and prunes the leaf's candidate list by min/max distance.
 // The result is exactly the set of objects whose PV-cells contain q.
 func (ix *Index) PossibleNN(q geom.Point) ([]Candidate, error) {
-	entries, err := ix.primary.PointQuery(q)
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	cands, _, err := ix.possibleNN(q)
+	return cands, err
+}
+
+// PossibleNNIO is PossibleNN plus the number of primary-index leaf pages
+// read — the exact per-query leaf I/O, attributable to this call even under
+// concurrent traffic.
+func (ix *Index) PossibleNNIO(q geom.Point) ([]Candidate, int, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.possibleNN(q)
+}
+
+// possibleNN is PossibleNN without locking, returning the leaf pages read.
+// Callers hold ix.mu (either mode).
+func (ix *Index) possibleNN(q geom.Point) ([]Candidate, int, error) {
+	entries, leafIO, err := ix.primary.PointQueryIO(q)
 	if err != nil {
-		return nil, err
+		return nil, leafIO, err
 	}
 	if len(entries) == 0 {
-		return nil, nil
+		return nil, leafIO, nil
 	}
 	// Deduplicate (an object appears once per overlapping leaf page set —
 	// the point query hits one leaf, but defensive against double inserts).
@@ -196,12 +237,19 @@ func (ix *Index) PossibleNN(q geom.Point) ([]Candidate, error) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out, nil
+	return out, leafIO, nil
 }
 
 // Instances fetches the stored pdf instances for an object from the
 // secondary index (PNNQ Step 2's data access).
 func (ix *Index) Instances(id uncertain.ID) ([]uncertain.Instance, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.instances(id)
+}
+
+// instances is Instances without locking. Callers hold ix.mu (either mode).
+func (ix *Index) instances(id uncertain.ID) ([]uncertain.Instance, error) {
 	buf, ok, err := ix.secondary.Get(uint32(id))
 	if err != nil {
 		return nil, err
@@ -214,6 +262,42 @@ func (ix *Index) Instances(id uncertain.ID) ([]uncertain.Instance, error) {
 		return nil, err
 	}
 	return rec.Instances, nil
+}
+
+// QuerySnapshot is an atomic PNNQ read: the Step-1 candidate set, each
+// candidate's stored pdf instances (parallel slice), and the number of
+// primary-index leaf pages read — all fetched under one read lock so a
+// concurrent writer can never remove a candidate between Step 1 and the
+// Step-2 data access.
+type QuerySnapshot struct {
+	Candidates []Candidate
+	Instances  [][]uncertain.Instance
+	LeafIO     int
+}
+
+// Snapshot evaluates Step 1 and fetches every candidate's instances in one
+// critical section. Full-query callers (Step 2 probability computation) run
+// on the snapshot outside the lock.
+func (ix *Index) Snapshot(q geom.Point) (*QuerySnapshot, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	cands, leafIO, err := ix.possibleNN(q)
+	if err != nil {
+		return nil, err
+	}
+	snap := &QuerySnapshot{
+		Candidates: cands,
+		Instances:  make([][]uncertain.Instance, len(cands)),
+		LeafIO:     leafIO,
+	}
+	for i, c := range cands {
+		ins, err := ix.instances(c.ID)
+		if err != nil {
+			return nil, err
+		}
+		snap.Instances[i] = ins
+	}
+	return snap, nil
 }
 
 // UpdateStats reports the cost of one incremental maintenance operation.
@@ -230,6 +314,8 @@ type UpdateStats struct {
 // shrink (Lemma 9), so their UBRs are recomputed warm-started from the old
 // UBR as the upper bound.
 func (ix *Index) Insert(o *uncertain.Object) (UpdateStats, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	var st UpdateStats
 	start := time.Now()
 	defer func() { st.TotalTime = time.Since(start) }()
@@ -304,13 +390,15 @@ func (ix *Index) Insert(o *uncertain.Object) (UpdateStats, error) {
 // only grow, so UBRs are recomputed warm-started from the old UBR as the
 // lower bound and entries are added to newly covered leaves.
 func (ix *Index) Delete(id uncertain.ID) (UpdateStats, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	var st UpdateStats
 	start := time.Now()
 	defer func() { st.TotalTime = time.Since(start) }()
 
 	victim := ix.db.Get(id)
 	if victim == nil {
-		return st, fmt.Errorf("pvindex: delete of unknown object %d", id)
+		return st, fmt.Errorf("pvindex: delete of object %d: %w", id, uncertain.ErrUnknownID)
 	}
 	victimUBR, ok := ix.lookupUBR(uint32(id))
 	if !ok {

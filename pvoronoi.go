@@ -159,6 +159,12 @@ type Candidate = pvindex.Candidate
 type Result = pnnq.Result
 
 // Index is a built PV-index bound to a database.
+//
+// An Index is safe for concurrent use: any number of goroutines may run
+// Query, QueryBatch, PossibleNN and the extension queries in parallel while
+// other goroutines interleave Insert and Delete. Readers share a lock and
+// proceed concurrently; writers are exclusive. Each query observes the index
+// atomically — never a half-applied update.
 type Index struct {
 	inner *pvindex.Index
 }
@@ -179,23 +185,34 @@ func (ix *Index) PossibleNN(q Point) ([]Candidate, error) {
 	return ix.inner.PossibleNN(q)
 }
 
+// QueryCost reports the per-query cost of one evaluation: the number of
+// Step-1 candidates and the primary-index leaf pages read to retrieve them
+// (the leaf-I/O metric of the paper's Figs. 9(c)/9(g)). Unlike the global
+// IO counters, it is attributed exactly to the query that incurred it, so
+// it stays meaningful when many queries run concurrently.
+type QueryCost struct {
+	Candidates int
+	LeafIO     int
+}
+
 // Query evaluates the full PNNQ: Step 1 through the index, then Step 2
 // qualification probabilities from the stored pdfs, sorted by decreasing
 // probability. Objects without stored instances are skipped in Step 2.
 func (ix *Index) Query(q Point) ([]Result, error) {
-	cands, err := ix.inner.PossibleNN(q)
+	res, _, err := ix.QueryWithCost(q)
+	return res, err
+}
+
+// QueryWithCost is Query plus the per-query cost breakdown. Step 1 and the
+// candidate data fetch happen atomically under the index's read lock; the
+// Step-2 probability computation runs outside it.
+func (ix *Index) QueryWithCost(q Point) ([]Result, QueryCost, error) {
+	snap, err := ix.inner.Snapshot(q)
 	if err != nil {
-		return nil, err
+		return nil, QueryCost{}, err
 	}
-	data := make([]pnnq.CandidateData, 0, len(cands))
-	for _, c := range cands {
-		ins, err := ix.inner.Instances(c.ID)
-		if err != nil {
-			return nil, err
-		}
-		data = append(data, pnnq.CandidateData{ID: c.ID, Instances: ins})
-	}
-	return pnnq.Compute(data, q), nil
+	cost := QueryCost{Candidates: len(snap.Candidates), LeafIO: snap.LeafIO}
+	return pnnq.Compute(snapshotData(snap), q), cost, nil
 }
 
 // QueryVerified evaluates the PNNQ like Query but runs Step 2 through the
@@ -204,38 +221,85 @@ func (ix *Index) Query(q Point) ([]Result, error) {
 // only for those whose bounds stay wider than eps. Per-object probabilities
 // differ from Query by at most eps (identical at eps = 0).
 func (ix *Index) QueryVerified(q Point, eps float64) ([]Result, error) {
-	cands, err := ix.inner.PossibleNN(q)
-	if err != nil {
-		return nil, err
-	}
-	data := make([]pnnq.CandidateData, 0, len(cands))
-	for _, c := range cands {
-		ins, err := ix.inner.Instances(c.ID)
-		if err != nil {
-			return nil, err
-		}
-		data = append(data, pnnq.CandidateData{ID: c.ID, Instances: ins})
-	}
-	return pnnq.ComputeVerified(data, q, eps), nil
+	res, _, err := ix.QueryVerifiedWithCost(q, eps)
+	return res, err
 }
 
+// QueryVerifiedWithCost is QueryVerified plus the per-query cost breakdown.
+func (ix *Index) QueryVerifiedWithCost(q Point, eps float64) ([]Result, QueryCost, error) {
+	snap, err := ix.inner.Snapshot(q)
+	if err != nil {
+		return nil, QueryCost{}, err
+	}
+	cost := QueryCost{Candidates: len(snap.Candidates), LeafIO: snap.LeafIO}
+	return pnnq.ComputeVerified(snapshotData(snap), q, eps), cost, nil
+}
+
+// snapshotData adapts an atomic index snapshot to pnnq's candidate input.
+func snapshotData(snap *pvindex.QuerySnapshot) []pnnq.CandidateData {
+	data := make([]pnnq.CandidateData, len(snap.Candidates))
+	for i, c := range snap.Candidates {
+		data[i] = pnnq.CandidateData{ID: c.ID, Instances: snap.Instances[i]}
+	}
+	return data
+}
+
+// PossibleNNWithCost is PossibleNN plus the per-query cost breakdown. It
+// skips the Step-2 data fetch, so its leaf I/O is the pure Step-1 cost.
+func (ix *Index) PossibleNNWithCost(q Point) ([]Candidate, QueryCost, error) {
+	cands, leafIO, err := ix.inner.PossibleNNIO(q)
+	if err != nil {
+		return nil, QueryCost{}, err
+	}
+	return cands, QueryCost{Candidates: len(cands), LeafIO: leafIO}, nil
+}
+
+// UpdateStats reports the cost of one incremental maintenance operation:
+// how many objects were examined and recomputed, and where the time went.
+type UpdateStats = pvindex.UpdateStats
+
 // Insert adds o to the database and incrementally refreshes the index.
+// Writers are exclusive: Insert blocks until in-flight queries drain, and
+// queries started after it observe the fully applied update.
 func (ix *Index) Insert(o *Object) error {
 	_, err := ix.inner.Insert(o)
 	return err
 }
 
+// InsertWithStats is Insert plus the maintenance cost breakdown.
+func (ix *Index) InsertWithStats(o *Object) (UpdateStats, error) {
+	return ix.inner.Insert(o)
+}
+
 // Delete removes the object with the given ID from the database and
-// incrementally refreshes the index.
+// incrementally refreshes the index. Like Insert, it is exclusive.
 func (ix *Index) Delete(id ID) error {
 	_, err := ix.inner.Delete(id)
 	return err
 }
 
+// DeleteWithStats is Delete plus the maintenance cost breakdown.
+func (ix *Index) DeleteWithStats(id ID) (UpdateStats, error) {
+	return ix.inner.Delete(id)
+}
+
+// Len returns the number of indexed objects. Unlike DB().Len(), it is safe
+// to call while writers are running.
+func (ix *Index) Len() int {
+	n := 0
+	_ = ix.inner.View(func(db *uncertain.DB) error {
+		n = db.Len()
+		return nil
+	})
+	return n
+}
+
 // UBR returns the stored Uncertain Bounding Rectangle of an object.
 func (ix *Index) UBR(id ID) (Rect, bool) { return ix.inner.UBR(id) }
 
-// DB returns the database the index is bound to.
+// DB returns the database the index is bound to. The pointer is stable, but
+// reading through it while Insert/Delete writers run is racy — use Len, UBR
+// and the query methods instead, which take the index's lock.
 func (ix *Index) DB() *DB { return ix.inner.DB() }
 
 // IOStats reports the simulated disk I/O counters accumulated so far.
