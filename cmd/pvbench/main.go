@@ -49,6 +49,10 @@ func main() {
 		step1   = flag.Bool("step1only", false, "load: PossibleNN only (skip Step 2)")
 		loadN   = flag.Int("n", 20000, "load: object count for the in-process index")
 		loadD   = flag.Int("d", 2, "load: dimensionality for the in-process index")
+
+		// Read-path benchmark flags (the "readpath" experiment).
+		rpJSON     = flag.String("json", "BENCH_readpath.json", "readpath: output JSON path (empty = stdout only)")
+		rpBaseline = flag.String("baseline", "", "readpath: prior readpath JSON to embed as the before side")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -104,11 +108,14 @@ func main() {
 
 	var names []string
 	wantLoad := false
+	wantReadpath := false
 	allSeen := false
 	for _, arg := range flag.Args() {
 		switch {
 		case arg == "load":
 			wantLoad = true
+		case arg == "readpath":
+			wantReadpath = true
 		case arg == "all":
 			allSeen = true
 		default:
@@ -138,6 +145,22 @@ func main() {
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pvbench: load: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if wantReadpath {
+		err := runReadpath(readpathConfig{
+			JSONPath:     *rpJSON,
+			BaselinePath: *rpBaseline,
+			Duration:     *loadDur,
+			Conns:        *conns,
+			N:            *loadN,
+			Dim:          *loadD,
+			Instances:    *instances,
+			Seed:         *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvbench: readpath: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -175,6 +198,7 @@ experiments:
   params                        parameter sensitivity study (§VII-C a)
   all                           everything above, in order
   load                          load generator: throughput + p50/p95/p99
+  readpath                      read-path benchmark: QPS, p50/p99, allocs/op -> JSON
 
 flags:
 `)

@@ -1,0 +1,274 @@
+package main
+
+// Read-path benchmark mode: measures the serving read path of a PV-index —
+// sustained closed-loop throughput with latency percentiles, plus per-call
+// time and allocation profiles for the full PNNQ and the Step-1-only path —
+// and writes the results as JSON so the repo can track its performance
+// trajectory commit over commit (BENCH_readpath.json).
+//
+// Run once at a baseline commit to produce the "before" file, then at the
+// candidate commit with -baseline pointing at it: the output then carries
+// both sides of the comparison.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"pvoronoi"
+	"pvoronoi/internal/dataset"
+	"pvoronoi/internal/stats"
+)
+
+// readpathConfig bundles the readpath experiment parameters.
+type readpathConfig struct {
+	JSONPath     string // output file ("" = stdout only)
+	BaselinePath string // prior readpath JSON to embed as "before"
+	Duration     time.Duration
+	Conns        int // closed-loop worker count
+	N, Dim       int
+	Instances    int
+	Seed         int64
+}
+
+// readpathMeasurement is one side (before or after) of the comparison.
+type readpathMeasurement struct {
+	QPS   float64 `json:"qps"`
+	P50us int64   `json:"p50_us"`
+	P99us int64   `json:"p99_us"`
+
+	QueryNsOp        int64 `json:"query_ns_op"`
+	QueryAllocsOp    int64 `json:"query_allocs_op"`
+	QueryBytesOp     int64 `json:"query_bytes_op"`
+	PossibleNNNsOp   int64 `json:"possiblenn_ns_op"`
+	PossibleNNAllocs int64 `json:"possiblenn_allocs_op"`
+	PossibleNNBytes  int64 `json:"possiblenn_bytes_op"`
+
+	LeafIOPerQuery float64 `json:"leaf_io_per_query"`
+	StoreReads     int64   `json:"store_reads"`
+	Errors         int64   `json:"errors"`
+}
+
+// readpathReport is the serialized BENCH_readpath.json document.
+type readpathReport struct {
+	GeneratedBy string               `json:"generated_by"`
+	Config      readpathConfigJSON   `json:"config"`
+	Before      *readpathMeasurement `json:"before,omitempty"`
+	After       readpathMeasurement  `json:"after"`
+}
+
+type readpathConfigJSON struct {
+	Objects    int     `json:"objects"`
+	Dim        int     `json:"dim"`
+	Instances  int     `json:"instances"`
+	Seed       int64   `json:"seed"`
+	DurationS  float64 `json:"duration_s"`
+	Conns      int     `json:"conns"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+}
+
+// runReadpath builds a synthetic index and measures its read path.
+func runReadpath(cfg readpathConfig) error {
+	if cfg.Conns <= 0 {
+		cfg.Conns = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+
+	fmt.Printf("readpath: building PV-index over %d objects (d=%d, %d instances)...\n",
+		cfg.N, cfg.Dim, cfg.Instances)
+	db := dataset.Synthetic(dataset.SyntheticParams{
+		N: cfg.N, Dim: cfg.Dim, MaxSide: 60, Instances: cfg.Instances, Seed: cfg.Seed,
+	})
+	ix, err := pvoronoi.BuildParallel(db, pvoronoi.DefaultOptions(), 0)
+	if err != nil {
+		return err
+	}
+
+	randPoint := func(rng *rand.Rand) pvoronoi.Point {
+		p := make(pvoronoi.Point, cfg.Dim)
+		for j := range p {
+			p[j] = db.Domain.Lo[j] + rng.Float64()*(db.Domain.Hi[j]-db.Domain.Lo[j])
+		}
+		return p
+	}
+
+	var m readpathMeasurement
+
+	// Micro profiles: per-call latency and allocations through the public API.
+	qb := testing.Benchmark(func(b *testing.B) {
+		rng := rand.New(rand.NewSource(cfg.Seed + 7))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Query(randPoint(rng)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	m.QueryNsOp = qb.NsPerOp()
+	m.QueryAllocsOp = qb.AllocsPerOp()
+	m.QueryBytesOp = qb.AllocedBytesPerOp()
+
+	pb := testing.Benchmark(func(b *testing.B) {
+		rng := rand.New(rand.NewSource(cfg.Seed + 8))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.PossibleNN(randPoint(rng)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	m.PossibleNNNsOp = pb.NsPerOp()
+	m.PossibleNNAllocs = pb.AllocsPerOp()
+	m.PossibleNNBytes = pb.AllocedBytesPerOp()
+
+	// Sustained closed-loop throughput: cfg.Conns workers issuing full PNNQs
+	// back to back for the measurement window.
+	ix.ResetIO()
+	var (
+		mu        sync.Mutex
+		latencies stats.Sample
+		completed int64
+		leafIO    int64
+		failures  int64
+	)
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Conns; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var local []float64
+			var n, io, failed int64
+			for time.Now().Before(deadline) {
+				q := randPoint(rng)
+				t0 := time.Now()
+				_, cost, err := ix.QueryWithCost(q)
+				if err != nil {
+					failed++
+					continue
+				}
+				local = append(local, float64(time.Since(t0).Microseconds()))
+				n++
+				io += int64(cost.LeafIO)
+			}
+			mu.Lock()
+			for _, v := range local {
+				latencies.Add(v)
+			}
+			completed += n
+			leafIO += io
+			failures += failed
+			mu.Unlock()
+		}(cfg.Seed + 100 + int64(w))
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	m.QPS = float64(completed) / elapsed.Seconds()
+	m.P50us = int64(latencies.Percentile(50))
+	m.P99us = int64(latencies.Percentile(99))
+	if completed > 0 {
+		m.LeafIOPerQuery = float64(leafIO) / float64(completed)
+	}
+	m.StoreReads = ix.IO().Reads
+	m.Errors = failures
+	if failures > 0 {
+		fmt.Printf("readpath: WARNING: %d queries failed during the throughput window\n", failures)
+	}
+
+	report := readpathReport{
+		GeneratedBy: "pvbench readpath",
+		Config: readpathConfigJSON{
+			Objects: cfg.N, Dim: cfg.Dim, Instances: cfg.Instances, Seed: cfg.Seed,
+			DurationS: cfg.Duration.Seconds(), Conns: cfg.Conns,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+		},
+		After: m,
+	}
+	if cfg.BaselinePath != "" {
+		prior, err := loadReadpathBaseline(cfg.BaselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline %s: %w", cfg.BaselinePath, err)
+		}
+		report.Before = prior
+	}
+
+	printReadpath(report)
+
+	if cfg.JSONPath != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(cfg.JSONPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}
+
+// loadReadpathBaseline reads a prior readpath report and returns its "after"
+// measurement (the baseline commit's state of the read path).
+func loadReadpathBaseline(path string) (*readpathMeasurement, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var prior readpathReport
+	if err := json.Unmarshal(buf, &prior); err != nil {
+		return nil, err
+	}
+	return &prior.After, nil
+}
+
+// printReadpath renders the report, with before/after deltas when available.
+func printReadpath(r readpathReport) {
+	fmt.Printf("\nread-path report (n=%d d=%d conns=%d window=%.0fs)\n",
+		r.Config.Objects, r.Config.Dim, r.Config.Conns, r.Config.DurationS)
+	row := func(name string, before, after float64, unit string, lowerBetter bool) {
+		if r.Before == nil {
+			fmt.Printf("  %-22s %12.1f %s\n", name, after, unit)
+			return
+		}
+		delta := ""
+		if before > 0 {
+			ratio := after / before
+			if lowerBetter {
+				delta = fmt.Sprintf("  (%.2fx of baseline)", ratio)
+			} else {
+				delta = fmt.Sprintf("  (%.2fx baseline)", ratio)
+			}
+		}
+		fmt.Printf("  %-22s %12.1f -> %12.1f %s%s\n", name, before, after, unit, delta)
+	}
+	b := r.Before
+	get := func(f func(*readpathMeasurement) float64) float64 {
+		if b == nil {
+			return 0
+		}
+		return f(b)
+	}
+	a := &r.After
+	row("throughput", get(func(m *readpathMeasurement) float64 { return m.QPS }), a.QPS, "q/s", false)
+	row("latency p50", get(func(m *readpathMeasurement) float64 { return float64(m.P50us) }), float64(a.P50us), "us", true)
+	row("latency p99", get(func(m *readpathMeasurement) float64 { return float64(m.P99us) }), float64(a.P99us), "us", true)
+	row("query ns/op", get(func(m *readpathMeasurement) float64 { return float64(m.QueryNsOp) }), float64(a.QueryNsOp), "ns", true)
+	row("query allocs/op", get(func(m *readpathMeasurement) float64 { return float64(m.QueryAllocsOp) }), float64(a.QueryAllocsOp), "", true)
+	row("possiblenn ns/op", get(func(m *readpathMeasurement) float64 { return float64(m.PossibleNNNsOp) }), float64(a.PossibleNNNsOp), "ns", true)
+	row("possiblenn allocs/op", get(func(m *readpathMeasurement) float64 { return float64(m.PossibleNNAllocs) }), float64(a.PossibleNNAllocs), "", true)
+	row("leaf IO / query", get(func(m *readpathMeasurement) float64 { return m.LeafIOPerQuery }), a.LeafIOPerQuery, "pages", true)
+	if a.Errors > 0 || (b != nil && b.Errors > 0) {
+		row("errors", get(func(m *readpathMeasurement) float64 { return float64(m.Errors) }), float64(a.Errors), "", true)
+	}
+}

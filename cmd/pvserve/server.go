@@ -202,10 +202,12 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		out[i] = resultJSON{ID: uint32(res.ID), Prob: res.Prob}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"results":    out,
-		"candidates": cost.Candidates,
-		"leaf_io":    cost.LeafIO,
-		"latency_us": elapsed.Microseconds(),
+		"results":      out,
+		"candidates":   cost.Candidates,
+		"leaf_io":      cost.LeafIO,
+		"cache_hits":   cost.CacheHits,
+		"cache_misses": cost.CacheMisses,
+		"latency_us":   elapsed.Microseconds(),
 	})
 }
 
@@ -446,6 +448,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	endpoints, uptime := s.metrics.snapshot()
 	io := s.ix.IO()
+	rc := s.ix.RecordCache()
 	domain := s.ix.DB().Domain // immutable after NewDB; safe without the lock
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_s": uptime.Seconds(),
@@ -457,6 +460,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"io": map[string]int64{
 			"reads":  io.Reads,
 			"writes": io.Writes,
+		},
+		"record_cache": map[string]int64{
+			"hits":     rc.Hits,
+			"misses":   rc.Misses,
+			"resident": int64(rc.Resident),
+			"capacity": int64(rc.Capacity),
 		},
 		"endpoints": endpoints,
 	})

@@ -111,6 +111,183 @@ func TestConcurrentQueriesWithWriter(t *testing.T) {
 	}
 }
 
+// TestRecordCacheNeverStale is the record cache's deterministic staleness
+// oracle: after every Insert/Delete — including re-inserting the same ID
+// with a different pdf, the access pattern most likely to surface a missed
+// invalidation — queries through the (warm-cached) index must agree exactly
+// with a freshly built index over the same database.
+func TestRecordCacheNeverStale(t *testing.T) {
+	db := buildSmallDB(t, 60, true)
+	ix, err := Build(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []Point{{500, 500}, {120, 780}, {903, 88}, {333, 333}}
+	warmAndCheck := func(step string) {
+		t.Helper()
+		fresh, err := Build(db, testOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range qs {
+			// Query twice so the second answer is served from a warm cache.
+			if _, err := ix.Query(q); err != nil {
+				t.Fatal(err)
+			}
+			got, err := ix.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s: cached query at %v diverged from fresh index\ncached: %v\nfresh:  %v",
+					step, q, got, want)
+			}
+		}
+	}
+
+	warmAndCheck("initial build")
+
+	region := NewRect(Point{480, 480}, Point{520, 520})
+	const churnID = ID(7777)
+	// pdf A: all mass at the region's center.
+	objA := &Object{ID: churnID, Region: region, Instances: []Instance{
+		{Pos: Point{500, 500}, Prob: 1},
+	}}
+	if err := ix.Insert(objA); err != nil {
+		t.Fatal(err)
+	}
+	warmAndCheck("insert pdf A")
+
+	if err := ix.Delete(churnID); err != nil {
+		t.Fatal(err)
+	}
+	warmAndCheck("delete")
+
+	// pdf B: same ID, same region, mass split across two corners. A stale
+	// cached record would still answer with pdf A here.
+	objB := &Object{ID: churnID, Region: region, Instances: []Instance{
+		{Pos: Point{481, 481}, Prob: 0.5},
+		{Pos: Point{519, 519}, Prob: 0.5},
+	}}
+	if err := ix.Insert(objB); err != nil {
+		t.Fatal(err)
+	}
+	warmAndCheck("re-insert pdf B")
+
+	hitsBefore := ix.RecordCache()
+	if hitsBefore.Hits == 0 {
+		t.Fatal("record cache recorded no hits — the staleness oracle never exercised the cache")
+	}
+}
+
+// TestRecordCacheConcurrentChurn hammers the record cache's invalidation
+// path under -race: readers run full PNNQs (checking every result's
+// probabilities still sum to 1) while a writer cycles the same IDs through
+// insert/delete with fresh pdfs each round — so any cached record that
+// survives an invalidation is served visibly stale.
+func TestRecordCacheConcurrentChurn(t *testing.T) {
+	db := buildSmallDB(t, 100, true)
+	ix, err := Build(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const churn = 12
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		rng := rand.New(rand.NewSource(5))
+		for round := 0; round < 10; round++ {
+			for i := 0; i < churn; i++ {
+				id := ID(2000 + i)
+				lo := Point{rng.Float64() * 950, rng.Float64() * 950}
+				region := NewRect(lo, Point{lo[0] + 5 + rng.Float64()*30, lo[1] + 5 + rng.Float64()*30})
+				o := &Object{
+					ID:     id,
+					Region: region,
+					// Fresh pdf each round: stale cache entries would leak
+					// the previous round's instances.
+					Instances: SampleUniform(region, 8, int64(round*1000+i)),
+				}
+				if err := ix.Insert(o); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			for i := 0; i < churn; i++ {
+				if err := ix.Delete(ID(2000 + i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := Point{rng.Float64() * 1000, rng.Float64() * 1000}
+				results, cost, err := ix.QueryWithCost(q)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var sum float64
+				for _, res := range results {
+					sum += res.Prob
+				}
+				if len(results) > 0 && (sum < 0.999 || sum > 1.001) {
+					t.Errorf("stale read suspected: probabilities sum to %g", sum)
+					return
+				}
+				if cost.CacheHits+cost.CacheMisses != cost.Candidates {
+					t.Errorf("cache accounting: %d hits + %d misses != %d candidates",
+						cost.CacheHits, cost.CacheMisses, cost.Candidates)
+					return
+				}
+			}
+		}(int64(100 + r))
+	}
+	wg.Wait()
+
+	// Post-churn, the warm index must agree exactly with a fresh build.
+	fresh, err := Build(db, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 40; i++ {
+		q := Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		got, err := ix.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("post-churn query at %v diverged from fresh index", q)
+		}
+	}
+}
+
 // TestBatchMatchesSequential checks that QueryBatch and PossibleNNBatch
 // return, position for position, exactly what sequential calls return.
 func TestBatchMatchesSequential(t *testing.T) {

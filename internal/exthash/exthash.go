@@ -93,10 +93,12 @@ type slot struct {
 }
 
 func (t *Table) readBucket(id pagestore.PageID) (bucket, error) {
-	buf, err := t.store.Read(id)
-	if err != nil {
+	scratch := t.store.AcquirePage()
+	defer t.store.ReleasePage(scratch)
+	if err := t.store.ReadInto(id, *scratch); err != nil {
 		return bucket{}, err
 	}
+	buf := *scratch
 	b := bucket{localDepth: binary.LittleEndian.Uint16(buf[0:2])}
 	n := int(binary.LittleEndian.Uint16(buf[2:4]))
 	b.slots = make([]slot, n)
@@ -116,7 +118,9 @@ func (t *Table) writeBucket(id pagestore.PageID, b bucket) error {
 	if len(b.slots) > t.slotsPer {
 		return fmt.Errorf("exthash: bucket overflow: %d slots", len(b.slots))
 	}
-	buf := make([]byte, bucketHeader+len(b.slots)*slotSize)
+	scratch := t.store.AcquirePage()
+	defer t.store.ReleasePage(scratch)
+	buf := (*scratch)[:bucketHeader+len(b.slots)*slotSize]
 	binary.LittleEndian.PutUint16(buf[0:2], b.localDepth)
 	binary.LittleEndian.PutUint16(buf[2:4], uint16(len(b.slots)))
 	off := bucketHeader
@@ -132,6 +136,8 @@ func (t *Table) writeBucket(id pagestore.PageID, b bucket) error {
 // writeValue stores val in a fresh chain of value pages, returning the head.
 func (t *Table) writeValue(val []byte) (pagestore.PageID, error) {
 	dataPer := t.store.PageSize() - chainHeader
+	scratch := t.store.AcquirePage()
+	defer t.store.ReleasePage(scratch)
 	var head, prev pagestore.PageID
 	for off := 0; off == 0 || off < len(val); off += dataPer {
 		p, err := t.store.Alloc()
@@ -143,7 +149,8 @@ func (t *Table) writeValue(val []byte) (pagestore.PageID, error) {
 			end = len(val)
 		}
 		chunk := val[off:end]
-		buf := make([]byte, chainHeader+len(chunk))
+		buf := (*scratch)[:chainHeader+len(chunk)]
+		binary.LittleEndian.PutUint32(buf[0:4], 0) // no next page yet
 		binary.LittleEndian.PutUint32(buf[4:8], uint32(len(chunk)))
 		copy(buf[chainHeader:], chunk)
 		if err := t.store.Write(p, buf); err != nil {
@@ -152,13 +159,16 @@ func (t *Table) writeValue(val []byte) (pagestore.PageID, error) {
 		if head == 0 {
 			head = p
 		} else {
-			// Patch the previous page's next pointer.
-			pb, err := t.store.Read(prev)
-			if err != nil {
-				return 0, err
+			// Patch the previous page's next pointer (full read-modify-write;
+			// scratch still holds this page's chunk, so use a second buffer).
+			pb := t.store.AcquirePage()
+			err := t.store.ReadInto(prev, *pb)
+			if err == nil {
+				binary.LittleEndian.PutUint32(*pb, uint32(p))
+				err = t.store.Write(prev, *pb)
 			}
-			binary.LittleEndian.PutUint32(pb[0:4], uint32(p))
-			if err := t.store.Write(prev, pb); err != nil {
+			t.store.ReleasePage(pb)
+			if err != nil {
 				return 0, err
 			}
 		}
@@ -171,14 +181,17 @@ func (t *Table) writeValue(val []byte) (pagestore.PageID, error) {
 }
 
 // readValue reads a value of total length n from the chain starting at head.
+// Only the returned value is allocated; chain pages land in a pooled buffer.
 func (t *Table) readValue(head pagestore.PageID, n uint32) ([]byte, error) {
 	out := make([]byte, 0, n)
+	scratch := t.store.AcquirePage()
+	defer t.store.ReleasePage(scratch)
 	p := head
 	for p != 0 {
-		buf, err := t.store.Read(p)
-		if err != nil {
+		if err := t.store.ReadInto(p, *scratch); err != nil {
 			return nil, err
 		}
+		buf := *scratch
 		next := pagestore.PageID(binary.LittleEndian.Uint32(buf[0:4]))
 		used := binary.LittleEndian.Uint32(buf[4:8])
 		if int(used) > len(buf)-chainHeader {

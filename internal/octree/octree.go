@@ -132,7 +132,9 @@ func (t *Tree) writeLeafPage(id pagestore.PageID, next pagestore.PageID, entries
 	if len(entries) > t.perPage() {
 		return fmt.Errorf("octree: %d entries exceed page capacity %d", len(entries), t.perPage())
 	}
-	buf := make([]byte, 8+len(entries)*t.entrySize())
+	scratch := t.store.AcquirePage()
+	defer t.store.ReleasePage(scratch)
+	buf := (*scratch)[:8+len(entries)*t.entrySize()]
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(next))
 	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(entries)))
 	off := 8
@@ -151,31 +153,53 @@ func (t *Tree) writeLeafPage(id pagestore.PageID, next pagestore.PageID, entries
 	return t.store.Write(id, buf)
 }
 
-func (t *Tree) readLeafPage(id pagestore.PageID) (next pagestore.PageID, entries []Entry, err error) {
-	buf, err := t.store.Read(id)
-	if err != nil {
-		return 0, nil, err
-	}
+// decodeLeafPage parses an encoded leaf page, appending its entries to dst
+// and returning the chained next-page ID. Spare capacity in dst is reused —
+// including each recycled Entry's coordinate slices — so steady-state decode
+// into a pooled scratch slice performs no allocation. Callers that retain
+// the entries past the scratch's lifetime must deep-copy the regions.
+func (t *Tree) decodeLeafPage(buf []byte, dst []Entry) (next pagestore.PageID, out []Entry) {
 	next = pagestore.PageID(binary.LittleEndian.Uint32(buf[0:4]))
 	n := int(binary.LittleEndian.Uint32(buf[4:8]))
-	entries = make([]Entry, n)
 	off := 8
 	for i := 0; i < n; i++ {
-		e := Entry{ID: binary.LittleEndian.Uint32(buf[off:])}
+		if len(dst) < cap(dst) {
+			dst = dst[:len(dst)+1]
+		} else {
+			dst = append(dst, Entry{})
+		}
+		e := &dst[len(dst)-1]
+		e.ID = binary.LittleEndian.Uint32(buf[off:])
 		off += 4
-		lo := make(geom.Point, t.dim)
-		hi := make(geom.Point, t.dim)
+		if cap(e.Region.Lo) >= t.dim {
+			e.Region.Lo = e.Region.Lo[:t.dim]
+		} else {
+			e.Region.Lo = make(geom.Point, t.dim)
+		}
+		if cap(e.Region.Hi) >= t.dim {
+			e.Region.Hi = e.Region.Hi[:t.dim]
+		} else {
+			e.Region.Hi = make(geom.Point, t.dim)
+		}
 		for j := 0; j < t.dim; j++ {
-			lo[j] = bitsFloat(binary.LittleEndian.Uint64(buf[off:]))
+			e.Region.Lo[j] = bitsFloat(binary.LittleEndian.Uint64(buf[off:]))
 			off += 8
 		}
 		for j := 0; j < t.dim; j++ {
-			hi[j] = bitsFloat(binary.LittleEndian.Uint64(buf[off:]))
+			e.Region.Hi[j] = bitsFloat(binary.LittleEndian.Uint64(buf[off:]))
 			off += 8
 		}
-		e.Region = geom.Rect{Lo: lo, Hi: hi}
-		entries[i] = e
 	}
+	return next, dst
+}
+
+func (t *Tree) readLeafPage(id pagestore.PageID) (next pagestore.PageID, entries []Entry, err error) {
+	scratch := t.store.AcquirePage()
+	defer t.store.ReleasePage(scratch)
+	if err := t.store.ReadInto(id, *scratch); err != nil {
+		return 0, nil, err
+	}
+	next, entries = t.decodeLeafPage(*scratch, nil)
 	return next, entries, nil
 }
 
@@ -420,8 +444,17 @@ func (t *Tree) PointQuery(q geom.Point) ([]Entry, error) {
 // it — the per-query leaf I/O cost of Figs. 9(c)/9(g), attributable to this
 // call even when many queries share the store concurrently.
 func (t *Tree) PointQueryIO(q geom.Point) ([]Entry, int, error) {
+	return t.PointQueryInto(q, nil)
+}
+
+// PointQueryInto is PointQueryIO decoding into dst (appended to, capacity
+// reused): the allocation-free variant for callers that keep a scratch
+// slice across queries. The returned entries alias dst's backing memory —
+// including recycled coordinate slices — so they are only valid until dst is
+// next reused; retain them beyond that only as deep copies.
+func (t *Tree) PointQueryInto(q geom.Point, dst []Entry) ([]Entry, int, error) {
 	if !t.domain.Contains(q) {
-		return nil, 0, fmt.Errorf("octree: query point %v outside domain %v", q, t.domain)
+		return dst, 0, fmt.Errorf("octree: query point %v outside domain %v", q, t.domain)
 	}
 	n := t.root
 	region := t.domain
@@ -436,19 +469,18 @@ func (t *Tree) PointQueryIO(q geom.Point) ([]Entry, int, error) {
 		region = childRegion(region, mask)
 		n = n.children[mask]
 	}
-	var all []Entry
+	scratch := t.store.AcquirePage()
+	defer t.store.ReleasePage(scratch)
 	pagesRead := 0
 	p := n.firstPage
 	for p != 0 {
-		next, entries, err := t.readLeafPage(p)
-		if err != nil {
-			return nil, pagesRead, err
+		if err := t.store.ReadInto(p, *scratch); err != nil {
+			return dst, pagesRead, err
 		}
 		pagesRead++
-		all = append(all, entries...)
-		p = next
+		p, dst = t.decodeLeafPage(*scratch, dst)
 	}
-	return all, pagesRead, nil
+	return dst, pagesRead, nil
 }
 
 // RangeIDs returns the distinct object IDs stored in leaves whose cells

@@ -12,23 +12,31 @@ type Image struct {
 }
 
 // Image captures the store's current pages and allocator state. The copy is
-// deep; later mutations of the store do not affect it.
+// deep; later mutations of the store do not affect it. It locks the
+// allocator and every shard (in the fixed allocMu-before-shards order), so
+// the snapshot is atomic with respect to concurrent operations.
 func (s *Store) Image() *Image {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		defer s.shards[i].mu.RUnlock()
+	}
 	img := &Image{
 		PageSize: s.pageSize,
 		Next:     uint32(s.next),
 		Free:     make([]uint32, len(s.free)),
-		Pages:    make(map[uint32][]byte, len(s.pages)),
+		Pages:    make(map[uint32][]byte, s.Live()),
 	}
 	for i, id := range s.free {
 		img.Free[i] = uint32(id)
 	}
-	for id, data := range s.pages {
-		buf := make([]byte, len(data))
-		copy(buf, data)
-		img.Pages[uint32(id)] = buf
+	for i := range s.shards {
+		for id, data := range s.shards[i].pages {
+			buf := make([]byte, len(data))
+			copy(buf, data)
+			img.Pages[uint32(id)] = buf
+		}
 	}
 	return img
 }
@@ -52,7 +60,8 @@ func FromImage(img *Image) (*Store, error) {
 		}
 		buf := make([]byte, len(data))
 		copy(buf, data)
-		s.pages[PageID(id)] = buf
+		s.shardFor(PageID(id)).pages[PageID(id)] = buf
+		s.live.Add(1)
 	}
 	return s, nil
 }

@@ -18,6 +18,11 @@ import (
 // DefaultPageSize is the page size used throughout the experiments (4 KB).
 const DefaultPageSize = 4096
 
+// numShards is the lock-striping factor of the page map. Page IDs are
+// assigned sequentially, so id&(numShards-1) spreads consecutive pages
+// evenly; a power of two keeps the shard pick a single mask instruction.
+const numShards = 16
+
 // PageID identifies a page within a Store. Zero is never a valid page.
 type PageID uint32
 
@@ -42,17 +47,32 @@ func (s Stats) Sub(earlier Stats) Stats {
 // IO returns total page touches (reads + writes).
 func (s Stats) IO() int64 { return s.Reads + s.Writes }
 
+// shard is one stripe of the page map with its own lock, so concurrent
+// readers of different pages never touch the same cache line of lock state.
+type shard struct {
+	mu    sync.RWMutex
+	pages map[PageID][]byte
+}
+
 // Store is a page allocator with I/O accounting. It is safe for concurrent
-// use: reads share an RWMutex read lock so concurrent readers proceed in
-// parallel, mutations (write/alloc/free) take the write lock, and the I/O
-// counters are atomics so accounting never serializes the read path.
+// use: the page map is split into numShards lock-striped shards (page ID →
+// shard), so reads and writes of different pages proceed without contending
+// on a single lock. Allocator state (free list, next ID, page limit) sits
+// behind its own mutex, and the I/O counters are atomics so accounting never
+// serializes the read path.
+//
+// Lock order: allocMu before any shard lock; shard locks are never nested.
 type Store struct {
-	mu       sync.RWMutex
 	pageSize int
-	pages    map[PageID][]byte
-	free     []PageID
-	next     PageID
-	limit    int // max live pages; 0 = unlimited
+	shards   [numShards]shard
+
+	allocMu sync.Mutex
+	free    []PageID
+	next    PageID
+	limit   int // max live pages; 0 = unlimited
+	live    atomic.Int64
+
+	bufs sync.Pool // *[]byte scratch buffers of pageSize bytes
 
 	reads, writes, allocs, frees atomic.Int64
 }
@@ -65,7 +85,15 @@ func New(pageSize int) *Store {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
-	return &Store{pageSize: pageSize, pages: make(map[PageID][]byte), next: 1}
+	s := &Store{pageSize: pageSize, next: 1}
+	for i := range s.shards {
+		s.shards[i].pages = make(map[PageID][]byte)
+	}
+	s.bufs.New = func() any {
+		b := make([]byte, pageSize)
+		return &b
+	}
+	return s
 }
 
 // NewLimited returns a store that fails Alloc after maxPages live pages,
@@ -79,11 +107,31 @@ func NewLimited(pageSize, maxPages int) *Store {
 // PageSize returns the size in bytes of each page.
 func (s *Store) PageSize() int { return s.pageSize }
 
+func (s *Store) shardFor(id PageID) *shard {
+	return &s.shards[uint32(id)&(numShards-1)]
+}
+
+// AcquirePage hands out a page-sized scratch buffer from the store's pool.
+// Pair with ReleasePage on every path; the contents are arbitrary leftovers
+// from the previous user.
+func (s *Store) AcquirePage() *[]byte {
+	return s.bufs.Get().(*[]byte)
+}
+
+// ReleasePage returns a buffer obtained from AcquirePage to the pool.
+// Buffers of the wrong size are dropped rather than poisoning the pool.
+func (s *Store) ReleasePage(p *[]byte) {
+	if p == nil || len(*p) != s.pageSize {
+		return
+	}
+	s.bufs.Put(p)
+}
+
 // Alloc reserves a new zeroed page and returns its ID.
 func (s *Store) Alloc() (PageID, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.limit > 0 && len(s.pages) >= s.limit {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	if s.limit > 0 && int(s.live.Load()) >= s.limit {
 		return 0, ErrFull
 	}
 	var id PageID
@@ -94,57 +142,104 @@ func (s *Store) Alloc() (PageID, error) {
 		id = s.next
 		s.next++
 	}
-	s.pages[id] = make([]byte, s.pageSize)
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	sh.pages[id] = make([]byte, s.pageSize)
+	sh.mu.Unlock()
+	s.live.Add(1)
 	s.allocs.Add(1)
 	return id, nil
 }
 
 // Free releases a page back to the store.
 func (s *Store) Free(id PageID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.pages[id]; !ok {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	_, ok := sh.pages[id]
+	if !ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("pagestore: free of unknown page %d", id)
 	}
-	delete(s.pages, id)
+	delete(sh.pages, id)
+	sh.mu.Unlock()
 	s.free = append(s.free, id)
+	s.live.Add(-1)
 	s.frees.Add(1)
 	return nil
 }
 
 // Read copies the page contents into a fresh buffer and counts one read I/O.
-// Concurrent reads proceed in parallel.
+// Concurrent reads proceed in parallel; reads of pages in different shards
+// don't even share a lock. Hot paths that can reuse a buffer should prefer
+// ReadInto, which performs no allocation.
 func (s *Store) Read(id PageID) ([]byte, error) {
-	s.mu.RLock()
-	p, ok := s.pages[id]
-	if !ok {
-		s.mu.RUnlock()
-		return nil, fmt.Errorf("pagestore: read of unknown page %d", id)
-	}
 	buf := make([]byte, s.pageSize)
-	copy(buf, p)
-	s.mu.RUnlock()
-	s.reads.Add(1)
+	if err := s.ReadInto(id, buf); err != nil {
+		return nil, err
+	}
 	return buf, nil
+}
+
+// ReadInto copies the page contents into dst, which must hold at least one
+// page, and counts one read I/O. It performs no allocation — combined with
+// AcquirePage/ReleasePage this is the zero-garbage read path.
+func (s *Store) ReadInto(id PageID, dst []byte) error {
+	if len(dst) < s.pageSize {
+		return fmt.Errorf("pagestore: ReadInto buffer of %d bytes, page size is %d", len(dst), s.pageSize)
+	}
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	p, ok := sh.pages[id]
+	if !ok {
+		sh.mu.RUnlock()
+		return fmt.Errorf("pagestore: read of unknown page %d", id)
+	}
+	copy(dst, p)
+	sh.mu.RUnlock()
+	s.reads.Add(1)
+	return nil
+}
+
+// ReadAt copies up to len(dst) bytes starting at offset off within the page
+// into dst, returning the number of bytes copied. Like ReadInto it performs
+// no allocation; it still counts one full read I/O, because the simulated
+// disk transfers whole pages (partial reads are a decoding convenience, not
+// a cheaper access).
+func (s *Store) ReadAt(id PageID, dst []byte, off int) (int, error) {
+	if off < 0 || off > s.pageSize {
+		return 0, fmt.Errorf("pagestore: ReadAt offset %d outside page of %d bytes", off, s.pageSize)
+	}
+	sh := s.shardFor(id)
+	sh.mu.RLock()
+	p, ok := sh.pages[id]
+	if !ok {
+		sh.mu.RUnlock()
+		return 0, fmt.Errorf("pagestore: read of unknown page %d", id)
+	}
+	n := copy(dst, p[off:])
+	sh.mu.RUnlock()
+	s.reads.Add(1)
+	return n, nil
 }
 
 // Write replaces the page contents and counts one write I/O. Short buffers
 // are zero-padded; long buffers are an error (a page overflow bug upstream).
 func (s *Store) Write(id PageID, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.pages[id]
-	if !ok {
-		return fmt.Errorf("pagestore: write of unknown page %d", id)
-	}
 	if len(data) > s.pageSize {
 		return fmt.Errorf("pagestore: write of %d bytes exceeds page size %d", len(data), s.pageSize)
 	}
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	p, ok := sh.pages[id]
+	if !ok {
+		return fmt.Errorf("pagestore: write of unknown page %d", id)
+	}
 	s.writes.Add(1)
 	copy(p, data)
-	for i := len(data); i < s.pageSize; i++ {
-		p[i] = 0
-	}
+	clear(p[len(data):])
 	return nil
 }
 
@@ -168,7 +263,5 @@ func (s *Store) ResetStats() {
 
 // Live returns the number of currently allocated pages.
 func (s *Store) Live() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.pages)
+	return int(s.live.Load())
 }

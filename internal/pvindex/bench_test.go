@@ -20,16 +20,114 @@ func benchIndex(b *testing.B, n int) *Index {
 	return ix
 }
 
-func BenchmarkPossibleNN2k(b *testing.B) {
+// benchIndexInstances is benchIndex with stored pdf instances, so Snapshot's
+// Step-2 data fetch has real records to decode.
+func benchIndexInstances(b *testing.B, n int) *Index {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	db := randomDB(rng, n, 3, 10000, 60, true)
+	cfg := DefaultConfig()
+	ix, err := Build(db, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix
+}
+
+func benchPoint(rng *rand.Rand) geom.Point {
+	return geom.Point{rng.Float64() * 10000, rng.Float64() * 10000, rng.Float64() * 10000}
+}
+
+// BenchmarkPossibleNN measures the Step-1 hot loop: octree point query plus
+// candidate dedup and pruning.
+func BenchmarkPossibleNN(b *testing.B) {
 	ix := benchIndex(b, 2000)
 	rng := rand.New(rand.NewSource(2))
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		q := geom.Point{rng.Float64() * 10000, rng.Float64() * 10000, rng.Float64() * 10000}
-		if _, err := ix.PossibleNN(q); err != nil {
+		if _, err := ix.PossibleNN(benchPoint(rng)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSnapshot measures the full atomic read: Step 1 plus fetching every
+// candidate's stored pdf instances from the secondary index.
+func BenchmarkSnapshot(b *testing.B) {
+	ix := benchIndexInstances(b, 2000)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Snapshot(benchPoint(rng)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSnapshotAllocBudget pins the read-path overhaul's allocation win: the
+// pre-overhaul Snapshot cost ~162 allocs/op on this workload; the acceptance
+// bar is at least a 2x reduction, and the budget here (40) leaves headroom
+// while still failing loudly on any regression toward the old behavior.
+func TestSnapshotAllocBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := randomDB(rng, 500, 3, 10000, 60, true)
+	ix, err := Build(db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qrng := rand.New(rand.NewSource(2))
+	points := make([]geom.Point, 32)
+	for i := range points {
+		points[i] = benchPoint(qrng)
+	}
+	// Warm the record cache and the scratch pool first.
+	for _, q := range points {
+		if _, err := ix.Snapshot(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := ix.Snapshot(points[i%len(points)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs > 40 {
+		t.Fatalf("Snapshot allocates %.1f times per op, budget is 40 (pre-overhaul baseline: ~162)", allocs)
+	}
+}
+
+// TestPossibleNNAllocBudget pins the Step-1 hot loop's allocation budget
+// (pre-overhaul baseline: ~107 allocs/op).
+func TestPossibleNNAllocBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := randomDB(rng, 500, 3, 10000, 60, false)
+	ix, err := Build(db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qrng := rand.New(rand.NewSource(2))
+	points := make([]geom.Point, 32)
+	for i := range points {
+		points[i] = benchPoint(qrng)
+	}
+	for _, q := range points {
+		if _, err := ix.PossibleNN(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := ix.PossibleNN(points[i%len(points)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs > 30 {
+		t.Fatalf("PossibleNN allocates %.1f times per op, budget is 30 (pre-overhaul baseline: ~107)", allocs)
 	}
 }
 

@@ -36,6 +36,7 @@ func BuildParallel(db *uncertain.DB, cfg Config, workers int) (*Index, error) {
 		cfg.Fanout = rtree.DefaultFanout
 	}
 	ix := &Index{db: db, store: cfg.Store, cfg: cfg}
+	ix.initRuntime()
 
 	start := time.Now()
 	var err error

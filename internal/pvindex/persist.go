@@ -76,6 +76,7 @@ func LoadFrom(r io.Reader, db *uncertain.DB) (*Index, error) {
 			SE:        img.SE,
 		},
 	}
+	ix.initRuntime()
 	ix.secondary, err = exthash.FromImage(store, img.Secondary)
 	if err != nil {
 		return nil, err

@@ -32,6 +32,9 @@ type Config struct {
 	Fanout int
 	// SE are the Shrink-and-Expand parameters.
 	SE core.Options
+	// RecordCacheSize bounds the decoded-record cache in entries
+	// (0 = DefaultRecordCacheSize, negative = cache disabled).
+	RecordCacheSize int
 }
 
 // DefaultConfig returns the paper's defaults.
@@ -65,8 +68,33 @@ type Index struct {
 	regionTree *rtree.Tree
 	cfg        Config
 
+	// rcache holds decoded secondary-index records; writers invalidate
+	// touched IDs under the write lock (see recordcache.go).
+	rcache *recordCache
+	// scratch pools per-query working memory for the Step-1 hot loop.
+	scratch sync.Pool
+
 	// Build records the construction cost profile.
 	Build BuildStats
+}
+
+// queryScratch is the reusable working set of one possibleNN evaluation:
+// the decoded leaf entries, the pre-filter candidate list, and the dedup
+// set. Pooled so the Step-1 hot loop allocates only its returned survivors.
+type queryScratch struct {
+	entries []octree.Entry
+	cands   []Candidate
+	seen    map[uint32]struct{}
+}
+
+// initRuntime wires the non-persisted runtime state (record cache, scratch
+// pool). Every Index constructor — Build, BuildParallel, LoadFrom — calls it
+// before the index is shared.
+func (ix *Index) initRuntime() {
+	ix.rcache = newRecordCache(ix.cfg.RecordCacheSize)
+	ix.scratch.New = func() any {
+		return &queryScratch{seen: make(map[uint32]struct{}, 64)}
+	}
 }
 
 // Build constructs the PV-index for every object in db. The database is
@@ -83,6 +111,7 @@ func Build(db *uncertain.DB, cfg Config) (*Index, error) {
 		cfg.Fanout = rtree.DefaultFanout
 	}
 	ix := &Index{db: db, store: cfg.Store, cfg: cfg}
+	ix.initRuntime()
 
 	start := time.Now()
 	var err error
@@ -118,30 +147,65 @@ func Build(db *uncertain.DB, cfg Config) (*Index, error) {
 	return ix, nil
 }
 
-// lookupUBR serves octree leaf splits from the secondary index.
-func (ix *Index) lookupUBR(id uint32) (geom.Rect, bool) {
-	buf, ok, err := ix.secondary.Get(id)
-	if err != nil || !ok {
-		return geom.Rect{}, false
+// getRecord returns the decoded record for id, serving from the record
+// cache when possible and filling it on a miss. hit reports whether this
+// call was a cache hit. The returned record's slices are shared with the
+// cache — callers must treat them as immutable. Callers hold ix.mu (either
+// mode; read-lock holders never race invalidation, which needs the write
+// lock).
+func (ix *Index) getRecord(id uint32) (rec record, ok bool, hit bool, err error) {
+	if rec, ok := ix.rcache.get(id); ok {
+		return rec, true, true, nil
 	}
-	rec, err := decodeRecord(buf)
+	buf, found, err := ix.secondary.Get(id)
+	if err != nil || !found {
+		return record{}, false, false, err
+	}
+	rec, err = decodeRecord(buf)
 	if err != nil {
+		return record{}, false, false, err
+	}
+	ix.rcache.put(id, rec)
+	return rec, true, false, nil
+}
+
+// putRecord writes o's record to the secondary index and invalidates any
+// cached copy — the write-invalidation half of the cache's contract.
+// Callers hold ix.mu exclusively.
+func (ix *Index) putRecord(id uint32, rec record) error {
+	if err := ix.secondary.Put(id, encodeRecord(rec)); err != nil {
+		return err
+	}
+	ix.rcache.invalidate(id)
+	return nil
+}
+
+// lookupUBR serves octree leaf splits from the secondary index (via the
+// record cache).
+func (ix *Index) lookupUBR(id uint32) (geom.Rect, bool) {
+	rec, ok, _, err := ix.getRecord(id)
+	if err != nil || !ok {
 		return geom.Rect{}, false
 	}
 	return rec.UBR, true
 }
 
+// RecordCacheStats reports the decoded-record cache's hit/miss counters and
+// residency. Safe under concurrent traffic.
+func (ix *Index) RecordCacheStats() RecordCacheStats { return ix.rcache.stats() }
+
 // addObject writes o's record to the secondary index and its entries to the
 // primary index.
 func (ix *Index) addObject(o *uncertain.Object, ubr geom.Rect) error {
 	rec := record{UBR: ubr, Region: o.Region, Instances: o.Instances}
-	if err := ix.secondary.Put(uint32(o.ID), encodeRecord(rec)); err != nil {
+	if err := ix.putRecord(uint32(o.ID), rec); err != nil {
 		return err
 	}
 	return ix.primary.Insert(uint32(o.ID), o.Region, ubr)
 }
 
-// UBR returns the stored UBR of an object.
+// UBR returns the stored UBR of an object. Its coordinate slices may be
+// shared with the record cache — treat the rectangle as immutable.
 func (ix *Index) UBR(id uncertain.ID) (geom.Rect, bool) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -200,25 +264,31 @@ func (ix *Index) PossibleNNIO(q geom.Point) ([]Candidate, int, error) {
 }
 
 // possibleNN is PossibleNN without locking, returning the leaf pages read.
-// Callers hold ix.mu (either mode).
+// Callers hold ix.mu (either mode). All intermediate state — decoded leaf
+// entries, the dedup set, the pre-filter candidate list — lives in a pooled
+// scratch; only the surviving candidates are materialized, with their
+// regions deep-copied into a single backing array so the result owns no
+// pooled memory.
 func (ix *Index) possibleNN(q geom.Point) ([]Candidate, int, error) {
-	entries, leafIO, err := ix.primary.PointQueryIO(q)
-	if err != nil {
+	sc := ix.scratch.Get().(*queryScratch)
+	defer ix.scratch.Put(sc)
+
+	entries, leafIO, err := ix.primary.PointQueryInto(q, sc.entries[:0])
+	sc.entries = entries
+	if err != nil || len(entries) == 0 {
 		return nil, leafIO, err
-	}
-	if len(entries) == 0 {
-		return nil, leafIO, nil
 	}
 	// Deduplicate (an object appears once per overlapping leaf page set —
 	// the point query hits one leaf, but defensive against double inserts).
-	seen := make(map[uint32]bool, len(entries))
-	cands := make([]Candidate, 0, len(entries))
+	clear(sc.seen)
+	cands := sc.cands[:0]
 	bestMax := -1.0
-	for _, e := range entries {
-		if seen[e.ID] {
+	for i := range entries {
+		e := &entries[i]
+		if _, dup := sc.seen[e.ID]; dup {
 			continue
 		}
-		seen[e.ID] = true
+		sc.seen[e.ID] = struct{}{}
 		c := Candidate{
 			ID:      uncertain.ID(e.ID),
 			Region:  e.Region,
@@ -230,18 +300,42 @@ func (ix *Index) possibleNN(q geom.Point) ([]Candidate, int, error) {
 		}
 		cands = append(cands, c)
 	}
-	out := cands[:0]
-	for _, c := range cands {
-		if c.MinDist <= bestMax {
-			out = append(out, c)
+	kept := 0
+	for i := range cands {
+		if cands[i].MinDist <= bestMax {
+			cands[kept] = cands[i]
+			kept++
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	survivors := cands[:kept]
+	sc.cands = cands
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].ID < survivors[j].ID })
+	if kept == 0 {
+		return nil, leafIO, nil
+	}
+
+	// Materialize: the survivors' regions still alias pooled octree entry
+	// memory; copy them out with one coordinate backing array.
+	dim := len(q)
+	out := make([]Candidate, kept)
+	coords := make([]float64, 2*dim*kept)
+	for i := range survivors {
+		out[i] = survivors[i]
+		lo := geom.Point(coords[:dim:dim])
+		coords = coords[dim:]
+		hi := geom.Point(coords[:dim:dim])
+		coords = coords[dim:]
+		copy(lo, survivors[i].Region.Lo)
+		copy(hi, survivors[i].Region.Hi)
+		out[i].Region = geom.Rect{Lo: lo, Hi: hi}
+	}
 	return out, leafIO, nil
 }
 
 // Instances fetches the stored pdf instances for an object from the
-// secondary index (PNNQ Step 2's data access).
+// secondary index (PNNQ Step 2's data access). The returned slice may be
+// shared with the record cache and other concurrent readers — treat it as
+// immutable.
 func (ix *Index) Instances(id uncertain.ID) ([]uncertain.Instance, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
@@ -250,16 +344,12 @@ func (ix *Index) Instances(id uncertain.ID) ([]uncertain.Instance, error) {
 
 // instances is Instances without locking. Callers hold ix.mu (either mode).
 func (ix *Index) instances(id uncertain.ID) ([]uncertain.Instance, error) {
-	buf, ok, err := ix.secondary.Get(uint32(id))
+	rec, ok, _, err := ix.getRecord(uint32(id))
 	if err != nil {
 		return nil, err
 	}
 	if !ok {
 		return nil, fmt.Errorf("pvindex: object %d not in secondary index", id)
-	}
-	rec, err := decodeRecord(buf)
-	if err != nil {
-		return nil, err
 	}
 	return rec.Instances, nil
 }
@@ -273,6 +363,10 @@ type QuerySnapshot struct {
 	Candidates []Candidate
 	Instances  [][]uncertain.Instance
 	LeafIO     int
+	// CacheHits/CacheMisses count this query's record-cache outcomes during
+	// the Step-2 data fetch (one lookup per candidate).
+	CacheHits   int
+	CacheMisses int
 }
 
 // Snapshot evaluates Step 1 and fetches every candidate's instances in one
@@ -291,11 +385,19 @@ func (ix *Index) Snapshot(q geom.Point) (*QuerySnapshot, error) {
 		LeafIO:     leafIO,
 	}
 	for i, c := range cands {
-		ins, err := ix.instances(c.ID)
+		rec, ok, hit, err := ix.getRecord(uint32(c.ID))
 		if err != nil {
 			return nil, err
 		}
-		snap.Instances[i] = ins
+		if !ok {
+			return nil, fmt.Errorf("pvindex: object %d not in secondary index", c.ID)
+		}
+		if hit {
+			snap.CacheHits++
+		} else {
+			snap.CacheMisses++
+		}
+		snap.Instances[i] = rec.Instances
 	}
 	return snap, nil
 }
@@ -307,6 +409,9 @@ type UpdateStats struct {
 	SETime    time.Duration // UBR recomputation time
 	IndexTime time.Duration // primary/secondary maintenance time
 	TotalTime time.Duration
+	// SE aggregates the Shrink-and-Expand cost of every UBR computed by the
+	// operation: the newcomer's (insert) plus all affected recomputations.
+	SE core.Stats
 }
 
 // Insert adds object o to the database and incrementally refreshes the
@@ -329,7 +434,7 @@ func (ix *Index) Insert(o *uncertain.Object) (UpdateStats, error) {
 	t0 := time.Now()
 	newB, seStats := core.ComputeUBR(ix.db, ix.regionTree, o, ix.cfg.SE)
 	st.SETime += time.Since(t0)
-	_ = seStats
+	st.SE.Add(seStats)
 
 	// Step 2: candidate affected set from the primary index.
 	ids, err := ix.primary.RangeIDs(newB)
@@ -364,8 +469,9 @@ func (ix *Index) Insert(o *uncertain.Object) (UpdateStats, error) {
 
 		// Step 3: warm-started SE (h = old UBR).
 		t1 := time.Now()
-		updated, _ := core.ComputeUBRAfterInsert(ix.db, ix.regionTree, other, oldB, ix.cfg.SE)
+		updated, seAffected := core.ComputeUBRAfterInsert(ix.db, ix.regionTree, other, oldB, ix.cfg.SE)
 		st.SETime += time.Since(t1)
+		st.SE.Add(seAffected)
 
 		// Step 4: drop entries from leaves no longer covered, refresh record.
 		t2 := time.Now()
@@ -373,7 +479,7 @@ func (ix *Index) Insert(o *uncertain.Object) (UpdateStats, error) {
 			return st, err
 		}
 		rec := record{UBR: updated, Region: other.Region, Instances: other.Instances}
-		if err := ix.secondary.Put(id, encodeRecord(rec)); err != nil {
+		if err := ix.putRecord(id, rec); err != nil {
 			return st, err
 		}
 		st.IndexTime += time.Since(t2)
@@ -426,6 +532,7 @@ func (ix *Index) Delete(id uncertain.ID) (UpdateStats, error) {
 	if _, err := ix.secondary.Delete(uint32(id)); err != nil {
 		return st, err
 	}
+	ix.rcache.invalidate(uint32(id))
 	st.IndexTime += time.Since(t0)
 
 	for otherID := range ids {
@@ -453,13 +560,14 @@ func (ix *Index) Delete(id uncertain.ID) (UpdateStats, error) {
 
 		// Step 3: warm-started SE (l = old UBR).
 		t1 := time.Now()
-		updated, _ := core.ComputeUBRAfterDelete(ix.db, ix.regionTree, other, oldB, ix.cfg.SE)
+		updated, seAffected := core.ComputeUBRAfterDelete(ix.db, ix.regionTree, other, oldB, ix.cfg.SE)
 		st.SETime += time.Since(t1)
+		st.SE.Add(seAffected)
 
 		// Step 4b: extend coverage to newly reached leaves (N′−N).
 		t2 := time.Now()
 		rec := record{UBR: updated, Region: other.Region, Instances: other.Instances}
-		if err := ix.secondary.Put(otherID, encodeRecord(rec)); err != nil {
+		if err := ix.putRecord(otherID, rec); err != nil {
 			return st, err
 		}
 		if err := ix.primary.InsertDiff(otherID, other.Region, updated, oldB); err != nil {

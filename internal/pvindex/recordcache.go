@@ -1,0 +1,167 @@
+package pvindex
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultRecordCacheSize is the record cache's default capacity in entries.
+// At the paper's 500-instance pdfs (≈16 KB decoded at d=3) the default keeps
+// at most ~64 MB of hot records — small next to the simulated disk, large
+// enough that a steady query mix over a hot region serves Step 2 from memory.
+const DefaultRecordCacheSize = 4096
+
+// rcShards is the cache's lock-striping factor (power of two). Like the
+// page store, the cache sits on the concurrent read path: per-candidate
+// lookups from parallel Snapshot readers must not funnel through one mutex
+// (LRU promotion needs exclusive access even on a hit).
+const rcShards = 8
+
+// recordCache is a bounded LRU of object ID → decoded secondary-index
+// record, striped into rcShards independently locked shards (ID → shard by
+// low bits; capacity divided evenly). It sits under the index's read path:
+// Snapshot's per-candidate secondary.Get + decodeRecord becomes a map hit
+// for warm objects, skipping both the page-chain I/O and the per-record
+// decode allocations.
+//
+// Consistency contract (the "write-invalidated" invariant): every mutation
+// of an object's secondary record — Put or Delete — invalidates that ID
+// while the index's write lock is held, so a cached record can never outlive
+// the stored bytes it was decoded from. Readers fill the cache only while
+// holding the index's read lock, which excludes writers; a fill therefore
+// can never race a concurrent invalidation.
+//
+// Cached records are shared: callers must treat every slice reachable from a
+// returned record (UBR, region, instances) as immutable.
+type recordCache struct {
+	shards [rcShards]rcShard
+
+	hits, misses atomic.Int64
+}
+
+type rcShard struct {
+	mu  sync.Mutex
+	cap int
+	lru *list.List // front = most recent; values are *rcEntry
+	m   map[uint32]*list.Element
+}
+
+type rcEntry struct {
+	id  uint32
+	rec record
+}
+
+// newRecordCache returns a cache with the given total capacity in entries.
+// capacity == 0 selects DefaultRecordCacheSize; capacity < 0 disables the
+// cache entirely (the returned nil cache misses on every lookup).
+func newRecordCache(capacity int) *recordCache {
+	if capacity < 0 {
+		return nil
+	}
+	if capacity == 0 {
+		capacity = DefaultRecordCacheSize
+	}
+	perShard := (capacity + rcShards - 1) / rcShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &recordCache{}
+	for i := range c.shards {
+		c.shards[i] = rcShard{
+			cap: perShard,
+			lru: list.New(),
+			m:   make(map[uint32]*list.Element, perShard),
+		}
+	}
+	return c
+}
+
+func (c *recordCache) shardFor(id uint32) *rcShard {
+	return &c.shards[id&(rcShards-1)]
+}
+
+// get returns the cached record for id, promoting it to most-recently-used
+// within its shard.
+func (c *recordCache) get(id uint32) (record, bool) {
+	if c == nil {
+		return record{}, false
+	}
+	sh := c.shardFor(id)
+	sh.mu.Lock()
+	el, ok := sh.m[id]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Add(1)
+		return record{}, false
+	}
+	sh.lru.MoveToFront(el)
+	rec := el.Value.(*rcEntry).rec
+	sh.mu.Unlock()
+	c.hits.Add(1)
+	return rec, true
+}
+
+// put inserts or refreshes the record for id, evicting from its shard's LRU
+// tail when the shard is at capacity.
+func (c *recordCache) put(id uint32, rec record) {
+	if c == nil {
+		return
+	}
+	sh := c.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[id]; ok {
+		el.Value.(*rcEntry).rec = rec
+		sh.lru.MoveToFront(el)
+		return
+	}
+	for sh.lru.Len() >= sh.cap {
+		back := sh.lru.Back()
+		sh.lru.Remove(back)
+		delete(sh.m, back.Value.(*rcEntry).id)
+	}
+	sh.m[id] = sh.lru.PushFront(&rcEntry{id: id, rec: rec})
+}
+
+// invalidate drops any cached record for id. Called by writers (under the
+// index's write lock) for every ID whose secondary record they touch.
+func (c *recordCache) invalidate(id uint32) {
+	if c == nil {
+		return
+	}
+	sh := c.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if el, ok := sh.m[id]; ok {
+		sh.lru.Remove(el)
+		delete(sh.m, id)
+	}
+}
+
+// RecordCacheStats reports the decoded-record cache's effectiveness.
+type RecordCacheStats struct {
+	Hits     int64
+	Misses   int64
+	Resident int // entries currently cached
+	Capacity int // maximum entries (0 when the cache is disabled)
+}
+
+// stats returns a snapshot of the cache counters (shard totals).
+func (c *recordCache) stats() RecordCacheStats {
+	if c == nil {
+		return RecordCacheStats{}
+	}
+	st := RecordCacheStats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Resident += sh.lru.Len()
+		st.Capacity += sh.cap
+		sh.mu.Unlock()
+	}
+	return st
+}

@@ -108,6 +108,11 @@ type Options struct {
 	MemBudget int
 	// PageSize is the simulated disk page size in bytes (default 4096).
 	PageSize int
+	// RecordCacheSize bounds the index's decoded-record cache in entries
+	// (0 = implementation default, negative = cache disabled). The cache
+	// serves each query's Step-2 pdf fetch from memory for hot objects and
+	// is invalidated by Insert/Delete, so results never go stale.
+	RecordCacheSize int
 }
 
 // DefaultOptions returns the paper's default parameters.
@@ -147,6 +152,7 @@ func (o Options) toConfig() pvindex.Config {
 	if o.KGlobal > 0 {
 		cfg.SE.KGlobal = o.KGlobal
 	}
+	cfg.RecordCacheSize = o.RecordCacheSize
 	return cfg
 }
 
@@ -193,6 +199,11 @@ func (ix *Index) PossibleNN(q Point) ([]Candidate, error) {
 type QueryCost struct {
 	Candidates int
 	LeafIO     int
+	// CacheHits/CacheMisses are this query's record-cache outcomes for the
+	// Step-2 pdf fetch (one lookup per candidate; both zero for Step-1-only
+	// calls like PossibleNNWithCost).
+	CacheHits   int
+	CacheMisses int
 }
 
 // Query evaluates the full PNNQ: Step 1 through the index, then Step 2
@@ -211,7 +222,12 @@ func (ix *Index) QueryWithCost(q Point) ([]Result, QueryCost, error) {
 	if err != nil {
 		return nil, QueryCost{}, err
 	}
-	cost := QueryCost{Candidates: len(snap.Candidates), LeafIO: snap.LeafIO}
+	cost := QueryCost{
+		Candidates:  len(snap.Candidates),
+		LeafIO:      snap.LeafIO,
+		CacheHits:   snap.CacheHits,
+		CacheMisses: snap.CacheMisses,
+	}
 	return pnnq.Compute(snapshotData(snap), q), cost, nil
 }
 
@@ -231,7 +247,12 @@ func (ix *Index) QueryVerifiedWithCost(q Point, eps float64) ([]Result, QueryCos
 	if err != nil {
 		return nil, QueryCost{}, err
 	}
-	cost := QueryCost{Candidates: len(snap.Candidates), LeafIO: snap.LeafIO}
+	cost := QueryCost{
+		Candidates:  len(snap.Candidates),
+		LeafIO:      snap.LeafIO,
+		CacheHits:   snap.CacheHits,
+		CacheMisses: snap.CacheMisses,
+	}
 	return pnnq.ComputeVerified(snapshotData(snap), q, eps), cost, nil
 }
 
@@ -294,7 +315,9 @@ func (ix *Index) Len() int {
 	return n
 }
 
-// UBR returns the stored Uncertain Bounding Rectangle of an object.
+// UBR returns the stored Uncertain Bounding Rectangle of an object. The
+// rectangle may share memory with the index's record cache — treat it as
+// read-only.
 func (ix *Index) UBR(id ID) (Rect, bool) { return ix.inner.UBR(id) }
 
 // DB returns the database the index is bound to. The pointer is stable, but
@@ -311,6 +334,15 @@ type IOStats struct {
 func (ix *Index) IO() IOStats {
 	s := ix.inner.Store().Stats()
 	return IOStats{Reads: s.Reads, Writes: s.Writes}
+}
+
+// RecordCacheStats reports the decoded-record cache's global hit/miss
+// counters and residency (per-query counts come with QueryWithCost).
+type RecordCacheStats = pvindex.RecordCacheStats
+
+// RecordCache returns the index's accumulated record-cache statistics.
+func (ix *Index) RecordCache() RecordCacheStats {
+	return ix.inner.RecordCacheStats()
 }
 
 // ResetIO zeroes the I/O counters (useful around measured query batches).
