@@ -53,6 +53,12 @@ func main() {
 		// Read-path benchmark flags (the "readpath" experiment).
 		rpJSON     = flag.String("json", "BENCH_readpath.json", "readpath: output JSON path (empty = stdout only)")
 		rpBaseline = flag.String("baseline", "", "readpath: prior readpath JSON to embed as the before side")
+
+		// Write-path benchmark flags (the "writepath" experiment).
+		wpJSON  = flag.String("wp-json", "BENCH_writepath.json", "writepath: output JSON path (empty = stdout only)")
+		wpN     = flag.Int("wp-n", 4000, "writepath: base index object count")
+		wpOps   = flag.Int("wp-ops", 256, "writepath: measured insert ops per scenario")
+		wpBatch = flag.Int("wp-batch", 32, "writepath: group-commit batch size")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -109,6 +115,7 @@ func main() {
 	var names []string
 	wantLoad := false
 	wantReadpath := false
+	wantWritepath := false
 	allSeen := false
 	for _, arg := range flag.Args() {
 		switch {
@@ -116,6 +123,8 @@ func main() {
 			wantLoad = true
 		case arg == "readpath":
 			wantReadpath = true
+		case arg == "writepath":
+			wantWritepath = true
 		case arg == "all":
 			allSeen = true
 		default:
@@ -164,6 +173,21 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if wantWritepath {
+		err := runWritepath(writepathConfig{
+			JSONPath:  *wpJSON,
+			N:         *wpN,
+			Dim:       *loadD,
+			Instances: *instances,
+			Seed:      *seed,
+			Ops:       *wpOps,
+			Batch:     *wpBatch,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvbench: writepath: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if len(names) > 0 {
 		fmt.Printf("pvbench: scale=%.3g queries=%d instances=%d seed=%d\n\n",
@@ -199,6 +223,7 @@ experiments:
   all                           everything above, in order
   load                          load generator: throughput + p50/p95/p99
   readpath                      read-path benchmark: QPS, p50/p99, allocs/op -> JSON
+  writepath                     write-path benchmark: single vs batched, WAL on/off -> JSON
 
 flags:
 `)

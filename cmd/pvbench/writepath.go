@@ -1,0 +1,285 @@
+package main
+
+// Write-path benchmark mode: measures the update path of a PV-index —
+// per-op inserts vs. group-committed batches, with and without the
+// write-ahead log — and writes the results as JSON so the repo can track
+// its write throughput commit over commit (BENCH_writepath.json).
+//
+// Two workloads, each as single-op and batched commits, with WAL off/on:
+//
+//	uniform     inserts spread over the whole domain. Batching amortizes
+//	            the lock, the fsync, and (on multicore) fans the SE work
+//	            out across cores.
+//	clustered   inserts landing in one hot region — the bulk-ingest
+//	            pattern. Here group commit also deduplicates the affected-
+//	            neighbor recomputation: a neighbor touched by many inserts
+//	            of the batch is recomputed once, not once per insert.
+//
+// Between the measured insert phases each scenario deletes its objects
+// again (unmeasured), so every phase starts from the same base index.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"pvoronoi"
+	"pvoronoi/internal/dataset"
+)
+
+// writepathConfig bundles the writepath experiment parameters.
+type writepathConfig struct {
+	JSONPath  string // output file ("" = stdout only)
+	N, Dim    int    // base index size
+	Instances int    // pdf samples per object
+	Seed      int64
+	Ops       int // measured insert ops per scenario
+	Batch     int // group-commit batch size
+}
+
+// writepathScenario is one measured configuration.
+type writepathScenario struct {
+	Workload    string  `json:"workload"` // uniform | clustered
+	WAL         bool    `json:"wal"`
+	BatchSize   int     `json:"batch_size"`
+	UpdatesPerS float64 `json:"updates_per_s"`
+	P50us       int64   `json:"p50_us"` // per-commit latency
+	P99us       int64   `json:"p99_us"`
+	FsyncsPerOp float64 `json:"fsyncs_per_op"`
+}
+
+// writepathSpeedup is the throughput ratio batched/single for one
+// (workload, wal) pair — the headline numbers.
+type writepathSpeedup struct {
+	Workload string  `json:"workload"`
+	WAL      bool    `json:"wal"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// writepathReport is the serialized BENCH_writepath.json document.
+type writepathReport struct {
+	GeneratedBy string              `json:"generated_by"`
+	Config      writepathConfigJSON `json:"config"`
+	Scenarios   []writepathScenario `json:"scenarios"`
+	Speedups    []writepathSpeedup  `json:"batch_speedups"`
+}
+
+type writepathConfigJSON struct {
+	Objects    int   `json:"objects"`
+	Dim        int   `json:"dim"`
+	Instances  int   `json:"instances"`
+	Seed       int64 `json:"seed"`
+	Ops        int   `json:"ops"`
+	Batch      int   `json:"batch"`
+	GoMaxProcs int   `json:"gomaxprocs"`
+}
+
+// wpObjects generates the fresh objects one scenario inserts. Clustered
+// objects land in a hot region sized a few percent of the domain.
+func wpObjects(cfg writepathConfig, idBase uint32, rng *rand.Rand, domain pvoronoi.Rect, clustered bool) []*pvoronoi.Object {
+	objs := make([]*pvoronoi.Object, cfg.Ops)
+	var clo, cspan []float64
+	if clustered {
+		clo = make([]float64, cfg.Dim)
+		cspan = make([]float64, cfg.Dim)
+		for j := 0; j < cfg.Dim; j++ {
+			span := domain.Hi[j] - domain.Lo[j]
+			cspan[j] = span * 0.05
+			clo[j] = domain.Lo[j] + rng.Float64()*(span-cspan[j])
+		}
+	}
+	for i := range objs {
+		lo := make(pvoronoi.Point, cfg.Dim)
+		hi := make(pvoronoi.Point, cfg.Dim)
+		for j := 0; j < cfg.Dim; j++ {
+			side := 1 + rng.Float64()*40
+			if clustered {
+				lo[j] = clo[j] + rng.Float64()*(cspan[j]-side)
+			} else {
+				span := domain.Hi[j] - domain.Lo[j]
+				lo[j] = domain.Lo[j] + rng.Float64()*(span-side)
+			}
+			hi[j] = lo[j] + side
+		}
+		o := &pvoronoi.Object{ID: pvoronoi.ID(idBase + uint32(i)), Region: pvoronoi.NewRect(lo, hi)}
+		if cfg.Instances > 0 {
+			o.Instances = pvoronoi.SampleUniform(o.Region, cfg.Instances, cfg.Seed+int64(i))
+		}
+		objs[i] = o
+	}
+	return objs
+}
+
+// runScenario inserts objs in commits of batchSize, measuring per-commit
+// latency and total throughput, then deletes them again (unmeasured).
+func runScenario(ix *pvoronoi.Index, objs []*pvoronoi.Object, batchSize int) (updatesPerS float64, p50, p99 int64, err error) {
+	var commits []float64
+	start := time.Now()
+	for i := 0; i < len(objs); i += batchSize {
+		end := i + batchSize
+		if end > len(objs) {
+			end = len(objs)
+		}
+		t0 := time.Now()
+		if batchSize == 1 {
+			err = ix.Insert(objs[i])
+		} else {
+			_, err = ix.InsertBatch(objs[i:end])
+		}
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		commits = append(commits, float64(time.Since(t0).Microseconds()))
+	}
+	elapsed := time.Since(start)
+
+	// Unmeasured cleanup: restore the base object set.
+	ids := make([]pvoronoi.ID, len(objs))
+	for i, o := range objs {
+		ids[i] = o.ID
+	}
+	if _, err = ix.DeleteBatch(ids); err != nil {
+		return 0, 0, 0, err
+	}
+
+	sort.Float64s(commits)
+	pct := func(p float64) int64 {
+		if len(commits) == 0 {
+			return 0
+		}
+		i := int(p / 100 * float64(len(commits)-1))
+		return int64(commits[i])
+	}
+	return float64(len(objs)) / elapsed.Seconds(), pct(50), pct(99), nil
+}
+
+// runWritepath builds the base indexes and measures every scenario.
+func runWritepath(cfg writepathConfig) error {
+	if cfg.Ops <= 0 {
+		cfg.Ops = 256
+	}
+	if cfg.Batch <= 1 {
+		cfg.Batch = 32
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 31))
+
+	fmt.Printf("writepath: building PV-index over %d objects (d=%d, %d instances)...\n",
+		cfg.N, cfg.Dim, cfg.Instances)
+	mkDB := func() *pvoronoi.DB {
+		return dataset.Synthetic(dataset.SyntheticParams{
+			N: cfg.N, Dim: cfg.Dim, MaxSide: 60, Instances: cfg.Instances, Seed: cfg.Seed,
+		})
+	}
+	opts := pvoronoi.DefaultOptions()
+	db := mkDB()
+	ix, err := pvoronoi.BuildParallel(db, opts, 0)
+	if err != nil {
+		return err
+	}
+
+	// The durable twin for the WAL-on scenarios (fsync per commit).
+	dir, err := os.MkdirTemp("", "pvbench-writepath-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	fmt.Printf("writepath: opening durable index in %s...\n", dir)
+	d, err := pvoronoi.OpenDurable(dir, mkDB(), opts)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	report := writepathReport{
+		GeneratedBy: "pvbench writepath",
+		Config: writepathConfigJSON{
+			Objects: cfg.N, Dim: cfg.Dim, Instances: cfg.Instances, Seed: cfg.Seed,
+			Ops: cfg.Ops, Batch: cfg.Batch, GoMaxProcs: runtime.GOMAXPROCS(0),
+		},
+	}
+
+	idBase := uint32(1_000_000)
+	for _, workload := range []string{"uniform", "clustered"} {
+		for _, withWAL := range []bool{false, true} {
+			for _, batch := range []int{1, cfg.Batch} {
+				target := ix
+				if withWAL {
+					target = d.Index
+				}
+				objs := wpObjects(cfg, idBase, rng, db.Domain, workload == "clustered")
+				idBase += uint32(cfg.Ops)
+
+				var syncs0 int64
+				if withWAL {
+					syncs0 = d.Stats().WALSyncs
+				}
+				ups, p50, p99, err := runScenario(target, objs, batch)
+				if err != nil {
+					return fmt.Errorf("%s wal=%v batch=%d: %w", workload, withWAL, batch, err)
+				}
+				sc := writepathScenario{
+					Workload: workload, WAL: withWAL, BatchSize: batch,
+					UpdatesPerS: ups, P50us: p50, P99us: p99,
+				}
+				if withWAL {
+					// The cleanup DeleteBatch costs one extra fsync; subtract it.
+					sc.FsyncsPerOp = float64(d.Stats().WALSyncs-syncs0-1) / float64(len(objs))
+				}
+				report.Scenarios = append(report.Scenarios, sc)
+				wal := "off"
+				if withWAL {
+					wal = "on"
+				}
+				fmt.Printf("writepath: %-9s batch=%-3d wal=%-3s %9.1f updates/s  p50 %7dus  p99 %7dus  %.3f fsyncs/op\n",
+					workload, batch, wal, ups, p50, p99, sc.FsyncsPerOp)
+			}
+		}
+	}
+
+	// Headline ratios: batched vs single-op throughput per (workload, wal).
+	find := func(workload string, wal bool, batch int) *writepathScenario {
+		for i := range report.Scenarios {
+			sc := &report.Scenarios[i]
+			if sc.Workload == workload && sc.WAL == wal && sc.BatchSize == batch {
+				return sc
+			}
+		}
+		return nil
+	}
+	for _, workload := range []string{"uniform", "clustered"} {
+		for _, withWAL := range []bool{false, true} {
+			single := find(workload, withWAL, 1)
+			batched := find(workload, withWAL, cfg.Batch)
+			if single == nil || batched == nil || single.UpdatesPerS == 0 {
+				continue
+			}
+			sp := writepathSpeedup{
+				Workload: workload, WAL: withWAL,
+				Speedup: batched.UpdatesPerS / single.UpdatesPerS,
+			}
+			report.Speedups = append(report.Speedups, sp)
+			wal := "off"
+			if withWAL {
+				wal = "on"
+			}
+			fmt.Printf("writepath: batch speedup %-9s wal=%-3s %0.2fx\n", workload, wal, sp.Speedup)
+		}
+	}
+
+	if cfg.JSONPath != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(cfg.JSONPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}

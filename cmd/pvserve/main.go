@@ -9,6 +9,13 @@
 //	pvserve -n 20000 -d 2                      # synthetic dataset, port 8080
 //	pvserve -data roads.gob -addr :9000        # dataset from pvgen
 //	pvserve -loadindex ix.pvidx -data d.gob    # pre-built index from pvquery
+//	pvserve -n 20000 -data-dir /var/lib/pv     # durable: WAL + checkpoints
+//
+// In durable mode (-data-dir) every insert/delete is appended to a
+// write-ahead log and fsynced before it is acknowledged; on restart the
+// server loads the latest checkpoint and replays the log's tail, so no
+// acknowledged update is ever lost. SIGINT/SIGTERM trigger a graceful
+// shutdown: in-flight queries drain, and a final checkpoint is written.
 //
 // Endpoints (request and response bodies are JSON; see server.go routes):
 //
@@ -18,6 +25,9 @@
 //	POST /v1/groupnn      probabilistic group NN (agg: sum or max)
 //	POST /v1/insert       add an object, incremental index maintenance
 //	POST /v1/delete       remove an object, incremental index maintenance
+//	POST /v1/insertbatch  batched inserts: one group commit, one WAL fsync
+//	POST /v1/deletebatch  batched deletes: one group commit, one WAL fsync
+//	POST /v1/checkpoint   force a durable snapshot (durable mode only)
 //	GET  /v1/stats        per-endpoint latency percentiles, leaf I/O, counts
 //	GET  /healthz         liveness probe
 //
@@ -34,12 +44,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"pvoronoi"
@@ -58,13 +71,10 @@ func main() {
 		strategy  = flag.String("cset", "is", "C-set strategy: all | fs | is")
 		workers   = flag.Int("workers", 0, "parallel build workers (0 = GOMAXPROCS)")
 		loadIdx   = flag.String("loadindex", "", "load a pvquery-saved index instead of building")
+		dataDir   = flag.String("data-dir", "", "durable mode: directory for WAL + checkpoints (recovers on boot)")
+		drain     = flag.Duration("shutdown-timeout", 15*time.Second, "graceful shutdown drain window")
 	)
 	flag.Parse()
-
-	db, err := loadOrGenerate(*data, *n, *d, *uo, *instances, *seed)
-	if err != nil {
-		fail(err)
-	}
 
 	opts := pvoronoi.DefaultOptions()
 	switch strings.ToLower(*strategy) {
@@ -78,8 +88,54 @@ func main() {
 		fail(fmt.Errorf("unknown C-set strategy %q", *strategy))
 	}
 
-	var ix *pvoronoi.Index
-	if *loadIdx != "" {
+	// The bootstrap dataset: served directly in memory mode, the validation
+	// set in -loadindex mode, and the first-boot (or pre-first-checkpoint
+	// recovery) input in durable mode — which is why durable restarts must
+	// see the same -data/-n/-seed flags. A durable restart with an existing
+	// checkpoint recovers from its own stored data, so the bootstrap load
+	// is skipped entirely.
+	var db *pvoronoi.DB
+	if *dataDir == "" || !pvoronoi.HasCheckpoint(*dataDir) {
+		var err error
+		db, err = loadOrGenerate(*data, *n, *d, *uo, *instances, *seed)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	var (
+		srv     *server
+		ix      *pvoronoi.Index
+		durable *pvoronoi.Durable
+	)
+	switch {
+	case *dataDir != "":
+		if *loadIdx != "" {
+			fail(fmt.Errorf("-data-dir and -loadindex are mutually exclusive (the data directory carries its own snapshots)"))
+		}
+		log.Printf("opening durable index in %s...", *dataDir)
+		t0 := time.Now()
+		var err error
+		durable, err = pvoronoi.OpenDurable(*dataDir, db, opts)
+		if err != nil {
+			fail(err)
+		}
+		rec := durable.Recovery()
+		switch {
+		case rec.Rebuilt && rec.Replayed > 0:
+			log.Printf("rebuilt from bootstrap data and replayed %d WAL updates in %v",
+				rec.Replayed, time.Since(t0).Round(time.Millisecond))
+		case rec.Rebuilt:
+			log.Printf("built fresh durable index over %d objects in %v",
+				durable.Len(), time.Since(t0).Round(time.Millisecond))
+		default:
+			log.Printf("recovered checkpoint at WAL seq %d (+%d replayed updates) in %v",
+				rec.SnapshotSeq, rec.Replayed, time.Since(t0).Round(time.Millisecond))
+		}
+		ix = durable.Index
+		srv = newDurableServer(durable)
+
+	case *loadIdx != "":
 		f, err := os.Open(*loadIdx)
 		if err != nil {
 			fail(err)
@@ -91,21 +147,50 @@ func main() {
 			fail(err)
 		}
 		log.Printf("loaded index over %d objects in %v", db.Len(), time.Since(t0).Round(time.Millisecond))
-	} else {
+		srv = newServer(ix)
+
+	default:
 		log.Printf("building PV-index over %d objects (d=%d, strategy=%s)...",
 			db.Len(), db.Dim(), strings.ToUpper(*strategy))
 		t0 := time.Now()
+		var err error
 		ix, err = pvoronoi.BuildParallel(db, opts, *workers)
 		if err != nil {
 			fail(err)
 		}
 		log.Printf("built in %v", time.Since(t0).Round(time.Millisecond))
+		srv = newServer(ix)
 	}
 
-	srv := newServer(ix)
-	log.Printf("serving on %s (domain %v – %v)", *addr, db.Domain.Lo, db.Domain.Hi)
-	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+	domain := ix.DB().Domain
+	log.Printf("serving on %s (domain %v – %v)", *addr, domain.Lo, domain.Hi)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errCh:
 		fail(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutdown signal received; draining in-flight requests (up to %v)...", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(dctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+		}
+		if durable != nil {
+			log.Printf("writing final checkpoint...")
+			if err := durable.Close(); err != nil {
+				log.Printf("final checkpoint failed: %v", err)
+				os.Exit(1)
+			}
+			log.Printf("checkpoint complete at WAL seq %d", durable.WALSeq())
+		}
+		log.Printf("bye")
 	}
 }
 

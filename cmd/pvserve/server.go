@@ -21,10 +21,20 @@ type server struct {
 	ix      *pvoronoi.Index
 	dim     int // domain dimensionality, for request validation
 	metrics *metrics
+	// durable is non-nil in -data-dir mode: updates are WAL-logged, and
+	// /v1/checkpoint snapshots on demand.
+	durable *pvoronoi.Durable
 }
 
 func newServer(ix *pvoronoi.Index) *server {
 	return &server{ix: ix, dim: ix.DB().Domain.Dim(), metrics: newMetrics()}
+}
+
+// newDurableServer serves a durable index; updates survive restarts.
+func newDurableServer(d *pvoronoi.Durable) *server {
+	s := newServer(d.Index)
+	s.durable = d
+	return s
 }
 
 // checkPoint rejects points whose dimensionality doesn't match the indexed
@@ -65,6 +75,9 @@ func (s *server) readPoint(w http.ResponseWriter, r *http.Request) (pvoronoi.Poi
 //	POST /v1/groupnn     {"points":[[...],...], "agg":"sum"|"max"}  group NN
 //	POST /v1/insert      {"id":1, "region":{"lo":[...],"hi":[...]}, "instances":[...]} or {"sample":{"kind":"uniform","n":100,"seed":1}}
 //	POST /v1/delete      {"id":1}
+//	POST /v1/insertbatch {"objects":[{insert request}, ...]}   one group commit
+//	POST /v1/deletebatch {"ids":[1,2,...]}                     one group commit
+//	POST /v1/checkpoint                              force a durable snapshot (durable mode)
 //	GET  /v1/stats                                   serving metrics + index shape
 //	GET  /healthz                                    liveness probe
 //
@@ -78,6 +91,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/groupnn", s.handleGroupNN)
 	mux.HandleFunc("/v1/insert", s.handleInsert)
 	mux.HandleFunc("/v1/delete", s.handleDelete)
+	mux.HandleFunc("/v1/insertbatch", s.handleInsertBatch)
+	mux.HandleFunc("/v1/deletebatch", s.handleDeleteBatch)
+	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
@@ -345,24 +361,14 @@ type insertRequest struct {
 	} `json:"sample"`
 }
 
-func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
-		return
-	}
-	var req insertRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %v", err))
-		return
-	}
+// toObject validates an insert request and builds the object it describes.
+func (req *insertRequest) toObject() (*pvoronoi.Object, error) {
 	if len(req.Region.Lo) == 0 || len(req.Region.Lo) != len(req.Region.Hi) {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("region needs matching lo/hi"))
-		return
+		return nil, fmt.Errorf("region needs matching lo/hi")
 	}
 	for i := range req.Region.Lo {
 		if req.Region.Lo[i] > req.Region.Hi[i] {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("inverted region in dim %d", i))
-			return
+			return nil, fmt.Errorf("inverted region in dim %d", i)
 		}
 	}
 	region := pvoronoi.NewRect(pvoronoi.Point(req.Region.Lo), pvoronoi.Point(req.Region.Hi))
@@ -375,8 +381,7 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			o.Instances[i] = pvoronoi.Instance{Pos: pvoronoi.Point(in.Pos), Prob: in.Prob}
 		}
 		if err := o.Validate(); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+			return nil, err
 		}
 	case req.Sample != nil:
 		n := req.Sample.N
@@ -389,17 +394,31 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			o.Instances = pvoronoi.SampleUniform(region, n, req.Sample.Seed)
 		}
 	}
+	return o, nil
+}
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req insertRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %v", err))
+		return
+	}
+	o, err := req.toObject()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 
 	start := time.Now()
 	st, err := s.ix.InsertWithStats(o)
 	elapsed := time.Since(start)
 	s.metrics.observe("insert", elapsed, 0, err != nil)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, uncertain.ErrDuplicateID) {
-			status = http.StatusConflict
-		}
-		writeError(w, status, err)
+		writeError(w, updateStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -428,11 +447,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.metrics.observe("delete", elapsed, 0, err != nil)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, uncertain.ErrUnknownID) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, err)
+		writeError(w, updateStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -443,6 +458,148 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleInsertBatch applies a whole set of inserts as one group commit:
+// {"objects":[{insert request}, ...]}. One write-lock acquisition and (in
+// durable mode) one WAL fsync cover the entire batch.
+func (s *server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req struct {
+		Objects []insertRequest `json:"objects"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %v", err))
+		return
+	}
+	if len(req.Objects) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing objects field"))
+		return
+	}
+	objs := make([]*pvoronoi.Object, len(req.Objects))
+	for i := range req.Objects {
+		o, err := req.Objects[i].toObject()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("objects[%d]: %w", i, err))
+			return
+		}
+		objs[i] = o
+	}
+
+	start := time.Now()
+	sts, err := s.ix.InsertBatch(objs)
+	elapsed := time.Since(start)
+	s.metrics.observe("insertbatch", elapsed, 0, err != nil)
+	if err != nil {
+		writeError(w, updateStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":      len(sts),
+		"affected":   sumAffected(sts),
+		"examined":   sumExamined(sts),
+		"latency_us": elapsed.Microseconds(),
+	})
+}
+
+// handleDeleteBatch removes a whole set of IDs as one group commit:
+// {"ids":[1,2,...]}.
+func (s *server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req struct {
+		IDs []uint32 `json:"ids"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %v", err))
+		return
+	}
+	if len(req.IDs) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing ids field"))
+		return
+	}
+	ids := make([]pvoronoi.ID, len(req.IDs))
+	for i, id := range req.IDs {
+		ids[i] = pvoronoi.ID(id)
+	}
+
+	start := time.Now()
+	sts, err := s.ix.DeleteBatch(ids)
+	elapsed := time.Since(start)
+	s.metrics.observe("deletebatch", elapsed, 0, err != nil)
+	if err != nil {
+		writeError(w, updateStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":      len(sts),
+		"affected":   sumAffected(sts),
+		"examined":   sumExamined(sts),
+		"latency_us": elapsed.Microseconds(),
+	})
+}
+
+// handleCheckpoint forces a durable snapshot (admin endpoint, POST only).
+// Outside durable mode it reports 409: there is nowhere to persist to.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	if s.durable == nil {
+		writeError(w, http.StatusConflict, fmt.Errorf("server is not running in durable mode (-data-dir)"))
+		return
+	}
+	start := time.Now()
+	st, err := s.durable.Checkpoint()
+	elapsed := time.Since(start)
+	s.metrics.observe("checkpoint", elapsed, 0, err != nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"wal_seq":    st.Seq,
+		"skipped":    st.Skipped,
+		"latency_us": elapsed.Microseconds(),
+	})
+}
+
+// updateStatus maps an update-path error to its HTTP status: conflict for
+// duplicate IDs, not-found for unknown IDs, internal for server-side
+// durability faults (WAL I/O), bad-request otherwise.
+func updateStatus(err error) int {
+	switch {
+	case errors.Is(err, pvoronoi.ErrWAL):
+		return http.StatusInternalServerError
+	case errors.Is(err, uncertain.ErrDuplicateID):
+		return http.StatusConflict
+	case errors.Is(err, uncertain.ErrUnknownID):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func sumAffected(sts []pvoronoi.UpdateStats) int {
+	n := 0
+	for _, st := range sts {
+		n += st.Affected
+	}
+	return n
+}
+
+func sumExamined(sts []pvoronoi.UpdateStats) int {
+	n := 0
+	for _, st := range sts {
+		n += st.Examined
+	}
+	return n
+}
+
 // --- stats ---------------------------------------------------------------
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -450,7 +607,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	io := s.ix.IO()
 	rc := s.ix.RecordCache()
 	domain := s.ix.DB().Domain // immutable after NewDB; safe without the lock
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"uptime_s": uptime.Seconds(),
 		"objects":  s.ix.Len(),
 		"domain": regionJSON{
@@ -468,5 +625,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"capacity": int64(rc.Capacity),
 		},
 		"endpoints": endpoints,
-	})
+	}
+	if s.durable != nil {
+		ds := s.durable.Stats()
+		body["durable"] = map[string]any{
+			"wal_seq":        ds.WALSeq,
+			"wal_appends":    ds.WALAppends,
+			"wal_commits":    ds.WALCommits,
+			"wal_syncs":      ds.WALSyncs,
+			"wal_bytes":      ds.WALBytes,
+			"wal_segments":   ds.WALSegments,
+			"checkpoint_seq": ds.CheckpointSeq,
+			"store_epoch":    ds.StoreEpoch,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }

@@ -289,3 +289,136 @@ func TestServeConcurrentTraffic(t *testing.T) {
 		t.Fatalf("index has %d objects after churn, want 60", got)
 	}
 }
+
+// TestServeBatchEndpoints exercises the group-commit insert/delete routes.
+func TestServeBatchEndpoints(t *testing.T) {
+	ix := testIndex(t, 50)
+	ts := httptest.NewServer(newServer(ix).routes())
+	defer ts.Close()
+
+	var objs []map[string]any
+	for i := 0; i < 6; i++ {
+		objs = append(objs, map[string]any{
+			"id":     7000 + i,
+			"region": map[string]any{"lo": []float64{float64(100 + i*50), 100}, "hi": []float64{float64(120 + i*50), 130}},
+			"sample": map[string]any{"n": 10, "seed": i},
+		})
+	}
+	resp, out := postJSON(t, ts, "/v1/insertbatch", map[string]any{"objects": objs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insertbatch status %d: %s", resp.StatusCode, out["error"])
+	}
+	var count int
+	if err := json.Unmarshal(out["count"], &count); err != nil || count != 6 {
+		t.Fatalf("insertbatch count = %d (err %v), want 6", count, err)
+	}
+	if got := ix.Len(); got != 56 {
+		t.Fatalf("index has %d objects after batch insert, want 56", got)
+	}
+
+	// A batch with one duplicate applies nothing.
+	resp, _ = postJSON(t, ts, "/v1/insertbatch", map[string]any{"objects": []map[string]any{
+		{"id": 7100, "region": map[string]any{"lo": []float64{10, 10}, "hi": []float64{20, 20}}},
+		{"id": 7000, "region": map[string]any{"lo": []float64{10, 10}, "hi": []float64{20, 20}}},
+	}})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate in batch: status %d, want 409", resp.StatusCode)
+	}
+	if got := ix.Len(); got != 56 {
+		t.Fatalf("failed batch mutated the index: %d objects", got)
+	}
+
+	resp, out = postJSON(t, ts, "/v1/deletebatch", map[string]any{"ids": []int{7000, 7001, 7002, 7003, 7004, 7005}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deletebatch status %d: %s", resp.StatusCode, out["error"])
+	}
+	if got := ix.Len(); got != 50 {
+		t.Fatalf("index has %d objects after batch delete, want 50", got)
+	}
+	resp, _ = postJSON(t, ts, "/v1/deletebatch", map[string]any{"ids": []int{424242}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown deletebatch: status %d, want 404", resp.StatusCode)
+	}
+
+	// Checkpoint without durable mode is a clean 409.
+	resp, _ = postJSON(t, ts, "/v1/checkpoint", map[string]any{})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint in memory mode: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestServeDurableCheckpointAndRecovery runs the server against a durable
+// index, checkpoints over HTTP, and verifies a second open sees the updates.
+func TestServeDurableCheckpointAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(9))
+	db := pvoronoi.NewDB(pvoronoi.NewRect(pvoronoi.Point{0, 0}, pvoronoi.Point{1000, 1000}))
+	for i := 0; i < 40; i++ {
+		lo := pvoronoi.Point{rng.Float64() * 950, rng.Float64() * 950}
+		region := pvoronoi.NewRect(lo, pvoronoi.Point{lo[0] + 10, lo[1] + 10})
+		if err := db.Add(&pvoronoi.Object{ID: pvoronoi.ID(i), Region: region}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := pvoronoi.DefaultOptions()
+	opts.MemBudget = 1 << 18
+	d, err := pvoronoi.OpenDurable(dir, db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newDurableServer(d).routes())
+
+	resp, out := postJSON(t, ts, "/v1/insert", map[string]any{
+		"id":     9500,
+		"region": map[string]any{"lo": []float64{400, 400}, "hi": []float64{420, 420}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("durable insert status %d: %s", resp.StatusCode, out["error"])
+	}
+	resp, out = postJSON(t, ts, "/v1/checkpoint", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status %d: %s", resp.StatusCode, out["error"])
+	}
+	var skipped bool
+	if err := json.Unmarshal(out["skipped"], &skipped); err != nil || skipped {
+		t.Fatalf("first checkpoint skipped=%v (err %v), want a real snapshot", skipped, err)
+	}
+
+	// Stats expose the durable counters.
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Durable struct {
+			WALSeq   uint64 `json:"wal_seq"`
+			WALSyncs int64  `json:"wal_syncs"`
+		} `json:"durable"`
+	}
+	err = json.NewDecoder(statsResp.Body).Decode(&stats)
+	statsResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Durable.WALSeq == 0 || stats.Durable.WALSyncs == 0 {
+		t.Fatalf("durable stats missing: %+v", stats.Durable)
+	}
+
+	ts.Close()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the update must still be there.
+	d2, err := pvoronoi.OpenDurable(dir, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.DB().Get(9500) == nil {
+		t.Fatal("update lost across restart")
+	}
+	if d2.Len() != 41 {
+		t.Fatalf("recovered %d objects, want 41", d2.Len())
+	}
+}

@@ -1,0 +1,342 @@
+package pvoronoi
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"pvoronoi/internal/dataset"
+	"pvoronoi/internal/uncertain"
+	"pvoronoi/internal/wal"
+)
+
+// Durable is an Index whose updates survive process crashes. Every write
+// batch is appended to a write-ahead log and fsynced before it applies;
+// Checkpoint persists a consistent (database, index) snapshot pair and
+// trims the log; OpenDurable restores the latest checkpoint and replays the
+// log's tail. Queries and updates go through the embedded Index exactly as
+// in the in-memory mode.
+//
+// Directory layout:
+//
+//	dir/CURRENT          name of the active checkpoint (atomic rename)
+//	dir/ckpt-<seq>.db    database snapshot at WAL sequence <seq>
+//	dir/ckpt-<seq>.pvidx index snapshot at WAL sequence <seq>
+//	dir/wal/seg-*.wal    write-ahead-log segments
+type Durable struct {
+	*Index
+	dir string
+	log *wal.Log
+
+	ckptMu        sync.Mutex
+	lastCkptSeq   uint64
+	lastCkptEpoch int64
+	hasCkpt       bool
+	closed        bool
+
+	recovery RecoveryStats
+}
+
+// RecoveryStats describes what OpenDurable had to do to restore state.
+type RecoveryStats struct {
+	// Rebuilt is true when no checkpoint existed and the index was built
+	// from the bootstrap database.
+	Rebuilt bool
+	// SnapshotSeq is the WAL sequence the loaded checkpoint covered (0 when
+	// rebuilt).
+	SnapshotSeq uint64
+	// Replayed counts the WAL updates applied on top of the snapshot.
+	Replayed int
+}
+
+// CheckpointStats describes one Checkpoint call.
+type CheckpointStats struct {
+	// Seq is the WAL sequence the checkpoint covers.
+	Seq uint64
+	// Skipped is true when the state was unchanged since the last
+	// checkpoint (per the page store's mutation epoch) and nothing was
+	// written.
+	Skipped bool
+	// Duration is the wall time spent writing the snapshot pair.
+	Duration time.Duration
+}
+
+// DurableStats reports the durable layer's counters for monitoring.
+type DurableStats struct {
+	WALSeq        uint64 // last applied WAL sequence
+	WALAppends    int64  // records logged
+	WALCommits    int64  // group commits (one buffered write each)
+	WALSyncs      int64  // fsyncs issued
+	WALBytes      int64  // log bytes written
+	WALSegments   int    // segment files on disk
+	CheckpointSeq uint64 // WAL sequence of the newest checkpoint
+	StoreEpoch    int64  // page store mutation epoch
+}
+
+const currentFile = "CURRENT"
+
+// OpenDurable opens (or initializes) a durable index in dir.
+//
+// With an existing checkpoint, the bootstrap database db is ignored: the
+// checkpointed database and index are loaded and the WAL tail beyond the
+// snapshot is replayed. Without one (first boot, or a crash before the
+// first checkpoint completed), the index is built from db with opts and any
+// WAL records from a previous uncheckpointed run are replayed on top — so
+// acknowledged updates survive even that window, provided the caller
+// supplies the same bootstrap database each time (same dataset file or
+// generator seed).
+//
+// Open finishes by writing a fresh checkpoint whenever recovery changed
+// anything, so the next boot replays as little as possible.
+func OpenDurable(dir string, db *DB, opts Options) (*Durable, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	d := &Durable{dir: dir, log: log}
+
+	name, err := readCurrent(dir)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	var ix *Index
+	if name != "" {
+		snapDB, err := dataset.Load(filepath.Join(dir, name+".db"))
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("pvoronoi: loading checkpoint database: %w", err)
+		}
+		f, err := os.Open(filepath.Join(dir, name+".pvidx"))
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		ix, err = LoadIndex(bufio.NewReader(f), snapDB)
+		f.Close()
+		if err != nil {
+			log.Close()
+			return nil, fmt.Errorf("pvoronoi: loading checkpoint index: %w", err)
+		}
+		d.recovery.SnapshotSeq = ix.inner.WALSeq()
+	} else {
+		if db == nil {
+			log.Close()
+			return nil, fmt.Errorf("pvoronoi: OpenDurable on an empty %s requires a bootstrap database", dir)
+		}
+		ix, err = BuildParallel(db, opts, 0)
+		if err != nil {
+			log.Close()
+			return nil, err
+		}
+		d.recovery.Rebuilt = true
+	}
+	ix.inner.AttachWAL(log)
+	replayed, err := ix.inner.Recover()
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("pvoronoi: wal replay: %w", err)
+	}
+	d.recovery.Replayed = replayed
+	d.Index = ix
+
+	if d.recovery.Rebuilt || replayed > 0 {
+		if _, err := d.Checkpoint(); err != nil {
+			log.Close()
+			return nil, fmt.Errorf("pvoronoi: initial checkpoint: %w", err)
+		}
+	} else {
+		d.lastCkptSeq = ix.inner.WALSeq()
+		d.lastCkptEpoch = ix.inner.Store().Epoch()
+		d.hasCkpt = true
+	}
+	return d, nil
+}
+
+// Recovery reports what OpenDurable did.
+func (d *Durable) Recovery() RecoveryStats { return d.recovery }
+
+// HasCheckpoint reports whether dir holds a durable checkpoint — i.e.
+// whether OpenDurable would recover from it rather than need a bootstrap
+// database. Callers can use it to skip loading bootstrap data on restarts.
+func HasCheckpoint(dir string) bool {
+	name, err := readCurrent(dir)
+	return err == nil && name != ""
+}
+
+// Checkpoint persists a consistent snapshot of the database and index,
+// updates CURRENT atomically, and trims WAL segments the snapshot made
+// obsolete. If nothing changed since the last checkpoint (same page-store
+// mutation epoch and WAL sequence) it is a no-op. Safe to call while
+// queries and updates are running — the snapshot pair is taken under the
+// index's read lock.
+func (d *Durable) Checkpoint() (CheckpointStats, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if d.closed {
+		return CheckpointStats{}, fmt.Errorf("pvoronoi: checkpoint on closed durable index")
+	}
+	start := time.Now()
+	if d.hasCkpt &&
+		d.Index.inner.Store().Epoch() == d.lastCkptEpoch &&
+		d.Index.inner.WALSeq() == d.lastCkptSeq {
+		return CheckpointStats{Seq: d.lastCkptSeq, Skipped: true}, nil
+	}
+
+	tmpDB := filepath.Join(d.dir, "ckpt-tmp.db")
+	tmpIx := filepath.Join(d.dir, "ckpt-tmp.pvidx")
+	f, err := os.Create(tmpIx)
+	if err != nil {
+		return CheckpointStats{}, err
+	}
+	w := bufio.NewWriter(f)
+	var epoch int64
+	seq, err := d.Index.inner.SnapshotWith(w, func(db *uncertain.DB) error {
+		// Captured under the read lock, so the epoch matches exactly the
+		// state both snapshot files describe.
+		epoch = d.Index.inner.Store().Epoch()
+		return dataset.Save(db, tmpDB)
+	})
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpIx)
+		os.Remove(tmpDB)
+		return CheckpointStats{}, fmt.Errorf("pvoronoi: writing checkpoint: %w", err)
+	}
+
+	base := fmt.Sprintf("ckpt-%016d", seq)
+	if err := os.Rename(tmpDB, filepath.Join(d.dir, base+".db")); err != nil {
+		return CheckpointStats{}, err
+	}
+	if err := os.Rename(tmpIx, filepath.Join(d.dir, base+".pvidx")); err != nil {
+		return CheckpointStats{}, err
+	}
+	if err := writeCurrent(d.dir, base); err != nil {
+		return CheckpointStats{}, err
+	}
+
+	// The checkpoint is durable; record it in the log and reclaim space.
+	if _, _, err := d.log.Append(wal.Entry{Type: wal.TypeCheckpoint, Payload: []byte(base)}); err != nil {
+		return CheckpointStats{}, err
+	}
+	if err := d.log.TruncateBefore(seq + 1); err != nil {
+		return CheckpointStats{}, err
+	}
+	d.removeStaleCheckpoints(base)
+
+	d.lastCkptSeq = seq
+	d.lastCkptEpoch = epoch
+	d.hasCkpt = true
+	return CheckpointStats{Seq: seq, Duration: time.Since(start)}, nil
+}
+
+// removeStaleCheckpoints deletes checkpoint files other than keep's.
+func (d *Durable) removeStaleCheckpoints(keep string) {
+	matches, _ := filepath.Glob(filepath.Join(d.dir, "ckpt-*"))
+	for _, m := range matches {
+		b := filepath.Base(m)
+		if strings.HasPrefix(b, keep) || strings.HasPrefix(b, "ckpt-tmp") {
+			continue
+		}
+		os.Remove(m)
+	}
+}
+
+// Stats returns the durable layer's counters.
+func (d *Durable) Stats() DurableStats {
+	ws := d.log.Stats()
+	d.ckptMu.Lock()
+	ckptSeq := d.lastCkptSeq
+	d.ckptMu.Unlock()
+	return DurableStats{
+		WALSeq:        d.Index.inner.WALSeq(),
+		WALAppends:    ws.Appends,
+		WALCommits:    ws.Commits,
+		WALSyncs:      ws.Syncs,
+		WALBytes:      ws.Bytes,
+		WALSegments:   ws.Segments,
+		CheckpointSeq: ckptSeq,
+		StoreEpoch:    d.Index.inner.Store().Epoch(),
+	}
+}
+
+// Close writes a final checkpoint and closes the log. The index remains
+// usable for queries but further updates and checkpoints will fail.
+func (d *Durable) Close() error {
+	d.ckptMu.Lock()
+	if d.closed {
+		d.ckptMu.Unlock()
+		return nil
+	}
+	d.ckptMu.Unlock()
+
+	_, ckptErr := d.Checkpoint()
+
+	d.ckptMu.Lock()
+	d.closed = true
+	d.ckptMu.Unlock()
+
+	logErr := d.log.Close()
+	if ckptErr != nil {
+		return ckptErr
+	}
+	return logErr
+}
+
+// readCurrent returns the active checkpoint's base name, or "" when none.
+func readCurrent(dir string) (string, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, currentFile))
+	if os.IsNotExist(err) {
+		return "", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	name := strings.TrimSpace(string(buf))
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return "", fmt.Errorf("pvoronoi: corrupt %s file %q", currentFile, name)
+	}
+	return name, nil
+}
+
+// writeCurrent atomically points CURRENT at the given checkpoint base name
+// and fsyncs the directory so the pointer survives a crash.
+func writeCurrent(dir, name string) error {
+	tmp := filepath.Join(dir, currentFile+".tmp")
+	if err := os.WriteFile(tmp, []byte(name+"\n"), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Open(tmp)
+	if err == nil {
+		err = f.Sync()
+		f.Close()
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, currentFile)); err != nil {
+		return err
+	}
+	df, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = df.Sync()
+	df.Close()
+	return err
+}

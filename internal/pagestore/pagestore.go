@@ -75,6 +75,11 @@ type Store struct {
 	bufs sync.Pool // *[]byte scratch buffers of pageSize bytes
 
 	reads, writes, allocs, frees atomic.Int64
+
+	// mutations counts every state-changing operation (Write, Alloc, Free)
+	// over the store's lifetime — the dirty epoch checkpointing compares to
+	// decide whether a new snapshot is needed. Reads never advance it.
+	mutations atomic.Int64
 }
 
 // ErrFull is returned by Alloc when the store's page limit is exhausted.
@@ -148,6 +153,7 @@ func (s *Store) Alloc() (PageID, error) {
 	sh.mu.Unlock()
 	s.live.Add(1)
 	s.allocs.Add(1)
+	s.mutations.Add(1)
 	return id, nil
 }
 
@@ -167,6 +173,7 @@ func (s *Store) Free(id PageID) error {
 	s.free = append(s.free, id)
 	s.live.Add(-1)
 	s.frees.Add(1)
+	s.mutations.Add(1)
 	return nil
 }
 
@@ -238,6 +245,7 @@ func (s *Store) Write(id PageID, data []byte) error {
 		return fmt.Errorf("pagestore: write of unknown page %d", id)
 	}
 	s.writes.Add(1)
+	s.mutations.Add(1)
 	copy(p, data)
 	clear(p[len(data):])
 	return nil
@@ -264,4 +272,13 @@ func (s *Store) ResetStats() {
 // Live returns the number of currently allocated pages.
 func (s *Store) Live() int {
 	return int(s.live.Load())
+}
+
+// Epoch returns the store's mutation counter: a monotonic value that
+// advances on every Write, Alloc and Free and never on reads. Two equal
+// Epoch readings bracket a window in which the stored bytes did not change,
+// so a checkpointer can skip re-snapshotting an unchanged store. It is not
+// persisted; a store restored via FromImage restarts at zero.
+func (s *Store) Epoch() int64 {
+	return s.mutations.Load()
 }

@@ -160,3 +160,39 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Fatalf("stats after concurrent ops: %+v", st)
 	}
 }
+
+func TestEpochAdvancesOnMutationsOnly(t *testing.T) {
+	s := New(128)
+	e0 := s.Epoch()
+	id, err := s.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() <= e0 {
+		t.Fatal("Alloc did not advance the epoch")
+	}
+	e1 := s.Epoch()
+	if err := s.Write(id, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() <= e1 {
+		t.Fatal("Write did not advance the epoch")
+	}
+	e2 := s.Epoch()
+	if _, err := s.Read(id); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if err := s.ReadInto(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != e2 {
+		t.Fatalf("reads advanced the epoch (%d -> %d)", e2, s.Epoch())
+	}
+	if err := s.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() <= e2 {
+		t.Fatal("Free did not advance the epoch")
+	}
+}

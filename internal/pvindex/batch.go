@@ -1,0 +1,511 @@
+package pvindex
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pvoronoi/internal/core"
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/rtree"
+	"pvoronoi/internal/uncertain"
+	"pvoronoi/internal/wal"
+)
+
+// Op selects the kind of one batched update.
+type Op uint8
+
+const (
+	// OpInsert adds Update.Object to the database and index.
+	OpInsert Op = iota + 1
+	// OpDelete removes the object with Update.ID.
+	OpDelete
+)
+
+// Update is one operation of a write batch.
+type Update struct {
+	Op     Op
+	Object *uncertain.Object // OpInsert
+	ID     uncertain.ID      // OpDelete
+}
+
+// ErrWAL marks write-ahead-log failures surfaced by ApplyBatch, so callers
+// can tell a server-side durability fault (disk full, I/O error) apart from
+// an invalid request.
+var ErrWAL = errors.New("pvindex: wal failure")
+
+// seMode selects how an insert's UBR is obtained during batch application.
+type seMode int
+
+const (
+	// seUseStaged reuses the UBR staged outside the lock unchanged — valid
+	// when no earlier batch op could have affected the newcomer's PV-cell.
+	seUseStaged seMode = iota
+	// seWarmStart re-runs SE warm-started from the staged UBR as the upper
+	// bound — valid when only earlier *inserts* interact (Lemma 9: the cell
+	// can only have shrunk).
+	seWarmStart
+	// seCold recomputes from scratch — required when an earlier delete
+	// interacts (the cell may have grown beyond the staged bound).
+	seCold
+)
+
+// stagedSE is the outside-the-lock SE precomputation for one insert: the
+// newcomer's UBR over the pre-batch database, with its cost profile.
+type stagedSE struct {
+	ubr   geom.Rect
+	stats core.Stats
+	dur   time.Duration
+}
+
+// impact records the region of influence of one applied batch op: the new
+// object's UBR for an insert, the victim's stored UBR for a delete. A staged
+// UBR that intersects no earlier impact is still exact.
+type impact struct {
+	rect     geom.Rect
+	isDelete bool
+}
+
+// ApplyBatch applies a batch of updates as one group commit:
+//
+//  1. The whole batch is validated and every insert's SE computation is
+//     staged under the read lock — queries keep flowing while the expensive
+//     UBR work runs (in parallel across the batch).
+//  2. If a WAL is attached (Config.WAL / AttachWAL), the batch is appended
+//     to the log and made durable with a single fsync before any state
+//     changes — log-then-apply, so recovery can replay it.
+//  3. All updates apply under one write-lock acquisition, with one
+//     coalesced record-cache invalidation pass at the end instead of one
+//     per touched record.
+//
+// Validation is all-or-nothing: a duplicate insert ID or unknown delete ID
+// anywhere in the batch (accounting for earlier ops in the same batch)
+// fails the whole batch before anything is logged or applied. Concurrent
+// ApplyBatch calls serialize; queries interleave with the staging phase but
+// not the apply phase.
+//
+// Stats are returned per op, positionally. On a mid-apply error (e.g. a
+// full page store) the already-applied prefix remains applied and the
+// returned stats cover it; like a failed Insert today, the index should be
+// considered compromised.
+func (ix *Index) ApplyBatch(ups []Update) ([]UpdateStats, error) {
+	if len(ups) == 0 {
+		return nil, nil
+	}
+	ix.writerMu.Lock()
+	defer ix.writerMu.Unlock()
+
+	staged, err := ix.stageBatch(ups)
+	if err != nil {
+		return nil, err
+	}
+
+	var lastSeq uint64
+	if ix.wal != nil {
+		entries := make([]wal.Entry, len(ups))
+		for i, u := range ups {
+			e, err := encodeUpdate(u)
+			if err != nil {
+				return nil, err
+			}
+			entries[i] = e
+		}
+		if _, lastSeq, err = ix.wal.Append(entries...); err != nil {
+			return nil, fmt.Errorf("%w: append: %w", ErrWAL, err)
+		}
+	}
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	sts, err := ix.applyLocked(ups, staged, lastSeq)
+	if err != nil {
+		// Mid-apply failure: part of the batch is in, part is not. Mark
+		// the index damaged so later writes and snapshots are refused —
+		// recovery from the last good checkpoint plus the WAL (which holds
+		// the whole batch) is the consistent way back.
+		ix.damaged = fmt.Errorf("pvindex: batch failed mid-apply, index state is partial: %w", err)
+	}
+	return sts, err
+}
+
+// stageBatch validates the batch and precomputes every insert's UBR over
+// the current database state, in parallel. It runs under the read lock:
+// writerMu (held by the caller) guarantees no writer can shift the state
+// underneath, while queries proceed untouched.
+func (ix *Index) stageBatch(ups []Update) ([]stagedSE, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.damaged != nil {
+		return nil, ix.damaged
+	}
+
+	// Validate against the database plus the batch's own earlier effects.
+	delta := make(map[uncertain.ID]bool, len(ups)) // ID -> exists after ops so far
+	exists := func(id uncertain.ID) bool {
+		if v, ok := delta[id]; ok {
+			return v
+		}
+		return ix.db.Get(id) != nil
+	}
+	for i, u := range ups {
+		switch u.Op {
+		case OpInsert:
+			if u.Object == nil {
+				return nil, fmt.Errorf("pvindex: batch op %d: insert with nil object", i)
+			}
+			if u.Object.Dim() != ix.db.Dim() {
+				return nil, fmt.Errorf("pvindex: batch op %d: object %d has dim %d, domain dim %d",
+					i, u.Object.ID, u.Object.Dim(), ix.db.Dim())
+			}
+			if exists(u.Object.ID) {
+				return nil, fmt.Errorf("pvindex: batch op %d: %w: %d", i, uncertain.ErrDuplicateID, u.Object.ID)
+			}
+			delta[u.Object.ID] = true
+		case OpDelete:
+			if !exists(u.ID) {
+				return nil, fmt.Errorf("pvindex: batch op %d: %w: %d", i, uncertain.ErrUnknownID, u.ID)
+			}
+			delta[u.ID] = false
+		default:
+			return nil, fmt.Errorf("pvindex: batch op %d: unknown op %d", i, u.Op)
+		}
+	}
+
+	// Stage SE for the inserts with a worker pool. ChooseCSet skips the
+	// object's own ID, so computing a newcomer's UBR before it is added
+	// yields exactly what Insert would compute after adding it; R*-tree
+	// browsing mutates only atomic counters, so workers share the tree.
+	staged := make([]stagedSE, len(ups))
+	var idxs []int
+	for i, u := range ups {
+		if u.Op == OpInsert {
+			idxs = append(idxs, i)
+		}
+	}
+	ix.parallelSE(len(idxs), func(k int) {
+		i := idxs[k]
+		t0 := time.Now()
+		staged[i].ubr, staged[i].stats = core.ComputeUBR(ix.db, ix.regionTree, ups[i].Object, ix.cfg.SE)
+		staged[i].dur = time.Since(t0)
+	})
+	return staged, nil
+}
+
+// applyLocked applies a validated, staged, logged batch. Callers hold both
+// writerMu and the write lock. lastSeq is the WAL sequence number of the
+// batch's final record (0 when no WAL is attached).
+func (ix *Index) applyLocked(ups []Update, staged []stagedSE, lastSeq uint64) ([]UpdateStats, error) {
+	if lastSeq > 0 {
+		ix.walSeq = lastSeq
+	}
+
+	// All record mutations divert into batchDirty; the deferred pass is the
+	// batch's one coalesced cache invalidation (deduplicated across ops).
+	ix.batchDirty = make(map[uint32]struct{}, len(ups)*4)
+	defer func() {
+		for id := range ix.batchDirty {
+			ix.rcache.invalidate(id)
+		}
+		ix.batchDirty = nil
+	}()
+
+	insertsOnly := true
+	for _, u := range ups {
+		if u.Op != OpInsert {
+			insertsOnly = false
+			break
+		}
+	}
+	if insertsOnly && len(ups) > 1 {
+		return ix.applyInsertsLocked(ups, staged)
+	}
+
+	stats := make([]UpdateStats, 0, len(ups))
+	var impacts []impact
+	for i, u := range ups {
+		switch u.Op {
+		case OpInsert:
+			mode := seUseStaged
+			for _, im := range impacts {
+				if !im.rect.Intersects(staged[i].ubr) {
+					continue
+				}
+				if im.isDelete {
+					mode = seCold
+					break
+				}
+				mode = seWarmStart
+			}
+			st, newB, err := ix.applyInsertLocked(u.Object, &staged[i], mode)
+			if err != nil {
+				return stats, err
+			}
+			stats = append(stats, st)
+			impacts = append(impacts, impact{rect: newB})
+		case OpDelete:
+			st, victimUBR, err := ix.applyDeleteLocked(u.ID)
+			if err != nil {
+				return stats, err
+			}
+			stats = append(stats, st)
+			impacts = append(impacts, impact{rect: victimUBR, isDelete: true})
+		}
+	}
+	return stats, nil
+}
+
+// applyInsertsLocked is the group-commit fast path for an all-insert batch.
+// Because insertions only ever shrink PV-cells (Lemma 9), the whole batch
+// can be applied set-at-a-time instead of op-at-a-time:
+//
+//   - every newcomer's UBR is finalized against the final database state
+//     (reusing the staged UBR outright when it intersects no other
+//     newcomer's — disjoint bounds mean disjoint cells, hence no mutual
+//     influence — and warm-starting from it otherwise), and
+//   - every affected existing object is recomputed exactly once, however
+//     many batch inserts touch it, instead of once per triggering op.
+//
+// The pre-batch stored UBRs used for the affected-set filters are upper
+// bounds of the final cells (shrink-only), so filtering against them is
+// conservative: no affected object can be missed. Both recompute phases
+// fan out across a worker pool — SE reads only the database and region
+// tree, which no longer change at that point.
+func (ix *Index) applyInsertsLocked(ups []Update, staged []stagedSE) ([]UpdateStats, error) {
+	n := len(ups)
+	stats := make([]UpdateStats, n)
+	batchStart := time.Now()
+	defer func() {
+		// TotalTime per op: its share of the batch's wall clock plus its
+		// attributed staging time (spent before the lock).
+		per := time.Since(batchStart) / time.Duration(n)
+		for i := range stats {
+			stats[i].TotalTime = per + staged[i].dur
+		}
+	}()
+
+	// Phase 1: database and region tree. Validation already cleared every
+	// op, so Add cannot fail on IDs; any error here is fatal corruption.
+	newcomer := make(map[uint32]struct{}, n)
+	for _, u := range ups {
+		if err := ix.db.Add(u.Object); err != nil {
+			return nil, err
+		}
+		ix.regionTree.Insert(rtree.Item{Rect: u.Object.Region, ID: uint32(u.Object.ID)})
+		newcomer[uint32(u.Object.ID)] = struct{}{}
+	}
+
+	// Phase 2: final newcomer UBRs over the completed database.
+	finalB := make([]geom.Rect, n)
+	needsRefine := make([]bool, n)
+	for i := range ups {
+		stats[i].SETime += staged[i].dur
+		stats[i].SE.Add(staged[i].stats)
+		for j := range ups {
+			if j != i && staged[j].ubr.Intersects(staged[i].ubr) {
+				needsRefine[i] = true
+				break
+			}
+		}
+		if !needsRefine[i] {
+			finalB[i] = staged[i].ubr
+		}
+	}
+	ix.parallelSE(n, func(i int) {
+		if !needsRefine[i] {
+			return
+		}
+		t0 := time.Now()
+		b, s := core.ComputeUBRAfterInsert(ix.db, ix.regionTree, ups[i].Object, staged[i].ubr, ix.cfg.SE)
+		finalB[i] = b
+		stats[i].SETime += time.Since(t0)
+		stats[i].SE.Add(s)
+	})
+
+	// Phase 3: the union of affected existing objects, each with its
+	// pre-batch UBR and the first op that touched it (for stats).
+	type affectedObj struct {
+		id   uint32
+		oldB geom.Rect
+		op   int
+	}
+	var affected []affectedObj
+	seen := make(map[uint32]struct{})
+	for i, u := range ups {
+		ids, err := ix.primary.RangeIDs(finalB[i])
+		if err != nil {
+			return stats, err
+		}
+		stats[i].Examined = len(ids)
+		for id := range ids {
+			if _, isNew := newcomer[id]; isNew {
+				continue
+			}
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			other := ix.db.Get(uncertain.ID(id))
+			if other == nil {
+				continue
+			}
+			// Lemma 8(3): objects whose regions overlap u(o) are unaffected.
+			if other.Region.Intersects(u.Object.Region) {
+				continue
+			}
+			oldB, ok := ix.lookupUBR(id)
+			if !ok {
+				continue
+			}
+			// Lemma 8(2) via UBRs: disjoint bounds imply disjoint cells.
+			if !oldB.Intersects(finalB[i]) {
+				continue
+			}
+			seen[id] = struct{}{}
+			affected = append(affected, affectedObj{id: id, oldB: oldB, op: i})
+			stats[i].Affected++
+		}
+	}
+
+	// Phase 4: recompute each affected object once (warm-started — its cell
+	// can only have shrunk), then patch the indexes serially. SE results
+	// land in per-object slots; stats fold serially afterward because
+	// several affected objects may attribute to the same op.
+	updatedB := make([]geom.Rect, len(affected))
+	seDur := make([]time.Duration, len(affected))
+	seStats := make([]core.Stats, len(affected))
+	ix.parallelSE(len(affected), func(k int) {
+		a := affected[k]
+		other := ix.db.Get(uncertain.ID(a.id))
+		t0 := time.Now()
+		updatedB[k], seStats[k] = core.ComputeUBRAfterInsert(ix.db, ix.regionTree, other, a.oldB, ix.cfg.SE)
+		seDur[k] = time.Since(t0)
+	})
+	for k, a := range affected {
+		stats[a.op].SETime += seDur[k]
+		stats[a.op].SE.Add(seStats[k])
+		other := ix.db.Get(uncertain.ID(a.id))
+		t0 := time.Now()
+		if _, err := ix.primary.RemoveDiff(a.id, a.oldB, updatedB[k]); err != nil {
+			return stats, err
+		}
+		rec := record{UBR: updatedB[k], Region: other.Region, Instances: other.Instances}
+		if err := ix.putRecord(a.id, rec); err != nil {
+			return stats, err
+		}
+		stats[a.op].IndexTime += time.Since(t0)
+	}
+
+	// Phase 5: newcomers enter the primary and secondary indexes.
+	for i, u := range ups {
+		t0 := time.Now()
+		if err := ix.addObject(u.Object, finalB[i]); err != nil {
+			return stats, err
+		}
+		stats[i].IndexTime += time.Since(t0)
+	}
+	return stats, nil
+}
+
+// parallelSE runs fn(0..n-1) across a worker pool sized to GOMAXPROCS —
+// used for the in-lock SE recomputation fan-outs, which are read-only over
+// the database and region tree. Each index is visited by exactly one
+// worker, so fn may write to per-index slots without synchronization.
+func (ix *Index) parallelSE(n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// AttachWAL binds a write-ahead log to the index: every subsequent
+// ApplyBatch (and Insert/Delete, which are one-op batches) appends its
+// updates to l before applying them. Attach before serving writers; it is
+// not safe to call concurrently with updates.
+func (ix *Index) AttachWAL(l *wal.Log) { ix.wal = l }
+
+// WAL returns the attached write-ahead log, or nil.
+func (ix *Index) WAL() *wal.Log { return ix.wal }
+
+// WALSeq returns the sequence number of the last WAL record this index has
+// applied (0 if none). A snapshot saved at this value plus a replay of all
+// later WAL records reproduces the index's current state.
+func (ix *Index) WALSeq() uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.walSeq
+}
+
+// Recover replays every WAL record beyond the index's last applied
+// sequence — the tail the current snapshot is missing — and returns how
+// many updates it applied. A torn record at the log's tail (from a crash
+// mid-commit) ends recovery cleanly: that update was never acknowledged.
+func (ix *Index) Recover() (int, error) {
+	if ix.wal == nil {
+		return 0, fmt.Errorf("pvindex: Recover without an attached WAL")
+	}
+	ix.writerMu.Lock()
+	defer ix.writerMu.Unlock()
+
+	replayed := 0
+	err := ix.wal.Replay(ix.walSeq+1, func(rec wal.Record) error {
+		if rec.Type == wal.TypeCheckpoint {
+			ix.mu.Lock()
+			ix.walSeq = rec.Seq
+			ix.mu.Unlock()
+			return nil
+		}
+		u, err := decodeUpdate(rec)
+		if err != nil {
+			return err
+		}
+		if err := ix.replayUpdate(u, rec.Seq); err != nil {
+			return fmt.Errorf("pvindex: replaying wal record %d: %w", rec.Seq, err)
+		}
+		replayed++
+		return nil
+	})
+	return replayed, err
+}
+
+// replayUpdate applies one recovered update without re-logging it.
+func (ix *Index) replayUpdate(u Update, seq uint64) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.walSeq = seq
+	switch u.Op {
+	case OpInsert:
+		_, _, err := ix.applyInsertLocked(u.Object, nil, seCold)
+		return err
+	case OpDelete:
+		_, _, err := ix.applyDeleteLocked(u.ID)
+		return err
+	default:
+		return fmt.Errorf("pvindex: unknown op %d in wal", u.Op)
+	}
+}

@@ -1,0 +1,531 @@
+package pvindex
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"pvoronoi/internal/bruteforce"
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/pagestore"
+	"pvoronoi/internal/uncertain"
+	"pvoronoi/internal/wal"
+)
+
+// newObj makes a small test object at a random position within span.
+func newObj(rng *rand.Rand, id uncertain.ID, d int, span, side float64) *uncertain.Object {
+	lo := make(geom.Point, d)
+	hi := make(geom.Point, d)
+	for j := 0; j < d; j++ {
+		lo[j] = rng.Float64() * (span - side)
+		hi[j] = lo[j] + 1 + rng.Float64()*(side-1)
+	}
+	return &uncertain.Object{ID: id, Region: geom.Rect{Lo: lo, Hi: hi}}
+}
+
+// assertMatchesBruteforce checks PossibleNN answers against the brute-force
+// oracle over the index's database at many random points.
+func assertMatchesBruteforce(t *testing.T, ix *Index, rng *rand.Rand, span float64, d, iters int) {
+	t.Helper()
+	for i := 0; i < iters; i++ {
+		q := make(geom.Point, d)
+		for j := range q {
+			q[j] = rng.Float64() * span
+		}
+		got, err := ix.PossibleNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(idsOf(got), bruteforce.PossibleNN(ix.DB(), q)) {
+			t.Fatalf("query %v: index disagrees with brute force", q)
+		}
+	}
+}
+
+func TestApplyBatchMixedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := randomDB(rng, 120, 2, 900, 35, false)
+	ix, err := Build(db, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Several mixed batches: inserts of fresh IDs interleaved with deletes
+	// of random survivors.
+	nextID := uncertain.ID(5000)
+	for round := 0; round < 4; round++ {
+		var ups []Update
+		for i := 0; i < 6; i++ {
+			ups = append(ups, Update{Op: OpInsert, Object: newObj(rng, nextID, 2, 850, 30)})
+			nextID++
+		}
+		for i := 0; i < 4; i++ {
+			victim := db.Objects()[rng.Intn(db.Len())].ID
+			// Avoid deleting the same ID twice within one batch.
+			dup := false
+			for _, u := range ups {
+				if u.Op == OpDelete && u.ID == victim {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+			ups = append(ups, Update{Op: OpDelete, ID: victim})
+		}
+		sts, err := ix.ApplyBatch(ups)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(sts) != len(ups) {
+			t.Fatalf("round %d: %d stats for %d ops", round, len(sts), len(ups))
+		}
+		assertMatchesBruteforce(t, ix, rng, 900, 2, 40)
+	}
+}
+
+func TestApplyBatchInteractingInserts(t *testing.T) {
+	// A tight cluster of batch inserts forces the staged-UBR invalidation
+	// paths (warm-start and cold recompute): every newcomer's UBR intersects
+	// the previous ones'.
+	rng := rand.New(rand.NewSource(12))
+	db := randomDB(rng, 60, 2, 600, 30, false)
+	ix, err := Build(db, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ups []Update
+	for i := 0; i < 8; i++ {
+		lo := geom.Point{280 + float64(i)*4, 280 + float64(i)*3}
+		o := &uncertain.Object{
+			ID:     uncertain.ID(9000 + i),
+			Region: geom.NewRect(lo, geom.Point{lo[0] + 15, lo[1] + 15}),
+		}
+		ups = append(ups, Update{Op: OpInsert, Object: o})
+	}
+	// And a delete in the middle of the cluster, forcing seCold for the
+	// inserts that follow it.
+	victim := db.Objects()[0].ID
+	mid := append([]Update{}, ups[:4]...)
+	mid = append(mid, Update{Op: OpDelete, ID: victim})
+	mid = append(mid, ups[4:]...)
+	if _, err := ix.ApplyBatch(mid); err != nil {
+		t.Fatal(err)
+	}
+	assertMatchesBruteforce(t, ix, rng, 600, 2, 80)
+}
+
+func TestApplyBatchValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	db := randomDB(rng, 40, 2, 500, 25, false)
+	ix, err := Build(db, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := db.Len()
+
+	// Duplicate of an existing ID fails the whole batch, applying nothing.
+	_, err = ix.ApplyBatch([]Update{
+		{Op: OpInsert, Object: newObj(rng, 7000, 2, 450, 20)},
+		{Op: OpInsert, Object: newObj(rng, 0, 2, 450, 20)}, // ID 0 exists
+	})
+	if !errors.Is(err, uncertain.ErrDuplicateID) {
+		t.Fatalf("duplicate ID: got %v", err)
+	}
+	if db.Len() != n0 {
+		t.Fatalf("failed batch mutated the database (%d -> %d objects)", n0, db.Len())
+	}
+
+	// Duplicate within the batch itself.
+	o := newObj(rng, 7001, 2, 450, 20)
+	_, err = ix.ApplyBatch([]Update{{Op: OpInsert, Object: o}, {Op: OpInsert, Object: o}})
+	if !errors.Is(err, uncertain.ErrDuplicateID) {
+		t.Fatalf("in-batch duplicate: got %v", err)
+	}
+
+	// Unknown delete.
+	_, err = ix.ApplyBatch([]Update{{Op: OpDelete, ID: 424242}})
+	if !errors.Is(err, uncertain.ErrUnknownID) {
+		t.Fatalf("unknown delete: got %v", err)
+	}
+
+	// Delete-then-reinsert of the same ID within one batch is legal.
+	reborn := newObj(rng, db.Objects()[1].ID, 2, 450, 20)
+	if _, err := ix.ApplyBatch([]Update{
+		{Op: OpDelete, ID: reborn.ID},
+		{Op: OpInsert, Object: reborn},
+	}); err != nil {
+		t.Fatalf("delete+reinsert batch: %v", err)
+	}
+	if db.Len() != n0 {
+		t.Fatalf("delete+reinsert changed cardinality (%d -> %d)", n0, db.Len())
+	}
+	assertMatchesBruteforce(t, ix, rng, 500, 2, 60)
+
+	// Empty batch is a no-op.
+	if sts, err := ix.ApplyBatch(nil); err != nil || sts != nil {
+		t.Fatalf("empty batch: %v %v", sts, err)
+	}
+}
+
+func TestApplyBatchKeepsRecordCacheCoherent(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	db := randomDB(rng, 80, 2, 700, 30, true)
+	ix, err := Build(db, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the cache over the whole database.
+	for _, o := range db.Objects() {
+		if _, err := ix.Instances(o.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A batch that rewrites many records (deletes grow neighbors' UBRs).
+	var ups []Update
+	for i := 0; i < 10; i++ {
+		ups = append(ups, Update{Op: OpDelete, ID: db.Objects()[rng.Intn(db.Len()-i)].ID})
+		ups = append(ups, Update{Op: OpInsert, Object: newObj(rng, uncertain.ID(8000+i), 2, 650, 25)})
+	}
+	// Dedup batch-internal delete collisions.
+	seen := map[uncertain.ID]bool{}
+	var clean []Update
+	for _, u := range ups {
+		if u.Op == OpDelete {
+			if seen[u.ID] {
+				continue
+			}
+			seen[u.ID] = true
+		}
+		clean = append(clean, u)
+	}
+	if _, err := ix.ApplyBatch(clean); err != nil {
+		t.Fatal(err)
+	}
+	// Every surviving object's cached record must match its stored truth:
+	// UBR lookups and instance fetches go through the cache.
+	assertMatchesBruteforce(t, ix, rng, 700, 2, 80)
+	for _, o := range db.Objects() {
+		ins, err := ix.Instances(o.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ins) != len(o.Instances) {
+			t.Fatalf("object %d: cached %d instances, database has %d", o.ID, len(ins), len(o.Instances))
+		}
+	}
+}
+
+func TestApplyBatchWALRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	db := randomDB(rng, 100, 2, 800, 30, true)
+	ix, err := Build(db, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := t.TempDir()
+	log, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.AttachWAL(log)
+
+	applyRound := func(round int) {
+		var ups []Update
+		for i := 0; i < 5; i++ {
+			ups = append(ups, Update{Op: OpInsert, Object: newObj(rng, uncertain.ID(6000+round*10+i), 2, 750, 25)})
+		}
+		ups = append(ups, Update{Op: OpDelete, ID: db.Objects()[rng.Intn(db.Len())].ID})
+		if _, err := ix.ApplyBatch(ups); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Two batches, then a snapshot (with a consistent DB copy), then two
+	// more batches that only the WAL knows about.
+	applyRound(0)
+	applyRound(1)
+	var snap bytes.Buffer
+	var dbAtSnap *uncertain.DB
+	snapSeq, err := ix.SnapshotWith(&snap, func(cur *uncertain.DB) error {
+		dbAtSnap = cur.Clone()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapSeq == 0 {
+		t.Fatal("snapshot carries no WAL sequence")
+	}
+	applyRound(2)
+	applyRound(3)
+	liveSeq := ix.WALSeq()
+	if liveSeq <= snapSeq {
+		t.Fatalf("live seq %d not beyond snapshot seq %d", liveSeq, snapSeq)
+	}
+
+	// "Crash": recover from snapshot + WAL tail on a fresh process's state.
+	log2, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := LoadFrom(bytes.NewReader(snap.Bytes()), dbAtSnap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered.WALSeq() != snapSeq {
+		t.Fatalf("loaded snapshot at seq %d, want %d", recovered.WALSeq(), snapSeq)
+	}
+	recovered.AttachWAL(log2)
+	replayed, err := recovered.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed == 0 {
+		t.Fatal("recovery replayed nothing")
+	}
+	if recovered.WALSeq() != liveSeq {
+		t.Fatalf("recovered to seq %d, want %d", recovered.WALSeq(), liveSeq)
+	}
+
+	// The recovered index must agree with brute force over its own replayed
+	// database — and that database must equal the live one.
+	if recovered.DB().Len() != db.Len() {
+		t.Fatalf("recovered database has %d objects, live has %d", recovered.DB().Len(), db.Len())
+	}
+	for _, o := range db.Objects() {
+		if recovered.DB().Get(o.ID) == nil {
+			t.Fatalf("object %d missing after recovery", o.ID)
+		}
+	}
+	assertMatchesBruteforce(t, recovered, rng, 800, 2, 100)
+
+	// And answer queries identically to the live index.
+	for i := 0; i < 60; i++ {
+		q := geom.Point{rng.Float64() * 800, rng.Float64() * 800}
+		a, err := ix.PossibleNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := recovered.PossibleNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(idsOf(a), idsOf(b)) {
+			t.Fatalf("query %v: live %v recovered %v", q, idsOf(a), idsOf(b))
+		}
+	}
+}
+
+func TestRecoveryStopsAtTornTail(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	base := randomDB(rng, 60, 2, 600, 25, false)
+	pristine := base.Clone()
+
+	walDir := t.TempDir()
+	log, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig()
+	cfg.WAL = log
+	ix, err := Build(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ups []Update
+	for i := 0; i < 8; i++ {
+		ups = append(ups, Update{Op: OpInsert, Object: newObj(rng, uncertain.ID(3000+i), 2, 550, 20)})
+	}
+	for _, u := range ups {
+		if _, err := ix.ApplyBatch([]Update{u}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log.Close()
+
+	// Tear the final record: a crash mid-commit of the last insert.
+	segs, err := filepath.Glob(filepath.Join(walDir, "seg-*.wal"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	last := segs[len(segs)-1]
+	info, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover onto a rebuild of the pristine database (the no-checkpoint
+	// path: replay everything).
+	log2, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := Build(pristine, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered.AttachWAL(log2)
+	replayed, err := recovered.Recover()
+	if err != nil {
+		t.Fatalf("recovery across torn tail: %v", err)
+	}
+	if replayed != len(ups)-1 {
+		t.Fatalf("replayed %d updates, want %d (last one torn)", replayed, len(ups)-1)
+	}
+	// Oracle: the pristine database plus the intact prefix of updates.
+	if recovered.DB().Len() != 60+len(ups)-1 {
+		t.Fatalf("recovered database has %d objects, want %d", recovered.DB().Len(), 60+len(ups)-1)
+	}
+	if recovered.DB().Get(ups[len(ups)-1].Object.ID) != nil {
+		t.Fatal("torn final insert was applied")
+	}
+	assertMatchesBruteforce(t, recovered, rng, 600, 2, 80)
+}
+
+// TestApplyBatchChurnWithConcurrentQueries interleaves batched writers with
+// parallel readers; run with -race it verifies the staging phase (which
+// holds only the read lock) never races queries.
+func TestApplyBatchChurnWithConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	db := randomDB(rng, 80, 2, 700, 30, true)
+	ix, err := Build(db, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			qrng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := geom.Point{qrng.Float64() * 700, qrng.Float64() * 700}
+				if _, err := ix.Snapshot(q); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(int64(100 + r))
+	}
+
+	// Writer: 12 rounds of mixed batches.
+	wrng := rand.New(rand.NewSource(200))
+	for round := 0; round < 12; round++ {
+		var ups []Update
+		for i := 0; i < 4; i++ {
+			ups = append(ups, Update{Op: OpInsert, Object: newObj(wrng, uncertain.ID(4000+round*4+i), 2, 650, 25)})
+		}
+		func() {
+			ix.mu.RLock()
+			defer ix.mu.RUnlock()
+			// Pick a live victim under the read lock.
+			ups = append(ups, Update{Op: OpDelete, ID: ix.db.Objects()[wrng.Intn(ix.db.Len())].ID})
+		}()
+		if _, err := ix.ApplyBatch(ups); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("concurrent query failed: %v", err)
+	default:
+	}
+	assertMatchesBruteforce(t, ix, wrng, 700, 2, 60)
+}
+
+func TestWALCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	o := newObj(rng, 77, 3, 400, 20)
+	o.Instances = uncertain.SampleInstances(o.Region, uncertain.PDFUniform, 12, rng)
+	for i, u := range []Update{
+		{Op: OpInsert, Object: o},
+		{Op: OpDelete, ID: 123},
+	} {
+		e, err := encodeUpdate(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := decodeUpdate(wal.Record{Seq: uint64(i + 1), Type: e.Type, Payload: e.Payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Op != u.Op {
+			t.Fatalf("op mismatch: %d vs %d", got.Op, u.Op)
+		}
+		if u.Op == OpInsert {
+			if got.Object.ID != o.ID || !got.Object.Region.Equal(o.Region) || len(got.Object.Instances) != len(o.Instances) {
+				t.Fatalf("insert round trip mangled the object: %+v", got.Object)
+			}
+			for j := range o.Instances {
+				if got.Object.Instances[j].Prob != o.Instances[j].Prob {
+					t.Fatalf("instance %d prob mismatch", j)
+				}
+			}
+		} else if got.ID != u.ID {
+			t.Fatalf("delete ID mismatch: %d vs %d", got.ID, u.ID)
+		}
+	}
+	// Unknown record types are rejected.
+	if _, err := decodeUpdate(wal.Record{Seq: 9, Type: wal.Type(99)}); err == nil {
+		t.Fatal("unknown record type accepted")
+	}
+}
+
+func TestMidApplyFailurePoisonsIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	db := randomDB(rng, 50, 2, 500, 25, true)
+	// Find a page budget that lets the build succeed, then rebuild with just
+	// a little headroom so a fat insert batch fails mid-apply.
+	probe, err := Build(db.Clone(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := probe.Store().Live()
+	cfg := testConfig()
+	cfg.Store = pagestore.NewLimited(pagestore.DefaultPageSize, live+3)
+	ix, err := Build(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ups []Update
+	for i := 0; i < 20; i++ {
+		o := newObj(rng, uncertain.ID(5000+i), 2, 450, 20)
+		o.Instances = uncertain.SampleInstances(o.Region, uncertain.PDFUniform, 50, rng)
+		ups = append(ups, Update{Op: OpInsert, Object: o})
+	}
+	if _, err := ix.ApplyBatch(ups); err == nil {
+		t.Skip("page limit not reached; cannot exercise the mid-apply path")
+	}
+
+	// The index is now half-applied: snapshots and further writes must be
+	// refused so the damage can never become durable.
+	var buf bytes.Buffer
+	if err := ix.SaveTo(&buf); err == nil {
+		t.Fatal("snapshot of a damaged index was accepted")
+	}
+	if _, err := ix.SnapshotWith(&buf, nil); err == nil {
+		t.Fatal("SnapshotWith on a damaged index was accepted")
+	}
+	if _, err := ix.ApplyBatch([]Update{{Op: OpInsert, Object: newObj(rng, 9999, 2, 450, 20)}}); err == nil {
+		t.Fatal("write to a damaged index was accepted")
+	}
+}

@@ -13,39 +13,82 @@ import (
 	"pvoronoi/internal/uncertain"
 )
 
-// persistHeader identifies the on-disk format.
-const persistMagic = "PVIDX1"
+// Image format versions. PVIDX2 added RecordCacheSize (V1 silently dropped
+// it, resetting loaded indexes to the default cache size) and WALSeq (so
+// recovery knows which write-ahead-log records a snapshot already covers).
+// V1 images are still loadable: gob decodes by field name, leaving the new
+// fields at their zero values, which mean "default cache" and "no WAL
+// history" — exactly V1's semantics.
+const (
+	persistMagicV1 = "PVIDX1"
+	persistMagic   = "PVIDX2"
+)
 
 // indexImage bundles the serializable state of all index layers.
 type indexImage struct {
-	Magic     string
-	SE        core.Options
-	MemBudget int
-	Fanout    int
-	Objects   int
-	Store     *pagestore.Image
-	Primary   *octree.Image
-	Secondary *exthash.Image
+	Magic           string
+	SE              core.Options
+	MemBudget       int
+	Fanout          int
+	Objects         int
+	RecordCacheSize int
+	WALSeq          uint64
+	Store           *pagestore.Image
+	Primary         *octree.Image
+	Secondary       *exthash.Image
 }
 
 // SaveTo serializes the index (page store, octree skeleton, hash directory,
 // and configuration) to w. The database itself is not written — it is the
 // caller's input at load time, matching the paper's separation of data and
-// access structure.
+// access structure. Durable deployments that must also persist the data use
+// SnapshotWith, which saves both under one lock.
 func (ix *Index) SaveTo(w io.Writer) error {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	return ix.saveLocked(w)
+}
+
+// saveLocked is SaveTo without locking. Callers hold ix.mu (either mode).
+func (ix *Index) saveLocked(w io.Writer) error {
+	if ix.damaged != nil {
+		return fmt.Errorf("pvindex: refusing to snapshot a damaged index: %w", ix.damaged)
+	}
 	img := indexImage{
-		Magic:     persistMagic,
-		SE:        ix.cfg.SE,
-		MemBudget: ix.cfg.MemBudget,
-		Fanout:    ix.cfg.Fanout,
-		Objects:   ix.db.Len(),
-		Store:     ix.store.Image(),
-		Primary:   ix.primary.Image(),
-		Secondary: ix.secondary.Image(),
+		Magic:           persistMagic,
+		SE:              ix.cfg.SE,
+		MemBudget:       ix.cfg.MemBudget,
+		Fanout:          ix.cfg.Fanout,
+		Objects:         ix.db.Len(),
+		RecordCacheSize: ix.cfg.RecordCacheSize,
+		WALSeq:          ix.walSeq,
+		Store:           ix.store.Image(),
+		Primary:         ix.primary.Image(),
+		Secondary:       ix.secondary.Image(),
 	}
 	return gob.NewEncoder(w).Encode(&img)
+}
+
+// SnapshotWith writes a mutually consistent snapshot pair under one read
+// lock: fn runs first (typically saving the database), then the index image
+// is written to w. Because the lock is held across both, no writer can slip
+// an update between the database's state and the index's — the invariant a
+// durable checkpoint depends on.
+func (ix *Index) SnapshotWith(w io.Writer, fn func(db *uncertain.DB) error) (walSeq uint64, err error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.damaged != nil {
+		return 0, fmt.Errorf("pvindex: refusing to snapshot a damaged index: %w", ix.damaged)
+	}
+	if fn != nil {
+		if err := fn(ix.db); err != nil {
+			return 0, err
+		}
+	}
+	if err := ix.saveLocked(w); err != nil {
+		return 0, err
+	}
+	return ix.walSeq, nil
 }
 
 // LoadFrom reconstructs an index from r over the given database. The
@@ -56,7 +99,7 @@ func LoadFrom(r io.Reader, db *uncertain.DB) (*Index, error) {
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
 		return nil, fmt.Errorf("pvindex: decoding index image: %w", err)
 	}
-	if img.Magic != persistMagic {
+	if img.Magic != persistMagic && img.Magic != persistMagicV1 {
 		return nil, fmt.Errorf("pvindex: bad magic %q", img.Magic)
 	}
 	if img.Objects != db.Len() {
@@ -67,13 +110,15 @@ func LoadFrom(r io.Reader, db *uncertain.DB) (*Index, error) {
 		return nil, err
 	}
 	ix := &Index{
-		db:    db,
-		store: store,
+		db:     db,
+		store:  store,
+		walSeq: img.WALSeq,
 		cfg: Config{
-			Store:     store,
-			MemBudget: img.MemBudget,
-			Fanout:    img.Fanout,
-			SE:        img.SE,
+			Store:           store,
+			MemBudget:       img.MemBudget,
+			Fanout:          img.Fanout,
+			SE:              img.SE,
+			RecordCacheSize: img.RecordCacheSize,
 		},
 	}
 	ix.initRuntime()

@@ -100,6 +100,102 @@ func TestLoadedIndexSupportsUpdates(t *testing.T) {
 	}
 }
 
+func TestLoadPreservesRecordCacheSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := randomDB(rng, 40, 2, 500, 25, false)
+	cfg := testConfig()
+	cfg.RecordCacheSize = 128 // far from the 4096 default
+	ix, err := Build(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFrom(&buf, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ix.RecordCacheStats().Capacity
+	got := loaded.RecordCacheStats().Capacity
+	if got != want {
+		t.Fatalf("loaded record cache capacity %d, want %d (RecordCacheSize dropped on load)", got, want)
+	}
+	if got == newRecordCache(0).stats().Capacity {
+		t.Fatalf("loaded cache fell back to the default capacity %d", got)
+	}
+}
+
+func TestSaveLoadAfterUpdateTraffic(t *testing.T) {
+	// Round-trip an index that has seen post-build Insert/Delete traffic —
+	// its octree leaves, hash chains and free lists differ structurally
+	// from a fresh build's.
+	rng := rand.New(rand.NewSource(8))
+	db := randomDB(rng, 120, 2, 800, 30, true)
+	ix, err := Build(db, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		lo := geom.Point{rng.Float64() * 750, rng.Float64() * 750}
+		o := &uncertain.Object{
+			ID:     uncertain.ID(3000 + i),
+			Region: geom.NewRect(lo, geom.Point{lo[0] + 18, lo[1] + 18}),
+		}
+		o.Instances = uncertain.SampleInstances(o.Region, uncertain.PDFUniform, 20, rng)
+		if _, err := ix.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 25; i++ {
+		if _, err := ix.Delete(uncertain.ID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := ix.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFrom(&buf, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 100; iter++ {
+		q := geom.Point{rng.Float64() * 800, rng.Float64() * 800}
+		a, err := ix.PossibleNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.PossibleNN(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(idsOf(a), idsOf(b)) {
+			t.Fatalf("q=%v: original %v loaded %v", q, idsOf(a), idsOf(b))
+		}
+		if !sameIDs(idsOf(b), bruteforce.PossibleNN(db, q)) {
+			t.Fatalf("q=%v: loaded updated index wrong vs brute force", q)
+		}
+	}
+	for _, o := range db.Objects() {
+		ua, _ := ix.UBR(o.ID)
+		ub, ok := loaded.UBR(o.ID)
+		if !ok || !ua.Equal(ub) {
+			t.Fatalf("object %d UBR mismatch after load of updated index", o.ID)
+		}
+		ins, err := loaded.Instances(o.ID)
+		if err != nil || len(ins) != len(o.Instances) {
+			t.Fatalf("object %d instances corrupted: %v", o.ID, err)
+		}
+	}
+	// The loaded index keeps supporting updates.
+	if _, err := loaded.Delete(db.Objects()[0].ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestLoadRejectsMismatchedDB(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	db := randomDB(rng, 50, 2, 500, 25, false)

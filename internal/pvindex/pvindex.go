@@ -19,6 +19,7 @@ import (
 	"pvoronoi/internal/pagestore"
 	"pvoronoi/internal/rtree"
 	"pvoronoi/internal/uncertain"
+	"pvoronoi/internal/wal"
 )
 
 // Config bundles the index's resource parameters (Table I defaults).
@@ -35,6 +36,10 @@ type Config struct {
 	// RecordCacheSize bounds the decoded-record cache in entries
 	// (0 = DefaultRecordCacheSize, negative = cache disabled).
 	RecordCacheSize int
+	// WAL, when non-nil, is the write-ahead log every update batch is
+	// appended to (and fsynced) before it applies — the durable write path.
+	// Equivalent to calling AttachWAL after construction.
+	WAL *wal.Log
 }
 
 // DefaultConfig returns the paper's defaults.
@@ -68,6 +73,27 @@ type Index struct {
 	regionTree *rtree.Tree
 	cfg        Config
 
+	// writerMu serializes whole update batches (stage + log + apply), so a
+	// batch's staged SE work and its WAL order can never interleave with
+	// another writer's. Acquired before mu; queries never touch it.
+	writerMu sync.Mutex
+	// wal, when attached, receives every update batch before it applies.
+	wal *wal.Log
+	// walSeq is the sequence number of the last applied WAL record (0 when
+	// none). Guarded by mu; persisted in snapshots so recovery knows where
+	// replay starts.
+	walSeq uint64
+	// batchDirty, non-nil only while a batch applies under the write lock,
+	// collects the IDs of mutated records for the batch's single coalesced
+	// cache-invalidation pass; getRecord bypasses the cache for IDs in it.
+	batchDirty map[uint32]struct{}
+	// damaged is set when a batch failed mid-apply: the index is then in a
+	// half-applied state, so further writes and — critically — snapshots
+	// are refused. A snapshot of a damaged index stamped with the batch's
+	// WAL sequence would persist the corruption and cut off the WAL replay
+	// that could still heal it. Guarded by mu.
+	damaged error
+
 	// rcache holds decoded secondary-index records; writers invalidate
 	// touched IDs under the write lock (see recordcache.go).
 	rcache *recordCache
@@ -88,10 +114,11 @@ type queryScratch struct {
 }
 
 // initRuntime wires the non-persisted runtime state (record cache, scratch
-// pool). Every Index constructor — Build, BuildParallel, LoadFrom — calls it
-// before the index is shared.
+// pool, WAL attachment). Every Index constructor — Build, BuildParallel,
+// LoadFrom — calls it before the index is shared.
 func (ix *Index) initRuntime() {
 	ix.rcache = newRecordCache(ix.cfg.RecordCacheSize)
+	ix.wal = ix.cfg.WAL
 	ix.scratch.New = func() any {
 		return &queryScratch{seen: make(map[uint32]struct{}, 64)}
 	}
@@ -154,6 +181,21 @@ func Build(db *uncertain.DB, cfg Config) (*Index, error) {
 // mode; read-lock holders never race invalidation, which needs the write
 // lock).
 func (ix *Index) getRecord(id uint32) (rec record, ok bool, hit bool, err error) {
+	if _, dirty := ix.batchDirty[id]; dirty {
+		// Mid-batch read of a record this batch already rewrote: its cached
+		// copy is stale until the batch's coalesced invalidation pass runs,
+		// so bypass the cache entirely (no fill either — the entry would be
+		// invalidated moments later anyway).
+		buf, found, err := ix.secondary.Get(id)
+		if err != nil || !found {
+			return record{}, false, false, err
+		}
+		rec, err = decodeRecord(buf)
+		if err != nil {
+			return record{}, false, false, err
+		}
+		return rec, true, false, nil
+	}
 	if rec, ok := ix.rcache.get(id); ok {
 		return rec, true, true, nil
 	}
@@ -176,8 +218,20 @@ func (ix *Index) putRecord(id uint32, rec record) error {
 	if err := ix.secondary.Put(id, encodeRecord(rec)); err != nil {
 		return err
 	}
-	ix.rcache.invalidate(id)
+	ix.noteRecordMutation(id)
 	return nil
+}
+
+// noteRecordMutation keeps the record cache coherent after id's stored
+// record changed: immediately invalidated outside a batch, deferred into
+// the batch's coalesced invalidation pass inside one. Callers hold ix.mu
+// exclusively.
+func (ix *Index) noteRecordMutation(id uint32) {
+	if ix.batchDirty != nil {
+		ix.batchDirty[id] = struct{}{}
+		return
+	}
+	ix.rcache.invalidate(id)
 }
 
 // lookupUBR serves octree leaf splits from the secondary index (via the
@@ -415,31 +469,67 @@ type UpdateStats struct {
 }
 
 // Insert adds object o to the database and incrementally refreshes the
-// index (§VI-B, insertion). The PV-cells of affected objects can only
-// shrink (Lemma 9), so their UBRs are recomputed warm-started from the old
-// UBR as the upper bound.
+// index (§VI-B, insertion). It is a one-op batch: validation, WAL logging
+// (when attached) and application all run through ApplyBatch.
 func (ix *Index) Insert(o *uncertain.Object) (UpdateStats, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	sts, err := ix.ApplyBatch([]Update{{Op: OpInsert, Object: o}})
+	if len(sts) == 1 {
+		return sts[0], err
+	}
+	return UpdateStats{}, err
+}
+
+// applyInsertLocked performs the incremental insertion of §VI-B. The
+// newcomer's UBR comes from the staged precomputation when mode allows
+// (staged may be nil, forcing seCold — the replay path). Callers hold
+// ix.mu exclusively; the returned rectangle is the newcomer's applied UBR
+// (its impact region for later batch ops).
+func (ix *Index) applyInsertLocked(o *uncertain.Object, staged *stagedSE, mode seMode) (UpdateStats, geom.Rect, error) {
 	var st UpdateStats
 	start := time.Now()
 	defer func() { st.TotalTime = time.Since(start) }()
 
 	if err := ix.db.Add(o); err != nil {
-		return st, err
+		return st, geom.Rect{}, err
 	}
 	ix.regionTree.Insert(rtree.Item{Rect: o.Region, ID: uint32(o.ID)})
 
-	// Step 1: UBR of the newcomer over the updated database.
-	t0 := time.Now()
-	newB, seStats := core.ComputeUBR(ix.db, ix.regionTree, o, ix.cfg.SE)
-	st.SETime += time.Since(t0)
-	st.SE.Add(seStats)
+	// Step 1: UBR of the newcomer over the updated database. The PV-cells
+	// of affected objects can only shrink (Lemma 9), so their UBRs are
+	// recomputed warm-started from the old UBR as the upper bound.
+	var newB geom.Rect
+	if staged == nil {
+		mode = seCold
+	}
+	switch mode {
+	case seUseStaged:
+		// Nothing relevant changed since staging: the precomputed UBR is
+		// exactly what SE would produce now, at zero in-lock cost.
+		newB = staged.ubr
+		st.SETime += staged.dur
+		st.SE.Add(staged.stats)
+	case seWarmStart:
+		// Earlier inserts in the batch intersect the staged bound; the cell
+		// can only have shrunk, so refine from the staged UBR (Lemma 9).
+		st.SETime += staged.dur
+		st.SE.Add(staged.stats)
+		t0 := time.Now()
+		var seStats core.Stats
+		newB, seStats = core.ComputeUBRAfterInsert(ix.db, ix.regionTree, o, staged.ubr, ix.cfg.SE)
+		st.SETime += time.Since(t0)
+		st.SE.Add(seStats)
+	default: // seCold
+		t0 := time.Now()
+		var seStats core.Stats
+		newB, seStats = core.ComputeUBR(ix.db, ix.regionTree, o, ix.cfg.SE)
+		st.SETime += time.Since(t0)
+		st.SE.Add(seStats)
+	}
 
 	// Step 2: candidate affected set from the primary index.
 	ids, err := ix.primary.RangeIDs(newB)
 	if err != nil {
-		return st, err
+		return st, geom.Rect{}, err
 	}
 	st.Examined = len(ids)
 
@@ -476,11 +566,11 @@ func (ix *Index) Insert(o *uncertain.Object) (UpdateStats, error) {
 		// Step 4: drop entries from leaves no longer covered, refresh record.
 		t2 := time.Now()
 		if _, err := ix.primary.RemoveDiff(id, oldB, updated); err != nil {
-			return st, err
+			return st, geom.Rect{}, err
 		}
 		rec := record{UBR: updated, Region: other.Region, Instances: other.Instances}
 		if err := ix.putRecord(id, rec); err != nil {
-			return st, err
+			return st, geom.Rect{}, err
 		}
 		st.IndexTime += time.Since(t2)
 	}
@@ -488,38 +578,49 @@ func (ix *Index) Insert(o *uncertain.Object) (UpdateStats, error) {
 	t3 := time.Now()
 	err = ix.addObject(o, newB)
 	st.IndexTime += time.Since(t3)
-	return st, err
+	return st, newB, err
 }
 
 // Delete removes the object with the given ID from the database and
-// incrementally refreshes the index (§VI-B, deletion). Affected PV-cells can
-// only grow, so UBRs are recomputed warm-started from the old UBR as the
-// lower bound and entries are added to newly covered leaves.
+// incrementally refreshes the index (§VI-B, deletion). It is a one-op
+// batch: validation, WAL logging (when attached) and application all run
+// through ApplyBatch.
 func (ix *Index) Delete(id uncertain.ID) (UpdateStats, error) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
+	sts, err := ix.ApplyBatch([]Update{{Op: OpDelete, ID: id}})
+	if len(sts) == 1 {
+		return sts[0], err
+	}
+	return UpdateStats{}, err
+}
+
+// applyDeleteLocked performs the incremental deletion of §VI-B. Affected
+// PV-cells can only grow, so UBRs are recomputed warm-started from the old
+// UBR as the lower bound and entries are added to newly covered leaves.
+// Callers hold ix.mu exclusively; the returned rectangle is the victim's
+// stored UBR (its impact region for later batch ops).
+func (ix *Index) applyDeleteLocked(id uncertain.ID) (UpdateStats, geom.Rect, error) {
 	var st UpdateStats
 	start := time.Now()
 	defer func() { st.TotalTime = time.Since(start) }()
 
 	victim := ix.db.Get(id)
 	if victim == nil {
-		return st, fmt.Errorf("pvindex: delete of object %d: %w", id, uncertain.ErrUnknownID)
+		return st, geom.Rect{}, fmt.Errorf("pvindex: delete of object %d: %w", id, uncertain.ErrUnknownID)
 	}
 	victimUBR, ok := ix.lookupUBR(uint32(id))
 	if !ok {
-		return st, fmt.Errorf("pvindex: object %d missing from secondary index", id)
+		return st, geom.Rect{}, fmt.Errorf("pvindex: object %d missing from secondary index", id)
 	}
 
 	if _, err := ix.db.Remove(id); err != nil {
-		return st, err
+		return st, geom.Rect{}, err
 	}
 	ix.regionTree.Delete(rtree.Item{Rect: victim.Region, ID: uint32(id)})
 
 	// Step 2: candidate affected set.
 	ids, err := ix.primary.RangeIDs(victimUBR)
 	if err != nil {
-		return st, err
+		return st, geom.Rect{}, err
 	}
 	st.Examined = len(ids)
 
@@ -527,12 +628,12 @@ func (ix *Index) Delete(id uncertain.ID) (UpdateStats, error) {
 	// SE and leaf splits see the post-delete state.
 	t0 := time.Now()
 	if _, err := ix.primary.Remove(uint32(id), victimUBR); err != nil {
-		return st, err
+		return st, geom.Rect{}, err
 	}
 	if _, err := ix.secondary.Delete(uint32(id)); err != nil {
-		return st, err
+		return st, geom.Rect{}, err
 	}
-	ix.rcache.invalidate(uint32(id))
+	ix.noteRecordMutation(uint32(id))
 	st.IndexTime += time.Since(t0)
 
 	for otherID := range ids {
@@ -568,12 +669,12 @@ func (ix *Index) Delete(id uncertain.ID) (UpdateStats, error) {
 		t2 := time.Now()
 		rec := record{UBR: updated, Region: other.Region, Instances: other.Instances}
 		if err := ix.putRecord(otherID, rec); err != nil {
-			return st, err
+			return st, geom.Rect{}, err
 		}
 		if err := ix.primary.InsertDiff(otherID, other.Region, updated, oldB); err != nil {
-			return st, err
+			return st, geom.Rect{}, err
 		}
 		st.IndexTime += time.Since(t2)
 	}
-	return st, nil
+	return st, victimUBR, nil
 }

@@ -1,0 +1,92 @@
+package pvindex
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/uncertain"
+	"pvoronoi/internal/wal"
+)
+
+// walInsert is the gob payload of a TypeInsert record: the inserted object
+// in flat slices (gob handles these more compactly and robustly than the
+// nested geom/uncertain types).
+type walInsert struct {
+	ID       uint32
+	Lo, Hi   []float64
+	InstPos  [][]float64
+	InstProb []float64
+}
+
+// walDelete is the gob payload of a TypeDelete record.
+type walDelete struct {
+	ID uint32
+}
+
+// encodeUpdate turns one batch update into a WAL entry.
+func encodeUpdate(u Update) (wal.Entry, error) {
+	var buf bytes.Buffer
+	switch u.Op {
+	case OpInsert:
+		o := u.Object
+		w := walInsert{
+			ID: uint32(o.ID),
+			Lo: o.Region.Lo,
+			Hi: o.Region.Hi,
+		}
+		if n := len(o.Instances); n > 0 {
+			w.InstPos = make([][]float64, n)
+			w.InstProb = make([]float64, n)
+			for i, in := range o.Instances {
+				w.InstPos[i] = in.Pos
+				w.InstProb[i] = in.Prob
+			}
+		}
+		if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
+			return wal.Entry{}, fmt.Errorf("pvindex: encoding insert for wal: %w", err)
+		}
+		return wal.Entry{Type: wal.TypeInsert, Payload: buf.Bytes()}, nil
+	case OpDelete:
+		if err := gob.NewEncoder(&buf).Encode(&walDelete{ID: uint32(u.ID)}); err != nil {
+			return wal.Entry{}, fmt.Errorf("pvindex: encoding delete for wal: %w", err)
+		}
+		return wal.Entry{Type: wal.TypeDelete, Payload: buf.Bytes()}, nil
+	default:
+		return wal.Entry{}, fmt.Errorf("pvindex: encoding unknown op %d for wal", u.Op)
+	}
+}
+
+// decodeUpdate reconstructs a batch update from a replayed WAL record.
+func decodeUpdate(rec wal.Record) (Update, error) {
+	switch rec.Type {
+	case wal.TypeInsert:
+		var w walInsert
+		if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(&w); err != nil {
+			return Update{}, fmt.Errorf("pvindex: decoding wal insert %d: %w", rec.Seq, err)
+		}
+		o := &uncertain.Object{
+			ID:     uncertain.ID(w.ID),
+			Region: geom.Rect{Lo: w.Lo, Hi: w.Hi},
+		}
+		if n := len(w.InstPos); n > 0 {
+			if len(w.InstProb) != n {
+				return Update{}, fmt.Errorf("pvindex: wal insert %d: %d positions, %d probabilities", rec.Seq, n, len(w.InstProb))
+			}
+			o.Instances = make([]uncertain.Instance, n)
+			for i := range w.InstPos {
+				o.Instances[i] = uncertain.Instance{Pos: w.InstPos[i], Prob: w.InstProb[i]}
+			}
+		}
+		return Update{Op: OpInsert, Object: o}, nil
+	case wal.TypeDelete:
+		var w walDelete
+		if err := gob.NewDecoder(bytes.NewReader(rec.Payload)).Decode(&w); err != nil {
+			return Update{}, fmt.Errorf("pvindex: decoding wal delete %d: %w", rec.Seq, err)
+		}
+		return Update{Op: OpDelete, ID: uncertain.ID(w.ID)}, nil
+	default:
+		return Update{}, fmt.Errorf("pvindex: wal record %d has unknown type %d", rec.Seq, rec.Type)
+	}
+}

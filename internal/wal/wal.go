@@ -1,0 +1,470 @@
+// Package wal implements the write-ahead log of the durable update path: an
+// append-only, CRC-checked, length-prefixed record log with segment rotation.
+//
+// Writers append batches of records — one commit is one buffered write plus
+// one fsync, however many records it carries, which is what makes group
+// commit amortize durability cost across a batch. Readers replay records in
+// sequence order and stop cleanly at a torn tail: a record that was cut short
+// by a crash (truncated frame, bad CRC, impossible length) terminates replay
+// without error, exactly as if the crash had happened an instant earlier.
+//
+// On-disk layout: a directory of segment files seg-<n>.wal, each starting
+// with an 8-byte magic followed by frames of
+//
+//	length uint32 | crc32(IEEE) uint32 | type uint8 | seq uint64 | payload
+//
+// where length covers type+seq+payload and the CRC covers the same bytes.
+// A commit never spans segments (rotation happens between commits), so torn
+// frames can only appear at the tail of the newest segment.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Type tags a log record.
+type Type uint8
+
+const (
+	// TypeInsert records an object insertion (payload: encoded object).
+	TypeInsert Type = 1
+	// TypeDelete records an object deletion (payload: encoded ID).
+	TypeDelete Type = 2
+	// TypeCheckpoint marks a completed checkpoint (payload: the
+	// checkpoint's name, informational only). Replay skips it; it exists so
+	// the log itself records the checkpoint lifecycle.
+	TypeCheckpoint Type = 3
+)
+
+// Record is one replayed log entry.
+type Record struct {
+	Seq     uint64
+	Type    Type
+	Payload []byte
+}
+
+// Entry is one record to append (the sequence number is assigned by the log).
+type Entry struct {
+	Type    Type
+	Payload []byte
+}
+
+// Options configures a log.
+type Options struct {
+	// SegmentSize is the rotation threshold in bytes (default 8 MB). A
+	// segment may exceed it by the size of the final commit; rotation
+	// happens between commits.
+	SegmentSize int64
+	// NoSync skips the fsync on commit (for benchmarks measuring the
+	// fsync's cost against its absence). Durability is lost on crash.
+	NoSync bool
+}
+
+// DefaultSegmentSize is the default rotation threshold.
+const DefaultSegmentSize = 8 << 20
+
+const (
+	segMagic   = "PVWAL001"
+	frameHdr   = 4 + 4 + 1 + 8 // length + crc + type + seq
+	maxPayload = 1 << 30       // sanity bound; larger lengths mean corruption
+)
+
+// Stats counts the log's lifetime activity.
+type Stats struct {
+	Appends  int64 // records appended
+	Commits  int64 // append calls (one buffered write each)
+	Syncs    int64 // fsyncs issued
+	Bytes    int64 // frame bytes written
+	Segments int   // segment files currently on disk
+}
+
+// segment is the in-memory index of one on-disk segment file.
+type segment struct {
+	index    int // file ordinal (monotonic, never reused)
+	path     string
+	firstSeq uint64 // 0 when the segment holds no records yet
+	lastSeq  uint64
+	size     int64
+}
+
+// Log is an append-only record log. It is safe for concurrent use; appends
+// are serialized internally.
+type Log struct {
+	mu       sync.Mutex
+	dir      string
+	opts     Options
+	segments []segment // ordered by index; last is the active one
+	f        *os.File  // active segment, positioned at its tail
+	nextSeq  uint64
+	stats    Stats
+	closed   bool
+	// failed is set when a write error could not be rolled back: the file
+	// may end in a partial frame, so accepting further appends would put
+	// acknowledged records behind garbage that replay treats as the torn
+	// tail. A failed log rejects all appends (fail-stop).
+	failed bool
+}
+
+// Open opens (or creates) the log in dir. Every existing segment is scanned
+// and CRC-verified; a torn frame at the tail of the newest segment is
+// discarded by truncation so subsequent appends extend a clean log. A
+// corrupt frame anywhere else is a hard error — that is data loss, not a
+// crash artifact.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, nextSeq: 1}
+
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		seg := segment{path: name}
+		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%d.wal", &seg.index); err != nil {
+			return nil, fmt.Errorf("wal: unrecognized segment name %q", name)
+		}
+		last := i == len(names)-1
+		if err := l.scanSegment(&seg, last); err != nil {
+			return nil, err
+		}
+		if seg.lastSeq > 0 {
+			l.nextSeq = seg.lastSeq + 1
+		}
+		l.segments = append(l.segments, seg)
+	}
+	if len(l.segments) == 0 {
+		if err := l.addSegment(0); err != nil {
+			return nil, err
+		}
+	} else {
+		tail := &l.segments[len(l.segments)-1]
+		f, err := os.OpenFile(tail.path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Seek(tail.size, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.f = f
+	}
+	return l, nil
+}
+
+// scanSegment validates seg's frames, filling its seq range and valid size.
+// For the last segment a torn tail is truncated away; earlier segments must
+// be fully intact.
+func (l *Log) scanSegment(seg *segment, last bool) error {
+	buf, err := os.ReadFile(seg.path)
+	if err != nil {
+		return err
+	}
+	if len(buf) < len(segMagic) || string(buf[:len(segMagic)]) != segMagic {
+		return fmt.Errorf("wal: %s: bad segment magic", seg.path)
+	}
+	off := int64(len(segMagic))
+	data := buf[off:]
+	for len(data) > 0 {
+		rec, n, ok := parseFrame(data)
+		if !ok {
+			if !last {
+				return fmt.Errorf("wal: %s: corrupt frame at offset %d in non-final segment", seg.path, off)
+			}
+			// Torn tail of the newest segment: discard it.
+			if err := os.Truncate(seg.path, off); err != nil {
+				return fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
+			}
+			break
+		}
+		if seg.firstSeq == 0 {
+			seg.firstSeq = rec.Seq
+		}
+		seg.lastSeq = rec.Seq
+		off += int64(n)
+		data = data[n:]
+	}
+	seg.size = off
+	return nil
+}
+
+// parseFrame decodes one frame from data, reporting its full size and
+// whether it is intact.
+func parseFrame(data []byte) (Record, int, bool) {
+	if len(data) < frameHdr {
+		return Record{}, 0, false
+	}
+	length := binary.LittleEndian.Uint32(data[0:4])
+	if length < 1+8 || length > maxPayload {
+		return Record{}, 0, false
+	}
+	total := 8 + int(length)
+	if len(data) < total {
+		return Record{}, 0, false
+	}
+	body := data[8:total]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[4:8]) {
+		return Record{}, 0, false
+	}
+	rec := Record{
+		Type:    Type(body[0]),
+		Seq:     binary.LittleEndian.Uint64(body[1:9]),
+		Payload: body[9:],
+	}
+	return rec, total, true
+}
+
+// addSegment creates and activates a fresh segment with the given index.
+// The directory is fsynced too: a segment whose data is durable but whose
+// directory entry is not would silently vanish on power loss, taking its
+// acknowledged commits with it.
+func (l *Log) addSegment(index int) error {
+	path := filepath.Join(l.dir, fmt.Sprintf("seg-%08d.wal", index))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	if !l.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := syncDir(l.dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if l.f != nil {
+		l.f.Close()
+	}
+	l.f = f
+	l.segments = append(l.segments, segment{index: index, path: path, size: int64(len(segMagic))})
+	return nil
+}
+
+// syncDir fsyncs a directory so entries created in it survive power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// Append commits the entries as one group: all frames are written with a
+// single buffered write and made durable with a single fsync (unless NoSync).
+// It returns the sequence numbers assigned to the first and last entry.
+// Appending no entries is a no-op.
+func (l *Log) Append(entries ...Entry) (first, last uint64, err error) {
+	if len(entries) == 0 {
+		return 0, 0, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, 0, fmt.Errorf("wal: append on closed log")
+	}
+	if l.failed {
+		return 0, 0, fmt.Errorf("wal: log is failed after an unrecoverable write error")
+	}
+
+	// Rotation happens *before* a commit, never after one: once a batch is
+	// durably written and fsynced it must be reported as committed, so a
+	// failure to open the next segment may only fail the commit it was
+	// about to receive (nothing is written yet at this point).
+	if tail := &l.segments[len(l.segments)-1]; tail.size >= l.opts.SegmentSize {
+		if err := l.addSegment(tail.index + 1); err != nil {
+			return 0, 0, fmt.Errorf("wal: rotating segment: %w", err)
+		}
+	}
+
+	first = l.nextSeq
+	var buf []byte
+	for _, e := range entries {
+		body := make([]byte, 1+8+len(e.Payload))
+		body[0] = byte(e.Type)
+		binary.LittleEndian.PutUint64(body[1:9], l.nextSeq)
+		copy(body[9:], e.Payload)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+		binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, body...)
+		l.nextSeq++
+	}
+	last = l.nextSeq - 1
+
+	if _, err := l.f.Write(buf); err != nil {
+		l.rollback(first)
+		return 0, 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			l.rollback(first)
+			return 0, 0, fmt.Errorf("wal: fsync: %w", err)
+		}
+		l.stats.Syncs++
+	}
+
+	tail := &l.segments[len(l.segments)-1]
+	if tail.firstSeq == 0 {
+		tail.firstSeq = first
+	}
+	tail.lastSeq = last
+	tail.size += int64(len(buf))
+	l.stats.Appends += int64(len(entries))
+	l.stats.Commits++
+	l.stats.Bytes += int64(len(buf))
+	return first, last, nil
+}
+
+// rollback restores the active segment to its last committed size after a
+// failed write, so the file cannot end in a partial frame that later
+// appends would bury (replay would stop at the garbage and silently drop
+// them). If the truncate itself fails, the log fail-stops: every further
+// append is rejected. Callers hold l.mu and roll nextSeq back to first.
+func (l *Log) rollback(first uint64) {
+	l.nextSeq = first
+	tail := &l.segments[len(l.segments)-1]
+	if err := os.Truncate(tail.path, tail.size); err != nil {
+		l.failed = true
+		return
+	}
+	if _, err := l.f.Seek(tail.size, io.SeekStart); err != nil {
+		l.failed = true
+	}
+}
+
+// Sync forces an fsync of the active segment (useful after NoSync appends).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: sync on closed log")
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.stats.Syncs++
+	return nil
+}
+
+// Replay calls fn for every intact record with Seq >= from, in sequence
+// order. A torn frame at the tail of the newest segment ends replay cleanly;
+// a corrupt frame anywhere else is an error. The payload passed to fn is
+// only valid during the call.
+func (l *Log) Replay(from uint64, fn func(Record) error) error {
+	l.mu.Lock()
+	segs := make([]segment, len(l.segments))
+	copy(segs, l.segments)
+	l.mu.Unlock()
+
+	for i, seg := range segs {
+		if seg.lastSeq != 0 && seg.lastSeq < from {
+			continue
+		}
+		buf, err := os.ReadFile(seg.path)
+		if err != nil {
+			return err
+		}
+		if len(buf) < len(segMagic) || string(buf[:len(segMagic)]) != segMagic {
+			return fmt.Errorf("wal: %s: bad segment magic", seg.path)
+		}
+		data := buf[len(segMagic):]
+		off := int64(len(segMagic))
+		for len(data) > 0 {
+			rec, n, ok := parseFrame(data)
+			if !ok {
+				if i != len(segs)-1 {
+					return fmt.Errorf("wal: %s: corrupt frame at offset %d in non-final segment", seg.path, off)
+				}
+				return nil // torn tail: clean stop
+			}
+			if rec.Seq >= from {
+				if err := fn(rec); err != nil {
+					return err
+				}
+			}
+			off += int64(n)
+			data = data[n:]
+		}
+	}
+	return nil
+}
+
+// LastSeq returns the sequence number of the most recently appended record
+// (0 for an empty log).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// TruncateBefore removes every sealed segment whose records all have
+// sequence numbers below seq — the space-reclaim step after a checkpoint at
+// seq-1. The active segment is never removed.
+func (l *Log) TruncateBefore(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	kept := l.segments[:0]
+	for i, seg := range l.segments {
+		active := i == len(l.segments)-1
+		if !active && seg.lastSeq != 0 && seg.lastSeq < seq && seg.firstSeq != 0 {
+			if err := os.Remove(seg.path); err != nil {
+				return err
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segments = kept
+	return nil
+}
+
+// Stats returns a snapshot of the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := l.stats
+	st.Segments = len(l.segments)
+	return st
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close fsyncs and closes the active segment. The log is unusable afterward.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

@@ -1,0 +1,301 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func collect(t *testing.T, l *Log, from uint64) []Record {
+	t.Helper()
+	var out []Record
+	err := l.Replay(from, func(r Record) error {
+		out = append(out, Record{Seq: r.Seq, Type: r.Type, Payload: append([]byte(nil), r.Payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Record
+	for i := 0; i < 50; i++ {
+		payload := []byte(fmt.Sprintf("record-%d", i))
+		typ := TypeInsert
+		if i%3 == 0 {
+			typ = TypeDelete
+		}
+		first, last, err := l.Append(Entry{Type: typ, Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first != last || first != uint64(i+1) {
+			t.Fatalf("append %d: got seq %d..%d", i, first, last)
+		}
+		want = append(want, Record{Seq: first, Type: typ, Payload: payload})
+	}
+	got := collect(t, l, 1)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].Type != want[i].Type || !bytes.Equal(got[i].Payload, want[i].Payload) {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	// Partial replay honors the lower bound.
+	tail := collect(t, l, 40)
+	if len(tail) != 11 || tail[0].Seq != 40 {
+		t.Fatalf("replay from 40: got %d records starting at %d", len(tail), tail[0].Seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen continues the sequence.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 50 {
+		t.Fatalf("reopened LastSeq = %d, want 50", l2.LastSeq())
+	}
+	first, _, err := l2.Append(Entry{Type: TypeInsert, Payload: []byte("after reopen")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 51 {
+		t.Fatalf("append after reopen got seq %d, want 51", first)
+	}
+	if got := collect(t, l2, 1); len(got) != 51 {
+		t.Fatalf("replay after reopen: %d records, want 51", len(got))
+	}
+}
+
+func TestGroupCommitOneFsyncPerBatch(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	batch := make([]Entry, 32)
+	for i := range batch {
+		batch[i] = Entry{Type: TypeInsert, Payload: []byte{byte(i)}}
+	}
+	first, last, err := l.Append(batch...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 1 || last != 32 {
+		t.Fatalf("batch seqs %d..%d, want 1..32", first, last)
+	}
+	st := l.Stats()
+	if st.Syncs != 1 || st.Commits != 1 || st.Appends != 32 {
+		t.Fatalf("stats after one batch: %+v", st)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100)
+	for i := 0; i < 10; i++ {
+		if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected rotation to produce several segments, got %d", st.Segments)
+	}
+	if got := collect(t, l, 1); len(got) != 10 {
+		t.Fatalf("replay across segments: %d records, want 10", len(got))
+	}
+	l.Close()
+
+	// Reopen across segments preserves everything.
+	l2, err := Open(dir, Options{SegmentSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2, 1); len(got) != 10 {
+		t.Fatalf("replay after reopen: %d records, want 10", len(got))
+	}
+}
+
+func TestTornTailStopsCleanly(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: []byte(fmt.Sprintf("rec-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	// Cut the last record in half — a crash mid-write.
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) != 1 {
+		t.Fatalf("expected 1 segment, got %d", len(segs))
+	}
+	info, err := os.Stat(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(segs[0], info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with torn tail: %v", err)
+	}
+	got := collect(t, l2, 1)
+	if len(got) != 4 {
+		t.Fatalf("replay after torn tail: %d records, want 4", len(got))
+	}
+	if l2.LastSeq() != 4 {
+		t.Fatalf("LastSeq after torn tail = %d, want 4", l2.LastSeq())
+	}
+	// Appends after repair reuse the discarded sequence number and replay
+	// cleanly.
+	first, _, err := l2.Append(Entry{Type: TypeDelete, Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 5 {
+		t.Fatalf("post-repair append seq %d, want 5", first)
+	}
+	if got := collect(t, l2, 1); len(got) != 5 {
+		t.Fatalf("replay after repair+append: %d records, want 5", len(got))
+	}
+	l2.Close()
+}
+
+func TestCorruptMidLogIsError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: make([]byte, 40)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) < 3 {
+		t.Fatalf("need several segments, got %d", len(segs))
+	}
+	// Flip a payload byte in the first (sealed) segment.
+	buf, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xff
+	if err := os.WriteFile(segs[0], buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{SegmentSize: 64}); err == nil {
+		t.Fatal("open accepted a corrupt sealed segment")
+	}
+}
+
+func TestTruncateBefore(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 10; i++ {
+		if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: make([]byte, 40)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Stats().Segments
+	if before < 4 {
+		t.Fatalf("need several segments, got %d", before)
+	}
+	if err := l.TruncateBefore(8); err != nil {
+		t.Fatal(err)
+	}
+	after := l.Stats().Segments
+	if after >= before {
+		t.Fatalf("truncate removed nothing (%d -> %d segments)", before, after)
+	}
+	got := collect(t, l, 8)
+	if len(got) != 3 || got[0].Seq != 8 {
+		t.Fatalf("replay from 8 after truncate: %d records starting at %d", len(got), got[0].Seq)
+	}
+	// Appends still work after truncation.
+	if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.LastSeq() != 0 {
+		t.Fatalf("empty log LastSeq = %d", l.LastSeq())
+	}
+	if got := collect(t, l, 1); len(got) != 0 {
+		t.Fatalf("empty log replayed %d records", len(got))
+	}
+	if _, _, err := l.Append(); err != nil {
+		t.Fatalf("empty append: %v", err)
+	}
+}
+
+func TestAppendFailStopsAfterWriteError(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: []byte("ok")}); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the file descriptor to force a write error (as EIO or a
+	// full disk would).
+	l.f.Close()
+	if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: []byte("doomed")}); err == nil {
+		t.Fatal("append on a broken descriptor succeeded")
+	}
+	// The log must now refuse appends rather than risk writing acknowledged
+	// records after a partial frame.
+	if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: []byte("after")}); err == nil {
+		t.Fatal("append accepted on a failed log")
+	}
+	// The committed prefix is still intact on disk.
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := collect(t, l2, 1); len(got) != 1 || string(got[0].Payload) != "ok" {
+		t.Fatalf("committed prefix damaged: %+v", got)
+	}
+}
