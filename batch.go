@@ -5,10 +5,10 @@ import (
 	"sync"
 )
 
-// batchRun evaluates fn for every query point using a bounded worker pool.
+// batchRun evaluates fn for every query using a bounded worker pool.
 // Results land positionally; the first error aborts outstanding work (workers
 // drain quickly because submission stops). workers <= 0 uses GOMAXPROCS.
-func batchRun[T any](qs []Point, workers int, fn func(Point) (T, error)) ([]T, error) {
+func batchRun[Q, T any](qs []Q, workers int, fn func(Q) (T, error)) ([]T, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -74,4 +74,23 @@ func (ix *Index) QueryBatch(qs []Point, workers int) ([][]Result, error) {
 // of workers (GOMAXPROCS when workers <= 0). Semantics match QueryBatch.
 func (ix *Index) PossibleNNBatch(qs []Point, workers int) ([][]Candidate, error) {
 	return batchRun(qs, workers, ix.PossibleNN)
+}
+
+// GroupNNBatch evaluates a group NN query for every group in groups using a
+// pool of workers (GOMAXPROCS when workers <= 0). Each query snapshots its
+// candidates under the shared read lock and refines probabilities outside
+// it, so batches interleave with writers; result i corresponds to groups[i].
+func (ix *Index) GroupNNBatch(groups [][]Point, agg Agg, workers int) ([][]Result, error) {
+	return batchRun(groups, workers, func(g []Point) ([]Result, error) {
+		return ix.GroupNN(g, agg)
+	})
+}
+
+// PossibleKNNBatch evaluates a possible k-NN query for every point in qs
+// using a pool of workers (GOMAXPROCS when workers <= 0). Semantics match
+// GroupNNBatch.
+func (ix *Index) PossibleKNNBatch(qs []Point, k, workers int) ([][]KNNResult, error) {
+	return batchRun(qs, workers, func(q Point) ([]KNNResult, error) {
+		return ix.PossibleKNN(q, k)
+	})
 }

@@ -1,0 +1,278 @@
+package main
+
+// Extension-query benchmark mode: measures candidate retrieval for the
+// extension workloads (group NN, possible k-NN, reverse NN) with the linear
+// scans against the R-tree branch-and-bound paths, across dataset sizes and
+// the workloads' own parameters (group size, k), and writes the results as
+// JSON (BENCH_extquery.json) so the repo tracks the speedup commit over
+// commit. Retrieval needs only the region R*-tree — no SE construction — so
+// the mode stays fast even at n = 100k.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"pvoronoi/internal/core"
+	"pvoronoi/internal/dataset"
+	"pvoronoi/internal/extquery"
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/rtree"
+	"pvoronoi/internal/uncertain"
+)
+
+// geomPoint aliases the geometry point for the local conversion helpers.
+type geomPoint = geom.Point
+
+// extqueryConfig bundles the extquery experiment parameters.
+type extqueryConfig struct {
+	JSONPath   string // output file ("" = stdout only)
+	Ns         []int  // dataset sizes
+	Dim        int
+	Seed       int64
+	Queries    int   // measured queries per configuration
+	GroupSizes []int // |Q| sweep for group NN
+	Ks         []int // k sweep for possible k-NN
+	RNNMaxN    int   // reverse NN scan is O(n²); skip scan sizes above this
+}
+
+// extqueryRow is one (workload, n, parameter) measurement.
+type extqueryRow struct {
+	Query      string  `json:"query"` // groupnn | knn | rnn
+	N          int     `json:"n"`
+	Param      int     `json:"param"` // group size or k (0 for rnn)
+	ScanUs     float64 `json:"scan_us"`
+	TreeUs     float64 `json:"tree_us"`
+	Speedup    float64 `json:"speedup"`
+	TreeNodes  float64 `json:"tree_nodes"`
+	TreeLeaves float64 `json:"tree_leaves"`
+	Candidates float64 `json:"candidates"`
+	Matched    bool    `json:"matched"` // tree ID sets == scan ID sets on every query
+}
+
+// extqueryReport is the serialized BENCH_extquery.json document.
+type extqueryReport struct {
+	GeneratedBy string        `json:"generated_by"`
+	Config      extqueryCfgJ  `json:"config"`
+	Rows        []extqueryRow `json:"rows"`
+}
+
+type extqueryCfgJ struct {
+	Ns         []int `json:"ns"`
+	Dim        int   `json:"dim"`
+	Seed       int64 `json:"seed"`
+	Queries    int   `json:"queries"`
+	GroupSizes []int `json:"group_sizes"`
+	Ks         []int `json:"ks"`
+	RNNMaxN    int   `json:"rnn_max_n"`
+	GoMaxProcs int   `json:"gomaxprocs"`
+}
+
+// runExtquery builds region trees at each size and measures scan vs tree
+// candidate retrieval.
+func runExtquery(cfg extqueryConfig) error {
+	if cfg.Queries <= 0 {
+		cfg.Queries = 16
+	}
+	if len(cfg.GroupSizes) == 0 {
+		cfg.GroupSizes = []int{2, 4, 8}
+	}
+	if len(cfg.Ks) == 0 {
+		cfg.Ks = []int{1, 4, 16}
+	}
+	if cfg.RNNMaxN <= 0 {
+		cfg.RNNMaxN = 10000
+	}
+	if cfg.Dim <= 0 {
+		cfg.Dim = 2
+	}
+
+	report := extqueryReport{
+		GeneratedBy: "pvbench extquery",
+		Config: extqueryCfgJ{
+			Ns: cfg.Ns, Dim: cfg.Dim, Seed: cfg.Seed, Queries: cfg.Queries,
+			GroupSizes: cfg.GroupSizes, Ks: cfg.Ks, RNNMaxN: cfg.RNNMaxN,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+		},
+	}
+
+	for _, n := range cfg.Ns {
+		fmt.Printf("extquery: building region tree over %d objects (d=%d)...\n", n, cfg.Dim)
+		db := dataset.Synthetic(dataset.SyntheticParams{
+			N: n, Dim: cfg.Dim, MaxSide: 60, Instances: 0, Seed: cfg.Seed,
+		})
+		tree := core.BuildRegionTree(db, rtree.DefaultFanout)
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
+		randPoint := func() []float64 {
+			p := make([]float64, cfg.Dim)
+			for j := range p {
+				p[j] = rng.Float64() * dataset.DomainSpan
+			}
+			return p
+		}
+
+		// Group NN: |Q| sweep.
+		for _, g := range cfg.GroupSizes {
+			row := extqueryRow{Query: "groupnn", N: n, Param: g, Matched: true}
+			for i := 0; i < cfg.Queries; i++ {
+				qs := make([]pointT, g)
+				for j := range qs {
+					qs[j] = randPoint()
+				}
+				t0 := time.Now()
+				want := extquery.GroupNNCandidates(db, toPoints(qs), extquery.AggSum)
+				row.ScanUs += us(t0)
+				t1 := time.Now()
+				got, cost := extquery.GroupNNCandidatesTree(tree, toPoints(qs), extquery.AggSum)
+				row.TreeUs += us(t1)
+				row.TreeNodes += float64(cost.Nodes)
+				row.TreeLeaves += float64(cost.Leaves)
+				row.Candidates += float64(len(got))
+				if !sameIDs(got, want) {
+					row.Matched = false
+				}
+			}
+			finishRow(&row, cfg.Queries)
+			report.Rows = append(report.Rows, row)
+		}
+
+		// Possible k-NN: k sweep.
+		for _, k := range cfg.Ks {
+			row := extqueryRow{Query: "knn", N: n, Param: k, Matched: true}
+			for i := 0; i < cfg.Queries; i++ {
+				q := toPoint(randPoint())
+				t0 := time.Now()
+				want := extquery.KNNCandidates(db, q, k)
+				row.ScanUs += us(t0)
+				t1 := time.Now()
+				got, cost := extquery.KNNCandidatesTree(tree, q, k)
+				row.TreeUs += us(t1)
+				row.TreeNodes += float64(cost.Nodes)
+				row.TreeLeaves += float64(cost.Leaves)
+				row.Candidates += float64(len(got))
+				if !sameIDs(got, want) {
+					row.Matched = false
+				}
+			}
+			finishRow(&row, cfg.Queries)
+			report.Rows = append(report.Rows, row)
+		}
+
+		// Reverse NN: the scan collects dominators in O(n) per object, O(n²)
+		// per query, so it is only measured up to RNNMaxN.
+		if n <= cfg.RNNMaxN {
+			row := extqueryRow{Query: "rnn", N: n, Matched: true}
+			for i := 0; i < cfg.Queries; i++ {
+				q := toPoint(randPoint())
+				t0 := time.Now()
+				want := extquery.RNNCandidates(db, q, 10)
+				row.ScanUs += us(t0)
+				t1 := time.Now()
+				got, cost := extquery.RNNCandidatesTree(tree, q, 10)
+				row.TreeUs += us(t1)
+				row.TreeNodes += float64(cost.Nodes)
+				row.TreeLeaves += float64(cost.Leaves)
+				row.Candidates += float64(len(got))
+				if !sameIDs(got, want) {
+					row.Matched = false
+				}
+			}
+			finishRow(&row, cfg.Queries)
+			report.Rows = append(report.Rows, row)
+		} else {
+			fmt.Printf("extquery: skipping rnn scan at n=%d (O(n²) baseline; cap %d)\n", n, cfg.RNNMaxN)
+		}
+	}
+
+	printExtquery(report)
+	if cfg.JSONPath != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(cfg.JSONPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.JSONPath)
+	}
+	for _, row := range report.Rows {
+		if !row.Matched {
+			return fmt.Errorf("extquery: tree candidates diverged from the scan on %s n=%d param=%d",
+				row.Query, row.N, row.Param)
+		}
+	}
+	return nil
+}
+
+type pointT = []float64
+
+func toPoints(ps []pointT) []geomPoint {
+	out := make([]geomPoint, len(ps))
+	for i, p := range ps {
+		out[i] = geomPoint(p)
+	}
+	return out
+}
+
+func toPoint(p pointT) geomPoint { return geomPoint(p) }
+
+func us(t0 time.Time) float64 { return float64(time.Since(t0).Nanoseconds()) / 1e3 }
+
+func finishRow(row *extqueryRow, queries int) {
+	q := float64(queries)
+	row.ScanUs /= q
+	row.TreeUs /= q
+	row.TreeNodes /= q
+	row.TreeLeaves /= q
+	row.Candidates /= q
+	if row.TreeUs > 0 {
+		row.Speedup = row.ScanUs / row.TreeUs
+	}
+}
+
+func sameIDs(a, b []uncertain.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func printExtquery(r extqueryReport) {
+	fmt.Printf("\nextension-query retrieval report (d=%d, %d queries/config)\n",
+		r.Config.Dim, r.Config.Queries)
+	fmt.Printf("  %-8s %8s %6s %12s %12s %9s %8s %8s %7s\n",
+		"query", "n", "param", "scan us", "tree us", "speedup", "nodes", "leaves", "match")
+	for _, row := range r.Rows {
+		fmt.Printf("  %-8s %8d %6d %12.1f %12.1f %8.1fx %8.1f %8.1f %7v\n",
+			row.Query, row.N, row.Param, row.ScanUs, row.TreeUs, row.Speedup,
+			row.TreeNodes, row.TreeLeaves, row.Matched)
+	}
+}
+
+// parseIntList parses a comma-separated integer list flag ("1000,10000").
+func parseIntList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

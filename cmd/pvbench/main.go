@@ -59,6 +59,12 @@ func main() {
 		wpN     = flag.Int("wp-n", 4000, "writepath: base index object count")
 		wpOps   = flag.Int("wp-ops", 256, "writepath: measured insert ops per scenario")
 		wpBatch = flag.Int("wp-batch", 32, "writepath: group-commit batch size")
+
+		// Extension-query benchmark flags (the "extquery" experiment).
+		eqJSON    = flag.String("eq-json", "BENCH_extquery.json", "extquery: output JSON path (empty = stdout only)")
+		eqNs      = flag.String("eq-n", "1000,10000,100000", "extquery: comma-separated dataset sizes")
+		eqQueries = flag.Int("eq-queries", 16, "extquery: measured queries per configuration")
+		eqRNNMax  = flag.Int("eq-rnn-max", 10000, "extquery: largest n for the O(n²) reverse-NN scan baseline")
 	)
 	flag.Usage = usage
 	flag.Parse()
@@ -116,6 +122,7 @@ func main() {
 	wantLoad := false
 	wantReadpath := false
 	wantWritepath := false
+	wantExtquery := false
 	allSeen := false
 	for _, arg := range flag.Args() {
 		switch {
@@ -125,6 +132,8 @@ func main() {
 			wantReadpath = true
 		case arg == "writepath":
 			wantWritepath = true
+		case arg == "extquery":
+			wantExtquery = true
 		case arg == "all":
 			allSeen = true
 		default:
@@ -170,6 +179,23 @@ func main() {
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pvbench: readpath: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if wantExtquery {
+		ns, err := parseIntList(*eqNs)
+		if err == nil {
+			err = runExtquery(extqueryConfig{
+				JSONPath: *eqJSON,
+				Ns:       ns,
+				Dim:      *loadD,
+				Seed:     *seed,
+				Queries:  *eqQueries,
+				RNNMaxN:  *eqRNNMax,
+			})
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvbench: extquery: %v\n", err)
 			os.Exit(1)
 		}
 	}
@@ -224,6 +250,7 @@ experiments:
   load                          load generator: throughput + p50/p95/p99
   readpath                      read-path benchmark: QPS, p50/p99, allocs/op -> JSON
   writepath                     write-path benchmark: single vs batched, WAL on/off -> JSON
+  extquery                      extension-query retrieval: scan vs R-tree branch-and-bound -> JSON
 
 flags:
 `)

@@ -69,26 +69,32 @@ func (s *server) readPoint(w http.ResponseWriter, r *http.Request) (pvoronoi.Poi
 
 // routes builds the HTTP handler. API summary (all bodies JSON):
 //
-//	POST /v1/query       {"point":[...], "eps":0}    full PNNQ (eps>0: verified mode)
-//	POST /v1/possiblenn  {"point":[...]}             PNNQ Step 1 only
-//	POST /v1/possibleknn {"point":[...], "k":3}      probabilistic k-NN membership
-//	POST /v1/groupnn     {"points":[[...],...], "agg":"sum"|"max"}  group NN
-//	POST /v1/insert      {"id":1, "region":{"lo":[...],"hi":[...]}, "instances":[...]} or {"sample":{"kind":"uniform","n":100,"seed":1}}
-//	POST /v1/delete      {"id":1}
-//	POST /v1/insertbatch {"objects":[{insert request}, ...]}   one group commit
-//	POST /v1/deletebatch {"ids":[1,2,...]}                     one group commit
+//	POST /v1/query            {"point":[...], "eps":0}    full PNNQ (eps>0: verified mode)
+//	POST /v1/possiblenn       {"point":[...]}             PNNQ Step 1 only
+//	POST /v1/possibleknn      {"point":[...], "k":3}      probabilistic k-NN membership
+//	POST /v1/possibleknnbatch {"points":[[...],...], "k":3}  one worker-pool batch
+//	POST /v1/possiblernn      {"point":[...]}             reverse-NN candidates
+//	POST /v1/groupnn          {"points":[[...],...], "agg":"sum"|"max"}  group NN
+//	POST /v1/groupnnbatch     {"groups":[[[...],...],...], "agg":"sum"|"max"}  one worker-pool batch
+//	POST /v1/insert           {"id":1, "region":{"lo":[...],"hi":[...]}, "instances":[...]} or {"sample":{"kind":"uniform","n":100,"seed":1}}
+//	POST /v1/delete           {"id":1}
+//	POST /v1/insertbatch      {"objects":[{insert request}, ...]}   one group commit
+//	POST /v1/deletebatch      {"ids":[1,2,...]}                     one group commit
 //	POST /v1/checkpoint                              force a durable snapshot (durable mode)
 //	GET  /v1/stats                                   serving metrics + index shape
 //	GET  /healthz                                    liveness probe
 //
-// /v1/query and /v1/possiblenn also accept GET with ?point=x,y,... for
-// curl-friendly exploration.
+// /v1/query, /v1/possiblenn and /v1/possiblernn also accept GET with
+// ?point=x,y,... for curl-friendly exploration.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/possiblenn", s.handlePossibleNN)
 	mux.HandleFunc("/v1/possibleknn", s.handlePossibleKNN)
+	mux.HandleFunc("/v1/possibleknnbatch", s.handlePossibleKNNBatch)
+	mux.HandleFunc("/v1/possiblernn", s.handlePossibleRNN)
 	mux.HandleFunc("/v1/groupnn", s.handleGroupNN)
+	mux.HandleFunc("/v1/groupnnbatch", s.handleGroupNNBatch)
 	mux.HandleFunc("/v1/insert", s.handleInsert)
 	mux.HandleFunc("/v1/delete", s.handleDelete)
 	mux.HandleFunc("/v1/insertbatch", s.handleInsertBatch)
@@ -253,25 +259,47 @@ func (s *server) handlePossibleNN(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// extCostFields appends an extension query's retrieval-cost breakdown to a
+// response body.
+func extCostFields(body map[string]any, cost pvoronoi.ExtQueryCost) map[string]any {
+	body["candidates"] = cost.Candidates
+	body["node_io"] = cost.NodeIO
+	body["leaf_io"] = cost.LeafIO
+	body["cache_hits"] = cost.CacheHits
+	body["cache_misses"] = cost.CacheMisses
+	return body
+}
+
+// decodeK reads the optional "k" field (default 1, must be >= 1). On failure
+// it writes the 400 response itself and returns ok=false.
+func decodeK(w http.ResponseWriter, body map[string]json.RawMessage) (int, bool) {
+	k := 1
+	if raw, ok := body["k"]; ok {
+		if err := json.Unmarshal(raw, &k); err != nil || k < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k"))
+			return 0, false
+		}
+	}
+	return k, true
+}
+
 func (s *server) handlePossibleKNN(w http.ResponseWriter, r *http.Request) {
 	q, body, ok := s.readPoint(w, r)
 	if !ok {
 		return
 	}
-	k := 1
-	if raw, ok := body["k"]; ok {
-		if err := json.Unmarshal(raw, &k); err != nil || k < 1 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad k"))
-			return
-		}
+	k, ok := decodeK(w, body)
+	if !ok {
+		return
 	}
 
 	start := time.Now()
-	results, err := s.ix.PossibleKNN(q, k)
+	results, cost, err := s.ix.PossibleKNNWithCost(q, k)
 	elapsed := time.Since(start)
-	s.metrics.observe("possibleknn", elapsed, 0, err != nil)
+	s.metrics.observe("possibleknn", elapsed, cost.LeafIO, err != nil)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		// The request was validated; a failing query is a server-side fault.
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 
@@ -279,44 +307,130 @@ func (s *server) handlePossibleKNN(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		out[i] = resultJSON{ID: uint32(res.ID), Prob: res.Prob}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, http.StatusOK, extCostFields(map[string]any{
 		"results":    out,
 		"k":          k,
 		"latency_us": elapsed.Microseconds(),
-	})
+	}, cost))
 }
 
-func (s *server) handleGroupNN(w http.ResponseWriter, r *http.Request) {
+// handlePossibleKNNBatch evaluates possible k-NN for a whole set of points
+// through the index's worker pool: {"points":[[...],...], "k":3}.
+func (s *server) handlePossibleKNNBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
 	body, err := decodeBody(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	points, ok := s.decodePoints(w, body, "points")
+	if !ok {
+		return
+	}
+	k, ok := decodeK(w, body)
+	if !ok {
+		return
+	}
+
+	start := time.Now()
+	results, err := s.ix.PossibleKNNBatch(points, k, 0)
+	elapsed := time.Since(start)
+	s.metrics.observe("possibleknnbatch", elapsed, 0, err != nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	out := make([][]resultJSON, len(results))
+	for i, res := range results {
+		out[i] = make([]resultJSON, len(res))
+		for j, kr := range res {
+			out[i][j] = resultJSON{ID: uint32(kr.ID), Prob: kr.Prob}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"results":    out,
+		"k":          k,
+		"count":      len(out),
+		"latency_us": elapsed.Microseconds(),
+	})
+}
+
+// handlePossibleRNN returns the reverse-NN candidate set of a point:
+// the objects with a non-zero chance that the point is their nearest
+// neighbor.
+func (s *server) handlePossibleRNN(w http.ResponseWriter, r *http.Request) {
+	q, _, ok := s.readPoint(w, r)
+	if !ok {
+		return
+	}
+
+	start := time.Now()
+	ids, cost, err := s.ix.PossibleRNNWithCost(q)
+	elapsed := time.Since(start)
+	s.metrics.observe("possiblernn", elapsed, cost.LeafIO, err != nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	out := make([]uint32, len(ids))
+	for i, id := range ids {
+		out[i] = uint32(id)
+	}
+	writeJSON(w, http.StatusOK, extCostFields(map[string]any{
+		"ids":        out,
+		"latency_us": elapsed.Microseconds(),
+	}, cost))
+}
+
+// validatePoints converts and dim-validates a list of raw points; label
+// prefixes the per-point error position (e.g. "points" -> "points[2]: ...").
+func (s *server) validatePoints(pts [][]float64, label string) ([]pvoronoi.Point, error) {
+	out := make([]pvoronoi.Point, len(pts))
+	for i, p := range pts {
+		out[i] = pvoronoi.Point(p)
+		if err := s.checkPoint(out[i]); err != nil {
+			return nil, fmt.Errorf("%s[%d]: %w", label, i, err)
+		}
+	}
+	return out, nil
+}
+
+// decodePoints reads and dim-validates an array-of-points field. On failure
+// it writes the 400 response itself and returns ok=false.
+func (s *server) decodePoints(w http.ResponseWriter, body map[string]json.RawMessage, field string) ([]pvoronoi.Point, bool) {
 	var pts [][]float64
-	if raw, ok := body["points"]; ok {
+	if raw, ok := body[field]; ok {
 		if err := json.Unmarshal(raw, &pts); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad points: %v", err))
-			return
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad %s: %v", field, err))
+			return nil, false
 		}
 	}
 	if len(pts) == 0 {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("missing points field"))
-		return
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing %s field", field))
+		return nil, false
 	}
-	group := make([]pvoronoi.Point, len(pts))
-	for i, p := range pts {
-		group[i] = pvoronoi.Point(p)
-		if err := s.checkPoint(group[i]); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("points[%d]: %w", i, err))
-			return
-		}
+	out, err := s.validatePoints(pts, field)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
 	}
+	return out, true
+}
+
+// decodeAgg reads the optional "agg" field ("sum" default, or "max"). On
+// failure it writes the 400 response itself and returns ok=false.
+func decodeAgg(w http.ResponseWriter, body map[string]json.RawMessage) (pvoronoi.Agg, bool) {
 	agg := pvoronoi.AggSum
 	if raw, ok := body["agg"]; ok {
 		var name string
 		if err := json.Unmarshal(raw, &name); err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad agg: %v", err))
-			return
+			return agg, false
 		}
 		switch strings.ToLower(name) {
 		case "sum", "":
@@ -325,16 +439,33 @@ func (s *server) handleGroupNN(w http.ResponseWriter, r *http.Request) {
 			agg = pvoronoi.AggMax
 		default:
 			writeError(w, http.StatusBadRequest, fmt.Errorf("unknown agg %q (want sum or max)", name))
-			return
+			return agg, false
 		}
+	}
+	return agg, true
+}
+
+func (s *server) handleGroupNN(w http.ResponseWriter, r *http.Request) {
+	body, err := decodeBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	group, ok := s.decodePoints(w, body, "points")
+	if !ok {
+		return
+	}
+	agg, ok := decodeAgg(w, body)
+	if !ok {
+		return
 	}
 
 	start := time.Now()
-	results, err := s.ix.GroupNN(group, agg)
+	results, cost, err := s.ix.GroupNNWithCost(group, agg)
 	elapsed := time.Since(start)
-	s.metrics.observe("groupnn", elapsed, 0, err != nil)
+	s.metrics.observe("groupnn", elapsed, cost.LeafIO, err != nil)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 
@@ -342,8 +473,72 @@ func (s *server) handleGroupNN(w http.ResponseWriter, r *http.Request) {
 	for i, res := range results {
 		out[i] = resultJSON{ID: uint32(res.ID), Prob: res.Prob}
 	}
+	writeJSON(w, http.StatusOK, extCostFields(map[string]any{
+		"results":    out,
+		"latency_us": elapsed.Microseconds(),
+	}, cost))
+}
+
+// handleGroupNNBatch evaluates group NN for a whole set of groups through
+// the index's worker pool: {"groups":[[[...],...],...], "agg":"sum"}.
+func (s *server) handleGroupNNBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	body, err := decodeBody(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var raw [][][]float64
+	if rawGroups, ok := body["groups"]; ok {
+		if err := json.Unmarshal(rawGroups, &raw); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad groups: %v", err))
+			return
+		}
+	}
+	if len(raw) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing groups field"))
+		return
+	}
+	groups := make([][]pvoronoi.Point, len(raw))
+	for i, g := range raw {
+		if len(g) == 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("groups[%d]: empty group", i))
+			return
+		}
+		pts, err := s.validatePoints(g, fmt.Sprintf("groups[%d]", i))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		groups[i] = pts
+	}
+	agg, ok := decodeAgg(w, body)
+	if !ok {
+		return
+	}
+
+	start := time.Now()
+	results, err := s.ix.GroupNNBatch(groups, agg, 0)
+	elapsed := time.Since(start)
+	s.metrics.observe("groupnnbatch", elapsed, 0, err != nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	out := make([][]resultJSON, len(results))
+	for i, res := range results {
+		out[i] = make([]resultJSON, len(res))
+		for j, gr := range res {
+			out[i][j] = resultJSON{ID: uint32(gr.ID), Prob: gr.Prob}
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"results":    out,
+		"count":      len(out),
 		"latency_us": elapsed.Microseconds(),
 	})
 }

@@ -220,6 +220,137 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+// TestServeExtensionEndpoints covers the extension-query surface: the
+// reverse-NN endpoint, the worker-pool batch endpoints, per-query retrieval
+// cost fields, and per-endpoint metrics.
+func TestServeExtensionEndpoints(t *testing.T) {
+	ix := testIndex(t, 60)
+	ts := httptest.NewServer(newServer(ix).routes())
+	defer ts.Close()
+
+	// possiblernn: a point at an object's center must list that object, and
+	// the response must carry the retrieval cost breakdown.
+	center := ix.DB().Objects()[0].Region.Center()
+	wantID := uint32(ix.DB().Objects()[0].ID)
+	resp, out := postJSON(t, ts, "/v1/possiblernn", map[string]any{"point": []float64(center)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("possiblernn status %d: %s", resp.StatusCode, out["error"])
+	}
+	var ids []uint32
+	if err := json.Unmarshal(out["ids"], &ids); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range ids {
+		if id == wantID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("object %d containing the probe missing from RNN ids %v", wantID, ids)
+	}
+	var leafIO int
+	if err := json.Unmarshal(out["leaf_io"], &leafIO); err != nil || leafIO < 1 {
+		t.Fatalf("possiblernn leaf_io = %d (err %v), want >= 1", leafIO, err)
+	}
+
+	// GET form of possiblernn.
+	getResp, err := http.Get(ts.URL + "/v1/possiblernn?point=500,500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET possiblernn status %d", getResp.StatusCode)
+	}
+
+	// possibleknn responses carry retrieval cost too.
+	resp, out = postJSON(t, ts, "/v1/possibleknn", map[string]any{"point": []float64{200, 700}, "k": 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("possibleknn status %d: %s", resp.StatusCode, out["error"])
+	}
+	if err := json.Unmarshal(out["leaf_io"], &leafIO); err != nil || leafIO < 1 {
+		t.Fatalf("possibleknn leaf_io = %d (err %v), want >= 1", leafIO, err)
+	}
+
+	// Batch endpoints return positional results matching the library.
+	points := [][]float64{{200, 700}, {500, 500}, {800, 100}}
+	resp, out = postJSON(t, ts, "/v1/possibleknnbatch", map[string]any{"points": points, "k": 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("possibleknnbatch status %d: %s", resp.StatusCode, out["error"])
+	}
+	var batchResults [][]struct {
+		ID   uint32  `json:"id"`
+		Prob float64 `json:"prob"`
+	}
+	if err := json.Unmarshal(out["results"], &batchResults); err != nil {
+		t.Fatal(err)
+	}
+	if len(batchResults) != len(points) {
+		t.Fatalf("possibleknnbatch returned %d result sets, want %d", len(batchResults), len(points))
+	}
+	want, err := ix.PossibleKNN(pvoronoi.Point{500, 500}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batchResults[1]) != len(want) {
+		t.Fatalf("batch result 1 has %d entries, library %d", len(batchResults[1]), len(want))
+	}
+	for i := range want {
+		if batchResults[1][i].ID != uint32(want[i].ID) || math.Abs(batchResults[1][i].Prob-want[i].Prob) > 1e-9 {
+			t.Fatalf("batch result mismatch at %d", i)
+		}
+	}
+
+	resp, out = postJSON(t, ts, "/v1/groupnnbatch", map[string]any{
+		"groups": [][][]float64{{{100, 100}, {300, 200}}, {{700, 700}}},
+		"agg":    "sum",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("groupnnbatch status %d: %s", resp.StatusCode, out["error"])
+	}
+	if err := json.Unmarshal(out["results"], &batchResults); err != nil {
+		t.Fatal(err)
+	}
+	if len(batchResults) != 2 {
+		t.Fatalf("groupnnbatch returned %d result sets, want 2", len(batchResults))
+	}
+
+	// Validation errors stay 400.
+	resp, _ = postJSON(t, ts, "/v1/possiblernn", map[string]any{"point": []float64{1, 2, 3}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("3-d point on 2-d index: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts, "/v1/possibleknnbatch", map[string]any{"points": [][]float64{}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postJSON(t, ts, "/v1/groupnnbatch", map[string]any{"groups": [][][]float64{{}}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty group in batch: status %d, want 400", resp.StatusCode)
+	}
+
+	// Per-endpoint metrics picked up the new traffic.
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats struct {
+		Endpoints map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"endpoints"`
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"possiblernn", "possibleknn", "possibleknnbatch", "groupnnbatch"} {
+		if stats.Endpoints[name].Count < 1 {
+			t.Fatalf("stats missing %s traffic: %+v", name, stats.Endpoints)
+		}
+	}
+}
+
 // TestServeConcurrentTraffic drives queries and writes through the full HTTP
 // stack in parallel — the serving-layer analogue of the library's
 // concurrency stress test.

@@ -1,9 +1,11 @@
 package pvoronoi
 
 import (
+	"time"
+
 	"pvoronoi/internal/extquery"
 	"pvoronoi/internal/pnnq"
-	"pvoronoi/internal/uncertain"
+	"pvoronoi/internal/pvindex"
 )
 
 // Agg selects the aggregate for group nearest neighbor queries.
@@ -20,56 +22,105 @@ const (
 // KNNResult is an object's probability of ranking among the k nearest.
 type KNNResult = pnnq.KNNResult
 
-// The extension queries walk the raw database rather than the PV-index, so
-// they run under the index's read lock (inner.View) to stay consistent with
-// concurrent Insert/Delete writers.
+// The extension queries retrieve their candidates through the index's region
+// R*-tree (best-first branch-and-bound, never an O(n) scan) and snapshot the
+// candidates' stored instances under the index's read lock; the expensive
+// probability refinement then runs outside the lock, so long extension
+// queries do not stall writers.
+
+// ExtQueryCost reports the per-query cost of one extension query: candidate
+// count, R-tree node and leaf accesses during retrieval, the record-cache
+// outcomes of the instance fetch, and the end-to-end latency including the
+// out-of-lock probability refinement. Like QueryCost it is attributed
+// exactly to the call that incurred it.
+type ExtQueryCost struct {
+	Candidates int
+	NodeIO     int
+	LeafIO     int
+	// CacheHits/CacheMisses are the instance fetch's record-cache outcomes
+	// (zero for candidate-only queries like PossibleRNN).
+	CacheHits   int
+	CacheMisses int
+	// Latency spans retrieval, snapshot and refinement.
+	Latency time.Duration
+}
+
+func extCost(c pvindex.ExtCost, start time.Time) ExtQueryCost {
+	return ExtQueryCost{
+		Candidates:  c.Candidates,
+		NodeIO:      c.NodeIO,
+		LeafIO:      c.LeafIO,
+		CacheHits:   c.CacheHits,
+		CacheMisses: c.CacheMisses,
+		Latency:     time.Since(start),
+	}
+}
 
 // GroupNN evaluates a probabilistic group nearest neighbor query: the
 // objects that may minimize the aggregate distance to the query points,
 // with their probabilities (computed from stored instances). This is the
 // group-NN extension the paper's conclusion proposes for the PV-index.
 func (ix *Index) GroupNN(group []Point, agg Agg) ([]Result, error) {
-	var out []Result
-	err := ix.inner.View(func(db *uncertain.DB) error {
-		ids := extquery.GroupNNCandidates(db, group, agg)
-		out = extquery.GroupNNProbs(db, ids, group, agg)
-		return nil
-	})
-	return out, err
+	res, _, err := ix.GroupNNWithCost(group, agg)
+	return res, err
+}
+
+// GroupNNWithCost is GroupNN plus the per-query cost breakdown. Candidate
+// retrieval and the instance snapshot happen atomically under the index's
+// read lock; the probability computation runs outside it.
+func (ix *Index) GroupNNWithCost(group []Point, agg Agg) ([]Result, ExtQueryCost, error) {
+	start := time.Now()
+	snap, err := ix.inner.GroupNNSnapshot(group, agg)
+	if err != nil {
+		return nil, ExtQueryCost{Latency: time.Since(start)}, err
+	}
+	res := extquery.GroupNNScores(snap.IDs, snap.Instances, group, agg)
+	return res, extCost(snap.Cost, start), nil
 }
 
 // GroupNNCandidates returns only the candidate set of a group NN query
 // (objects with non-zero probability, region-level bound).
-func (ix *Index) GroupNNCandidates(group []Point, agg Agg) []ID {
-	var out []ID
-	_ = ix.inner.View(func(db *uncertain.DB) error {
-		out = extquery.GroupNNCandidates(db, group, agg)
-		return nil
-	})
-	return out
+func (ix *Index) GroupNNCandidates(group []Point, agg Agg) ([]ID, error) {
+	ids, _, err := ix.inner.GroupNNCandidatesOnly(group, agg)
+	return ids, err
 }
 
 // PossibleKNN returns the objects with a non-zero chance of ranking among
 // the k nearest neighbors of q, with membership probabilities (probability
 // that the object is within the top k). k=1 coincides with Query.
 func (ix *Index) PossibleKNN(q Point, k int) ([]KNNResult, error) {
-	var out []KNNResult
-	err := ix.inner.View(func(db *uncertain.DB) error {
-		ids := extquery.KNNCandidates(db, q, k)
-		out = extquery.KNNProbs(db, ids, q, k)
-		return nil
-	})
-	return out, err
+	res, _, err := ix.PossibleKNNWithCost(q, k)
+	return res, err
+}
+
+// PossibleKNNWithCost is PossibleKNN plus the per-query cost breakdown. Like
+// GroupNNWithCost, only retrieval and the instance snapshot hold the read
+// lock.
+func (ix *Index) PossibleKNNWithCost(q Point, k int) ([]KNNResult, ExtQueryCost, error) {
+	start := time.Now()
+	snap, err := ix.inner.KNNSnapshot(q, k)
+	if err != nil {
+		return nil, ExtQueryCost{Latency: time.Since(start)}, err
+	}
+	res := extquery.KNNScores(snap.IDs, snap.Instances, q, k)
+	return res, extCost(snap.Cost, start), nil
 }
 
 // PossibleRNN returns the objects with a non-zero chance that q is their
 // nearest neighbor (probabilistic reverse NN candidates, region-level
-// domination test with the paper's m_max granularity).
-func (ix *Index) PossibleRNN(q Point) []ID {
-	var out []ID
-	_ = ix.inner.View(func(db *uncertain.DB) error {
-		out = extquery.RNNCandidates(db, q, 10)
-		return nil
-	})
-	return out
+// domination test at the index's configured MMax granularity — the same
+// recursion depth SE uses for its domination counts).
+func (ix *Index) PossibleRNN(q Point) ([]ID, error) {
+	ids, _, err := ix.PossibleRNNWithCost(q)
+	return ids, err
+}
+
+// PossibleRNNWithCost is PossibleRNN plus the per-query cost breakdown.
+func (ix *Index) PossibleRNNWithCost(q Point) ([]ID, ExtQueryCost, error) {
+	start := time.Now()
+	ids, cost, err := ix.inner.RNNCandidates(q)
+	if err != nil {
+		return nil, ExtQueryCost{Latency: time.Since(start)}, err
+	}
+	return ids, extCost(cost, start), nil
 }

@@ -83,51 +83,87 @@ func NNByCenter(db *uncertain.DB, q geom.Point) []uncertain.ID {
 // QualificationProbs computes the exact (under the discrete pdf model)
 // qualification probability of every object in db being the NN of q:
 //
-//	P(o NN of q) = Σ_{instance s of o} p(s) · Π_{o'≠o} P(dist(o', q) > dist(s, q))
+//	P(o NN of q) = Σ_{instance s of o} p(s) · P(every o'≠o realizes a
+//	               strictly greater distance, exact ties splitting evenly)
 //
-// Objects must carry instances. Probabilities over all objects sum to 1 up to
-// tie handling (instances at exactly equal distance are counted as farther,
-// matching the strict "closest" semantics; ties have measure zero for
-// continuous pdfs).
+// Objects must carry instances. Instances at exactly equal distance share
+// the win uniformly (a t-way tie credits 1/(t+1) per outcome), so the
+// probabilities over all objects sum to 1 — including on degenerate pdfs
+// with coincident instances, where the old strict-minimum rule lost mass.
 func QualificationProbs(db *uncertain.DB, q geom.Point) map[uncertain.ID]float64 {
 	objs := db.Objects()
-	// Precompute each object's sorted instance distances and CDF support.
-	dists := make([][]float64, len(objs))
+	// Precompute each object's weighted, sorted instance distances plus the
+	// suffix mass at each position, so a probe stays O(log m + ties).
+	type wdist struct {
+		ds     []float64 // ascending
+		ws     []float64 // instance weight at ds[i]
+		suffix []float64 // suffix[i] = Σ ws[j >= i]
+	}
+	dists := make([]wdist, len(objs))
 	for i, o := range objs {
-		ds := make([]float64, len(o.Instances))
+		d := wdist{ds: make([]float64, len(o.Instances)), ws: make([]float64, len(o.Instances))}
 		for j, in := range o.Instances {
-			ds[j] = geom.Dist(in.Pos, q)
+			d.ds[j] = geom.Dist(in.Pos, q)
+			d.ws[j] = in.Prob
 		}
-		sort.Float64s(ds)
-		dists[i] = ds
+		sort.Sort(&byDist{d.ds, d.ws})
+		d.suffix = make([]float64, len(d.ds)+1)
+		for j := len(d.ds) - 1; j >= 0; j-- {
+			d.suffix[j] = d.suffix[j+1] + d.ws[j]
+		}
+		dists[i] = d
+	}
+	// split returns the rival's probability mass at exactly r and strictly
+	// beyond r.
+	split := func(d wdist, r float64) (tie, far float64) {
+		if len(d.ds) == 0 {
+			return 0, 1 // region-only object: unconstrained
+		}
+		idx := sort.SearchFloat64s(d.ds, r)
+		for idx < len(d.ds) && d.ds[idx] == r {
+			tie += d.ws[idx]
+			idx++
+		}
+		return tie, d.suffix[idx]
 	}
 	out := make(map[uncertain.ID]float64, len(objs))
 	for i, o := range objs {
 		var total float64
 		for _, in := range o.Instances {
 			r := geom.Dist(in.Pos, q)
-			prod := in.Prob
+			// dp[t] = P(t rivals tied at r so far, none strictly closer).
+			dp := []float64{in.Prob}
 			for k := range objs {
 				if k == i {
 					continue
 				}
-				// P(dist(o_k, q) > r) = fraction of instances strictly beyond r.
-				ds := dists[k]
-				idx := sort.SearchFloat64s(ds, r)
-				// Advance past exact ties so they count as "farther".
-				for idx < len(ds) && ds[idx] == r {
-					idx++
+				tie, far := split(dists[k], r)
+				dp = append(dp, 0)
+				for t := len(dp) - 1; t >= 1; t-- {
+					dp[t] = dp[t]*far + dp[t-1]*tie
 				}
-				prod *= float64(len(ds)-idx) / float64(len(ds))
-				if prod == 0 {
-					break
-				}
+				dp[0] *= far
 			}
-			total += prod
+			for t, v := range dp {
+				total += v / float64(t+1)
+			}
 		}
 		if total > 0 {
 			out[o.ID] = total
 		}
 	}
 	return out
+}
+
+// byDist co-sorts a distance slice and its weight slice.
+type byDist struct {
+	ds []float64
+	ws []float64
+}
+
+func (s *byDist) Len() int           { return len(s.ds) }
+func (s *byDist) Less(i, j int) bool { return s.ds[i] < s.ds[j] }
+func (s *byDist) Swap(i, j int) {
+	s.ds[i], s.ds[j] = s.ds[j], s.ds[i]
+	s.ws[i], s.ws[j] = s.ws[j], s.ws[i]
 }

@@ -111,22 +111,42 @@ func GroupNNCandidates(db *uncertain.DB, qs []geom.Point, agg Agg) []uncertain.I
 // are skipped). Probabilities are exact under the discrete model restricted
 // to the candidate set.
 func GroupNNProbs(db *uncertain.DB, ids []uncertain.ID, qs []geom.Point, agg Agg) []pnnq.Result {
+	return GroupNNScores(ids, instancesOf(db, ids), qs, agg)
+}
+
+// GroupNNScores is GroupNNProbs over snapshotted instance data (instances[i]
+// belongs to ids[i]; candidates with no instances are skipped). It touches no
+// shared index state, so callers run it outside the index lock on a
+// consistent snapshot.
+func GroupNNScores(ids []uncertain.ID, instances [][]uncertain.Instance, qs []geom.Point, agg Agg) []pnnq.Result {
 	var cands []pnnq.ScoredCandidate
-	for _, id := range ids {
-		o := db.Get(id)
-		if o == nil || len(o.Instances) == 0 {
+	for i, id := range ids {
+		ins := instances[i]
+		if len(ins) == 0 {
 			continue
 		}
 		sc := pnnq.ScoredCandidate{ID: id}
-		sc.Scores = make([]float64, len(o.Instances))
-		sc.Weights = make([]float64, len(o.Instances))
-		for i, in := range o.Instances {
-			sc.Scores[i] = aggPoint(in.Pos, qs, agg)
-			sc.Weights[i] = in.Prob
+		sc.Scores = make([]float64, len(ins))
+		sc.Weights = make([]float64, len(ins))
+		for j, in := range ins {
+			sc.Scores[j] = aggPoint(in.Pos, qs, agg)
+			sc.Weights[j] = in.Prob
 		}
 		cands = append(cands, sc)
 	}
 	return pnnq.ComputeScores(cands)
+}
+
+// instancesOf gathers the stored instances of each id (nil for missing
+// objects), adapting direct-database callers to the snapshot signature.
+func instancesOf(db *uncertain.DB, ids []uncertain.ID) [][]uncertain.Instance {
+	out := make([][]uncertain.Instance, len(ids))
+	for i, id := range ids {
+		if o := db.Get(id); o != nil {
+			out[i] = o.Instances
+		}
+	}
+	return out
 }
 
 // GroupNNBruteForce is the oracle: the exact region-level candidate set by
@@ -180,18 +200,25 @@ func KNNCandidates(db *uncertain.DB, q geom.Point, k int) []uncertain.ID {
 // the k nearest to q, from stored instances (Poisson-binomial dynamic
 // program; see pnnq.ComputeKNN).
 func KNNProbs(db *uncertain.DB, ids []uncertain.ID, q geom.Point, k int) []pnnq.KNNResult {
+	return KNNScores(ids, instancesOf(db, ids), q, k)
+}
+
+// KNNScores is KNNProbs over snapshotted instance data (instances[i] belongs
+// to ids[i]; candidates with no instances are skipped). Like GroupNNScores it
+// is lock-free: the expensive probability refinement runs on the snapshot.
+func KNNScores(ids []uncertain.ID, instances [][]uncertain.Instance, q geom.Point, k int) []pnnq.KNNResult {
 	var cands []pnnq.ScoredCandidate
-	for _, id := range ids {
-		o := db.Get(id)
-		if o == nil || len(o.Instances) == 0 {
+	for i, id := range ids {
+		ins := instances[i]
+		if len(ins) == 0 {
 			continue
 		}
 		sc := pnnq.ScoredCandidate{ID: id}
-		sc.Scores = make([]float64, len(o.Instances))
-		sc.Weights = make([]float64, len(o.Instances))
-		for i, in := range o.Instances {
-			sc.Scores[i] = geom.Dist(in.Pos, q)
-			sc.Weights[i] = in.Prob
+		sc.Scores = make([]float64, len(ins))
+		sc.Weights = make([]float64, len(ins))
+		for j, in := range ins {
+			sc.Scores[j] = geom.Dist(in.Pos, q)
+			sc.Weights[j] = in.Prob
 		}
 		cands = append(cands, sc)
 	}

@@ -1,0 +1,149 @@
+package extquery
+
+import (
+	"sort"
+
+	"pvoronoi/internal/domination"
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/rtree"
+	"pvoronoi/internal/uncertain"
+)
+
+// This file holds the index-assisted retrieval paths: the same candidate
+// definitions as the linear scans in extquery.go, evaluated by best-first
+// branch-and-bound over the R*-tree of uncertainty regions (the tree the
+// PV-index already maintains for SE). Each function returns exactly the ID
+// set of its scan counterpart — the scans stay as test oracles — plus the
+// per-call node/leaf access cost.
+
+// rnnPoolSize bounds the dominator pool used for subtree-level RNN pruning:
+// the regions nearest the query, which wholesale-dominate far subtrees.
+const rnnPoolSize = 16
+
+// GroupNNCandidatesTree returns the group-NN candidate set of GroupNNCandidates
+// by branch-and-bound: nodes are visited best-first by the aggregate
+// lower bound and pruned against the smallest aggregate upper bound seen,
+// so only the neighborhood of the query group touches pages.
+func GroupNNCandidatesTree(t *rtree.Tree, qs []geom.Point, agg Agg) ([]uncertain.ID, rtree.Cost) {
+	if t == nil || t.Len() == 0 || len(qs) == 0 {
+		return nil, rtree.Cost{}
+	}
+	lower := func(r geom.Rect) float64 { return aggMin(r, qs, agg) }
+	upper := func(r geom.Rect) float64 { return aggMax(r, qs, agg) }
+	items, best, cost := t.KthBound(lower, upper, 1)
+	var out []uncertain.ID
+	for _, it := range items {
+		if lower(it.Rect) <= best {
+			out = append(out, uncertain.ID(it.ID))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, cost
+}
+
+// KNNCandidatesTree returns the k-NN candidate set of KNNCandidates by
+// incremental best-first traversal with k-th-maxdist pruning: the running
+// k-th smallest max distance bounds the frontier, and the dominator-count
+// refinement runs over the visited entries only (every potential dominator
+// has maxdist below the bound, so it is necessarily visited).
+func KNNCandidatesTree(t *rtree.Tree, q geom.Point, k int) ([]uncertain.ID, rtree.Cost) {
+	if t == nil || t.Len() == 0 || k <= 0 {
+		return nil, rtree.Cost{}
+	}
+	lower := func(r geom.Rect) float64 { return r.MinDist(q) }
+	upper := func(r geom.Rect) float64 { return r.MaxDist(q) }
+	items, kth, cost := t.KthBound(lower, upper, k)
+
+	// Sorted max distances of the visited entries support the exact
+	// dominator count by binary search: dominators of o are the entries with
+	// maxdist strictly below distmin(o, q), and all of them are visited.
+	maxDists := make([]float64, len(items))
+	minDists := make([]float64, len(items))
+	for i, it := range items {
+		minDists[i] = it.Rect.MinDist(q)
+		maxDists[i] = it.Rect.MaxDist(q)
+	}
+	sortedMax := append([]float64(nil), maxDists...)
+	sort.Float64s(sortedMax)
+
+	var out []uncertain.ID
+	for i, it := range items {
+		dmin := minDists[i]
+		if dmin > kth {
+			continue // at least k objects are surely closer
+		}
+		// An entry never dominates itself: its own maxdist >= its mindist.
+		if dominators := sort.SearchFloat64s(sortedMax, dmin); dominators < k {
+			out = append(out, uncertain.ID(it.ID))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, cost
+}
+
+// RNNCandidatesTree returns the reverse-NN candidate set of RNNCandidates by
+// filter-refine tree descent. Filter: a subtree is skipped when a single
+// pooled region disjoint from its MBR dominates the whole MBR over q — such
+// a region belongs to every skipped object's scan candidate set and
+// dominates its whole uncertainty region, so the scan would prune it too.
+// Refine: surviving objects run the scan's exact domination test, with the
+// dominator superset retrieved through the tree instead of a linear pass
+// (regions beyond the object's reach can never dominate any of its points,
+// so the extra L∞-window hits leave the tester's outcome unchanged).
+func RNNCandidatesTree(t *rtree.Tree, q geom.Point, maxDepth int) ([]uncertain.ID, rtree.Cost) {
+	if t == nil || t.Len() == 0 {
+		return nil, rtree.Cost{}
+	}
+	target := geom.PointRect(q)
+
+	// Dominator pool: the regions nearest q by mindist, fetched through the
+	// same bounded branch-and-bound primitive so the pool cost is attributed.
+	minDist := func(r geom.Rect) float64 { return r.MinDist(q) }
+	poolItems, poolBound, cost := t.KthBound(minDist, minDist, rnnPoolSize)
+	pool := make([]geom.Rect, 0, rnnPoolSize)
+	for _, it := range poolItems {
+		if it.Rect.MinDist(q) <= poolBound {
+			pool = append(pool, it.Rect)
+		}
+	}
+
+	prune := func(m geom.Rect) bool {
+		for _, c := range pool {
+			// c ∩ M = ∅ guarantees c is not inside the subtree (subtree
+			// regions are contained in M), so it never prunes itself.
+			if !c.Intersects(m) && domination.Dominates(c, target, m) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []uncertain.ID
+	var scratch []rtree.Item
+	wcost := t.Walk(prune, func(item rtree.Item) {
+		r := item.Rect
+		// Cheap accept: q inside (or touching) u(o) — the object can realize
+		// a position arbitrarily close to q.
+		if r.Contains(q) {
+			out = append(out, uncertain.ID(item.ID))
+			return
+		}
+		reach := r.MaxDist(q) // everything farther cannot matter
+		var sc rtree.Cost
+		scratch, sc = t.SearchWithCost(r.Expand(reach), scratch[:0])
+		cost.Add(sc)
+		cands := make([]geom.Rect, 0, len(scratch))
+		for _, other := range scratch {
+			if other.ID != item.ID {
+				cands = append(cands, other.Rect)
+			}
+		}
+		tester := domination.NewTester(cands, target, maxDepth)
+		if !tester.RegionPrunable(r) {
+			out = append(out, uncertain.ID(item.ID))
+		}
+	})
+	cost.Add(wcost)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, cost
+}

@@ -32,39 +32,38 @@ type Result struct {
 // Compute returns the qualification probability of every candidate with
 // respect to query point q, in decreasing probability order. Candidates with
 // zero probability (possible under the discrete pdf even when regions
-// overlap the cutoff) are omitted.
+// overlap the cutoff) are omitted. Instances at exactly equal distance split
+// the win evenly (uniform random tie-breaking), so probabilities sum to 1
+// even on degenerate pdfs.
 //
-//	P(o is NN) = Σ_{s ∈ instances(o)} p(s) · Π_{o'≠o} P(dist(o', q) > dist(s, q))
+//	P(o is NN) = Σ_{s ∈ instances(o)} p(s) · P(every o'≠o realizes a farther
+//	             distance, ties sharing the win uniformly)
 func Compute(cands []CandidateData, q geom.Point) []Result {
 	if len(cands) == 0 {
 		return nil
 	}
-	// Sorted instance-distance arrays give each candidate's distance CDF.
-	dists := make([][]float64, len(cands))
+	// Per-candidate weighted distance distributions, plus the raw distances
+	// for the outer instance loop.
+	dists := make([]distrib, len(cands))
+	raw := make([][]float64, len(cands))
 	for i, c := range cands {
 		ds := make([]float64, len(c.Instances))
+		ws := make([]float64, len(c.Instances))
 		for j, in := range c.Instances {
 			ds[j] = geom.Dist(in.Pos, q)
+			ws[j] = in.Prob
 		}
-		sort.Float64s(ds)
-		dists[i] = ds
+		raw[i] = ds
+		dists[i] = newDistrib(ds, ws)
 	}
 	var out []Result
 	for i, c := range cands {
 		var total float64
-		for _, in := range c.Instances {
-			r := geom.Dist(in.Pos, q)
-			prod := in.Prob
-			for k := range cands {
-				if k == i {
-					continue
-				}
-				prod *= probFarther(dists[k], r)
-				if prod == 0 {
-					break
-				}
+		for j, in := range c.Instances {
+			if in.Prob == 0 {
+				continue
 			}
-			total += prod
+			total += in.Prob * winMass(dists, i, raw[i][j])
 		}
 		if total > 0 {
 			out = append(out, Result{ID: c.ID, Prob: total})

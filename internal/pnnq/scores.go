@@ -16,18 +16,19 @@ type ScoredCandidate struct {
 	Weights []float64 // instance probabilities; uniform if nil
 }
 
-// ComputeScores returns P(candidate's score is the strict minimum) for each
+// ComputeScores returns P(candidate's score is the minimum) for each
 // candidate, in decreasing probability order — the engine behind both plain
-// PNNQ Step 2 and the group-NN extension.
+// PNNQ Step 2 and the group-NN extension. Exact score ties split the win
+// evenly among the tied candidates (uniform random tie-breaking), so
+// per-query probabilities sum to 1 even on degenerate pdfs; the previous
+// strict-minimum rule dropped both sides of a tie.
 func ComputeScores(cands []ScoredCandidate) []Result {
 	if len(cands) == 0 {
 		return nil
 	}
-	sorted := make([][]float64, len(cands))
+	dists := make([]distrib, len(cands))
 	for i, c := range cands {
-		s := append([]float64(nil), c.Scores...)
-		sort.Float64s(s)
-		sorted[i] = s
+		dists[i] = newDistrib(c.Scores, c.Weights)
 	}
 	var out []Result
 	for i, c := range cands {
@@ -37,17 +38,10 @@ func ComputeScores(cands []ScoredCandidate) []Result {
 			if c.Weights != nil {
 				w = c.Weights[j]
 			}
-			prod := w
-			for k := range cands {
-				if k == i {
-					continue
-				}
-				prod *= probFarther(sorted[k], score)
-				if prod == 0 {
-					break
-				}
+			if w == 0 {
+				continue
 			}
-			total += prod
+			total += w * winMass(dists, i, score)
 		}
 		if total > 0 {
 			out = append(out, Result{ID: c.ID, Prob: total})
@@ -70,9 +64,9 @@ type KNNResult struct {
 
 // ComputeKNN returns, for every candidate, the probability that it ranks
 // among the k nearest to the (implicit) query — i.e. that fewer than k other
-// candidates realize a strictly smaller score. Independence across objects
-// gives a Poisson-binomial count, evaluated by the standard O(n·k) dynamic
-// program per instance.
+// candidates realize a smaller score, with exact ties broken uniformly at
+// random. Independence across objects gives a Poisson-binomial count over
+// (closer, tied) rivals, evaluated by the dynamic program in topkMass.
 func ComputeKNN(cands []ScoredCandidate, k int) []KNNResult {
 	n := len(cands)
 	if n == 0 || k <= 0 {
@@ -86,15 +80,11 @@ func ComputeKNN(cands []ScoredCandidate, k int) []KNNResult {
 		}
 		return out
 	}
-	sorted := make([][]float64, n)
+	dists := make([]distrib, n)
 	for i, c := range cands {
-		s := append([]float64(nil), c.Scores...)
-		sort.Float64s(s)
-		sorted[i] = s
+		dists[i] = newDistrib(c.Scores, c.Weights)
 	}
 	out := make([]KNNResult, 0, n)
-	dp := make([]float64, k) // dp[j] = P(exactly j others closer), truncated at k-1
-	next := make([]float64, k)
 	for i, c := range cands {
 		var total float64
 		for j, score := range c.Scores {
@@ -102,55 +92,10 @@ func ComputeKNN(cands []ScoredCandidate, k int) []KNNResult {
 			if c.Weights != nil {
 				w = c.Weights[j]
 			}
-			// pCloser[k] for each other candidate = 1 - P(farther-or-equal).
-			for x := range dp {
-				dp[x] = 0
-			}
-			dp[0] = 1
-			alive := true
-			for o := range cands {
-				if o == i {
-					continue
-				}
-				pCloser := 1 - probFarther(sorted[o], score)
-				if pCloser == 1 {
-					// Shift the whole distribution; if it all falls off the
-					// truncated end, this instance cannot be within top-k.
-					copy(next[1:], dp[:k-1])
-					next[0] = 0
-					dp, next = next, dp
-					allZero := true
-					for _, v := range dp {
-						if v != 0 {
-							allZero = false
-							break
-						}
-					}
-					if allZero {
-						alive = false
-						break
-					}
-					continue
-				}
-				if pCloser == 0 {
-					continue
-				}
-				for x := 0; x < k; x++ {
-					next[x] = dp[x] * (1 - pCloser)
-					if x > 0 {
-						next[x] += dp[x-1] * pCloser
-					}
-				}
-				dp, next = next, dp
-			}
-			if !alive {
+			if w == 0 {
 				continue
 			}
-			var pWithin float64
-			for _, v := range dp {
-				pWithin += v
-			}
-			total += w * pWithin
+			total += w * topkMass(dists, i, score, k)
 		}
 		if total > 0 {
 			out = append(out, KNNResult{ID: c.ID, Prob: total})

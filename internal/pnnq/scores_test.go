@@ -111,6 +111,137 @@ func TestComputeKNNMatchesMonteCarlo(t *testing.T) {
 	}
 }
 
+// Regression: exactly-tied instance scores must split the win evenly instead
+// of dropping both sides of the tie (the old strict-minimum rule made
+// per-query probabilities sum to < 1).
+func TestComputeScoresExactTies(t *testing.T) {
+	// Two candidates with a single identical score each: 1/2 apiece.
+	two := ComputeScores([]ScoredCandidate{
+		{ID: 1, Scores: []float64{5}},
+		{ID: 2, Scores: []float64{5}},
+	})
+	if len(two) != 2 {
+		t.Fatalf("two-way tie dropped a candidate: %v", two)
+	}
+	var sum float64
+	for _, r := range two {
+		if math.Abs(r.Prob-0.5) > 1e-12 {
+			t.Fatalf("two-way tie: candidate %d got %g, want 0.5", r.ID, r.Prob)
+		}
+		sum += r.Prob
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("two-way tie mass: %g, want 1", sum)
+	}
+
+	// Three-way tie: 1/3 apiece (pairwise half-crediting would give 1/4).
+	three := ComputeScores([]ScoredCandidate{
+		{ID: 1, Scores: []float64{7}},
+		{ID: 2, Scores: []float64{7}},
+		{ID: 3, Scores: []float64{7}},
+	})
+	for _, r := range three {
+		if math.Abs(r.Prob-1.0/3) > 1e-12 {
+			t.Fatalf("three-way tie: candidate %d got %g, want 1/3", r.ID, r.Prob)
+		}
+	}
+
+	// Mixed: candidate 1 ties with candidate 2 on half its mass and wins
+	// outright on the other half; candidate 3 never wins.
+	// P(1) = 0.5·1 + 0.5·0.5 = 0.75, P(2) = 0.25, P(3) = 0.
+	mixed := ComputeScores([]ScoredCandidate{
+		{ID: 1, Scores: []float64{1, 3}},
+		{ID: 2, Scores: []float64{3}},
+		{ID: 3, Scores: []float64{9}},
+	})
+	probs := map[uncertain.ID]float64{}
+	var mixedSum float64
+	for _, r := range mixed {
+		probs[r.ID] = r.Prob
+		mixedSum += r.Prob
+	}
+	if math.Abs(probs[1]-0.75) > 1e-12 || math.Abs(probs[2]-0.25) > 1e-12 || probs[3] != 0 {
+		t.Fatalf("mixed tie probs = %v", probs)
+	}
+	if math.Abs(mixedSum-1) > 1e-12 {
+		t.Fatalf("mixed tie mass: %g, want 1", mixedSum)
+	}
+}
+
+// Regression: ComputeKNN with tied scores must keep membership probabilities
+// summing to k.
+func TestComputeKNNExactTies(t *testing.T) {
+	// Three identical candidates, k=1: each within the nearest-1 with
+	// probability 1/3.
+	cands := []ScoredCandidate{
+		{ID: 1, Scores: []float64{4}},
+		{ID: 2, Scores: []float64{4}},
+		{ID: 3, Scores: []float64{4}},
+	}
+	for k := 1; k <= 2; k++ {
+		res := ComputeKNN(cands, k)
+		if len(res) != 3 {
+			t.Fatalf("k=%d: tie dropped a candidate: %v", k, res)
+		}
+		var sum float64
+		for _, r := range res {
+			if math.Abs(r.Prob-float64(k)/3) > 1e-12 {
+				t.Fatalf("k=%d: candidate %d got %g, want %g", k, r.ID, r.Prob, float64(k)/3)
+			}
+			sum += r.Prob
+		}
+		if math.Abs(sum-float64(k)) > 1e-12 {
+			t.Fatalf("k=%d: membership mass %g, want %d", k, sum, k)
+		}
+	}
+
+	// A certain closer rival plus a tied one, k=2: candidate 1 is in the
+	// top-2 iff it wins or ties-and-wins against candidate 3.
+	// P(1 in top2) = P(rank among {1,3} first) = 1/2 + ... with both tied at
+	// 5 and candidate 2 surely at 1: positions 2 and 3 are shared uniformly
+	// by {1, 3}, so each is in the top-2 with probability 1/2.
+	res := ComputeKNN([]ScoredCandidate{
+		{ID: 1, Scores: []float64{5}},
+		{ID: 2, Scores: []float64{1}},
+		{ID: 3, Scores: []float64{5}},
+	}, 2)
+	probs := map[uncertain.ID]float64{}
+	for _, r := range res {
+		probs[r.ID] = r.Prob
+	}
+	if probs[2] != 1 || math.Abs(probs[1]-0.5) > 1e-12 || math.Abs(probs[3]-0.5) > 1e-12 {
+		t.Fatalf("tied top-2 probs = %v", probs)
+	}
+}
+
+// Compute must split distance ties the same way (and agree with the
+// brute-force oracle, which shares the semantics).
+func TestComputeExactTies(t *testing.T) {
+	q := geom.Point{0, 0}
+	cands := []CandidateData{
+		{ID: 1, Instances: instancesAtScores(geom.Point{3, 0})},
+		{ID: 2, Instances: instancesAtScores(geom.Point{0, 3})},
+	}
+	res := Compute(cands, q)
+	if len(res) != 2 {
+		t.Fatalf("tie dropped a candidate: %v", res)
+	}
+	for _, r := range res {
+		if math.Abs(r.Prob-0.5) > 1e-12 {
+			t.Fatalf("candidate %d got %g, want 0.5", r.ID, r.Prob)
+		}
+	}
+}
+
+func instancesAtScores(points ...geom.Point) []uncertain.Instance {
+	w := 1.0 / float64(len(points))
+	out := make([]uncertain.Instance, len(points))
+	for i, p := range points {
+		out[i] = uncertain.Instance{Pos: p, Prob: w}
+	}
+	return out
+}
+
 func TestComputeKNNEdges(t *testing.T) {
 	if got := ComputeKNN(nil, 3); got != nil {
 		t.Fatal("nil candidates")

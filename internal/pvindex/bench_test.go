@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"pvoronoi/internal/geom"
+	"pvoronoi/internal/race"
 	"pvoronoi/internal/uncertain"
 )
 
@@ -95,6 +96,13 @@ func TestSnapshotAllocBudget(t *testing.T) {
 		}
 		i++
 	})
+	// Race instrumentation inflates allocation counts (notably on 1-core
+	// machines), so the workload runs under -race but the budget is only
+	// asserted in uninstrumented builds.
+	if race.Enabled {
+		t.Logf("race detector enabled: skipping alloc budget assertion (measured %.1f)", allocs)
+		return
+	}
 	if allocs > 40 {
 		t.Fatalf("Snapshot allocates %.1f times per op, budget is 40 (pre-overhaul baseline: ~162)", allocs)
 	}
@@ -126,6 +134,13 @@ func TestPossibleNNAllocBudget(t *testing.T) {
 		}
 		i++
 	})
+	// Known failure under -race on 1-core machines since PR 3: the race
+	// runtime's bookkeeping allocates inside AllocsPerRun. The workload still
+	// runs (and the call must succeed); only the budget is gated.
+	if race.Enabled {
+		t.Logf("race detector enabled: skipping alloc budget assertion (measured %.1f)", allocs)
+		return
+	}
 	if allocs > 30 {
 		t.Fatalf("PossibleNN allocates %.1f times per op, budget is 30 (pre-overhaul baseline: ~107)", allocs)
 	}

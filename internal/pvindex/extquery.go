@@ -1,0 +1,113 @@
+package pvindex
+
+import (
+	"fmt"
+
+	"pvoronoi/internal/extquery"
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/uncertain"
+)
+
+// Extension-query retrieval rides the index's region R*-tree (the same tree
+// SE consults) instead of scanning the raw database, and follows the same
+// lock discipline as PNNQ's Snapshot: candidate retrieval and the instance
+// fetch happen atomically under the read lock, while the expensive
+// probability refinement runs on the returned snapshot outside it, so long
+// extension queries never stall writers.
+
+// ExtCost attributes the retrieval cost of one extension query: candidate
+// count, R-tree node/leaf accesses, and the record-cache outcomes of the
+// instance fetch.
+type ExtCost struct {
+	Candidates  int
+	NodeIO      int
+	LeafIO      int
+	CacheHits   int
+	CacheMisses int
+}
+
+// ExtSnapshot is an atomic extension-query read: the candidate IDs and each
+// candidate's stored pdf instances (parallel slice), fetched under one read
+// lock so a concurrent writer can never remove a candidate between retrieval
+// and the data access. Instance slices may be shared with the record cache —
+// treat them as immutable.
+type ExtSnapshot struct {
+	IDs       []uncertain.ID
+	Instances [][]uncertain.Instance
+	Cost      ExtCost
+}
+
+// fetchInstancesLocked resolves each candidate's stored instances through the
+// record cache, accumulating hit/miss counts. Callers hold ix.mu.
+func (ix *Index) fetchInstancesLocked(ids []uncertain.ID, cost *ExtCost) ([][]uncertain.Instance, error) {
+	out := make([][]uncertain.Instance, len(ids))
+	for i, id := range ids {
+		rec, ok, hit, err := ix.getRecord(uint32(id))
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("pvindex: object %d not in secondary index", id)
+		}
+		if hit {
+			cost.CacheHits++
+		} else {
+			cost.CacheMisses++
+		}
+		out[i] = rec.Instances
+	}
+	return out, nil
+}
+
+// GroupNNSnapshot retrieves the group-NN candidate set (branch-and-bound
+// over the region tree with aggregate min/max distance bounds) plus each
+// candidate's instances, atomically.
+func (ix *Index) GroupNNSnapshot(qs []geom.Point, agg extquery.Agg) (*ExtSnapshot, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ids, tc := extquery.GroupNNCandidatesTree(ix.regionTree, qs, agg)
+	snap := &ExtSnapshot{IDs: ids, Cost: ExtCost{Candidates: len(ids), NodeIO: tc.Nodes, LeafIO: tc.Leaves}}
+	var err error
+	snap.Instances, err = ix.fetchInstancesLocked(ids, &snap.Cost)
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// GroupNNCandidatesOnly is GroupNNSnapshot without the instance fetch, for
+// callers that need just the candidate IDs.
+func (ix *Index) GroupNNCandidatesOnly(qs []geom.Point, agg extquery.Agg) ([]uncertain.ID, ExtCost, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ids, tc := extquery.GroupNNCandidatesTree(ix.regionTree, qs, agg)
+	return ids, ExtCost{Candidates: len(ids), NodeIO: tc.Nodes, LeafIO: tc.Leaves}, nil
+}
+
+// KNNSnapshot retrieves the possible k-NN candidate set (incremental
+// best-first traversal with k-th-maxdist pruning) plus each candidate's
+// instances, atomically.
+func (ix *Index) KNNSnapshot(q geom.Point, k int) (*ExtSnapshot, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ids, tc := extquery.KNNCandidatesTree(ix.regionTree, q, k)
+	snap := &ExtSnapshot{IDs: ids, Cost: ExtCost{Candidates: len(ids), NodeIO: tc.Nodes, LeafIO: tc.Leaves}}
+	var err error
+	snap.Instances, err = ix.fetchInstancesLocked(ids, &snap.Cost)
+	if err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// RNNCandidates retrieves the reverse-NN candidate set by filter-refine tree
+// descent, at the domination granularity the index was configured with
+// (Options.MMax / SE MaxDepth — the same granularity SE uses for its own
+// domination counts). Reverse NN is candidate-set only, so there is no
+// instance snapshot to fetch.
+func (ix *Index) RNNCandidates(q geom.Point) ([]uncertain.ID, ExtCost, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	ids, tc := extquery.RNNCandidatesTree(ix.regionTree, q, ix.cfg.SE.MaxDepth)
+	return ids, ExtCost{Candidates: len(ids), NodeIO: tc.Nodes, LeafIO: tc.Leaves}, nil
+}

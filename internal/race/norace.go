@@ -1,0 +1,9 @@
+//go:build !race
+
+// Package race exposes whether the race detector instruments this build, so
+// tests can keep running their workloads under -race while gating assertions
+// (allocation budgets, timing bounds) that instrumentation invalidates.
+package race
+
+// Enabled reports whether the binary was built with -race.
+const Enabled = false

@@ -1,0 +1,187 @@
+// Best-first branch-and-bound retrieval primitives for the extension
+// queries (group NN, possible k-NN, reverse NN). They generalize PossibleNN:
+// the caller supplies lower/upper bound functions over rectangles, and the
+// tree prunes subtrees whose lower bound exceeds the running k-th smallest
+// upper bound. Unlike the tree-global LeafIO counter, every primitive
+// returns a per-call Cost, so concurrent queries get exact attribution.
+package rtree
+
+import (
+	"container/heap"
+	"math"
+
+	"pvoronoi/internal/geom"
+)
+
+// Cost counts the node accesses of one index-assisted retrieval: internal
+// nodes visited and leaf pages read (the simulated disk I/O of the paper's
+// experiments). Leaf accesses also feed the tree-global LeafIO counter.
+type Cost struct {
+	Nodes  int
+	Leaves int
+}
+
+// Add accumulates c2 into c.
+func (c *Cost) Add(c2 Cost) {
+	c.Nodes += c2.Nodes
+	c.Leaves += c2.Leaves
+}
+
+// kMax is a bounded max-heap holding the k smallest values pushed so far;
+// its root is the running k-th smallest (the branch-and-bound cutoff).
+type kMax struct {
+	vals []float64
+	k    int
+}
+
+// push offers v and returns the current k-th smallest value, or +Inf while
+// fewer than k values have been seen.
+func (h *kMax) push(v float64) float64 {
+	if len(h.vals) < h.k {
+		h.vals = append(h.vals, v)
+		for i := len(h.vals) - 1; i > 0; {
+			p := (i - 1) / 2
+			if h.vals[p] >= h.vals[i] {
+				break
+			}
+			h.vals[p], h.vals[i] = h.vals[i], h.vals[p]
+			i = p
+		}
+		if len(h.vals) < h.k {
+			return math.Inf(1)
+		}
+		return h.vals[0]
+	}
+	if v >= h.vals[0] {
+		return h.vals[0]
+	}
+	h.vals[0] = v
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h.vals) && h.vals[l] > h.vals[big] {
+			big = l
+		}
+		if r < len(h.vals) && h.vals[r] > h.vals[big] {
+			big = r
+		}
+		if big == i {
+			break
+		}
+		h.vals[i], h.vals[big] = h.vals[big], h.vals[i]
+		i = big
+	}
+	return h.vals[0]
+}
+
+// KthBound browses the tree best-first by a lower-bound key until the k-th
+// smallest upper bound proves the remainder irrelevant. On return, bound is
+// the k-th smallest upper(item.Rect) over the WHOLE tree (+Inf when the tree
+// holds fewer than k items), items is a superset of
+// {item : lower(item.Rect) <= bound}, and every item absent from it has
+// lower(item.Rect) > bound. An entry whose lower bound already exceeds the
+// running cutoff when its leaf is read is dropped outright: since
+// upper >= lower it can neither qualify nor tighten the cutoff further.
+//
+// lower must be monotone (lower(R) <= lower(r) whenever r ⊆ R) and must
+// lower-bound upper on every item rectangle. Both hold for aggregate
+// min/max-distance bounds, which makes the returned set exactly reproduce
+// what a linear scan filtered by the same bound would keep.
+func (t *Tree) KthBound(lower, upper func(geom.Rect) float64, k int) (items []Item, bound float64, cost Cost) {
+	bound = math.Inf(1)
+	if t.size == 0 || k <= 0 {
+		return nil, bound, cost
+	}
+	kth := kMax{k: k}
+	var h nnHeap
+	var counter int64
+	heap.Push(&h, nnHeapItem{dist: lower(t.root.mbr()), node: t.root})
+	for h.Len() > 0 {
+		top := heap.Pop(&h).(nnHeapItem)
+		if top.dist > bound {
+			break // best-first order: everything left is at least as far
+		}
+		n := top.node
+		if n.leaf() {
+			cost.Leaves++
+			t.leafIO.Add(1)
+			for _, e := range n.entries {
+				if lower(e.rect) > bound {
+					continue
+				}
+				bound = kth.push(upper(e.rect))
+				items = append(items, e.item)
+			}
+			continue
+		}
+		cost.Nodes++
+		for _, e := range n.entries {
+			if d := lower(e.rect); d <= bound {
+				counter++
+				heap.Push(&h, nnHeapItem{dist: d, node: e.child, order: counter})
+			}
+		}
+	}
+	return items, bound, cost
+}
+
+// Walk descends the tree depth-first. prune is consulted with each subtree's
+// bounding rectangle (including the root's) before descent — returning true
+// skips the subtree without touching its pages. visit receives every leaf
+// entry of the surviving subtrees.
+func (t *Tree) Walk(prune func(geom.Rect) bool, visit func(Item)) (cost Cost) {
+	if t.size == 0 {
+		return cost
+	}
+	if prune != nil && prune(t.root.mbr()) {
+		return cost
+	}
+	var rec func(n *node)
+	rec = func(n *node) {
+		if n.leaf() {
+			cost.Leaves++
+			t.leafIO.Add(1)
+			for _, e := range n.entries {
+				visit(e.item)
+			}
+			return
+		}
+		cost.Nodes++
+		for _, e := range n.entries {
+			if prune != nil && prune(e.rect) {
+				continue
+			}
+			rec(e.child)
+		}
+	}
+	rec(t.root)
+	return cost
+}
+
+// SearchWithCost is Search with per-call cost attribution: it appends to dst
+// all items intersecting r and reports the nodes and leaves it touched.
+func (t *Tree) SearchWithCost(r geom.Rect, dst []Item) ([]Item, Cost) {
+	var cost Cost
+	var rec func(n *node)
+	var out []Item = dst
+	rec = func(n *node) {
+		if n.leaf() {
+			cost.Leaves++
+			t.leafIO.Add(1)
+			for _, e := range n.entries {
+				if e.rect.Intersects(r) {
+					out = append(out, e.item)
+				}
+			}
+			return
+		}
+		cost.Nodes++
+		for _, e := range n.entries {
+			if e.rect.Intersects(r) {
+				rec(e.child)
+			}
+		}
+	}
+	rec(t.root)
+	return out, cost
+}

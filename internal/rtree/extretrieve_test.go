@@ -1,0 +1,121 @@
+package rtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pvoronoi/internal/geom"
+)
+
+func randTree(rng *rand.Rand, n int) (*Tree, []Item) {
+	t := New(2, 8)
+	items := make([]Item, n)
+	for i := 0; i < n; i++ {
+		lo := geom.Point{rng.Float64() * 900, rng.Float64() * 900}
+		hi := geom.Point{lo[0] + 1 + rng.Float64()*40, lo[1] + 1 + rng.Float64()*40}
+		items[i] = Item{Rect: geom.Rect{Lo: lo, Hi: hi}, ID: uint32(i)}
+		t.Insert(items[i])
+	}
+	return t, items
+}
+
+// KthBound's contract: bound is the exact k-th smallest upper over the whole
+// tree, every item at or below the bound (by lower) is visited, and no
+// mass below the bound hides in unvisited subtrees.
+func TestKthBoundContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tree, items := randTree(rng, 300)
+	for iter := 0; iter < 25; iter++ {
+		q := geom.Point{rng.Float64() * 900, rng.Float64() * 900}
+		lower := func(r geom.Rect) float64 { return r.MinDist(q) }
+		upper := func(r geom.Rect) float64 { return r.MaxDist(q) }
+		for _, k := range []int{1, 3, 17, 299, 300, 1000} {
+			visited, bound, cost := tree.KthBound(lower, upper, k)
+			// Exact k-th smallest upper by brute force.
+			uppers := make([]float64, len(items))
+			for i, it := range items {
+				uppers[i] = upper(it.Rect)
+			}
+			sort.Float64s(uppers)
+			want := math.Inf(1)
+			if k <= len(uppers) {
+				want = uppers[k-1]
+			}
+			if bound != want {
+				t.Fatalf("k=%d: bound %g, want %g", k, bound, want)
+			}
+			seen := map[uint32]bool{}
+			for _, it := range visited {
+				seen[it.ID] = true
+			}
+			for _, it := range items {
+				if lower(it.Rect) <= bound && !seen[it.ID] {
+					t.Fatalf("k=%d: item %d with lower %g <= bound %g not visited",
+						k, it.ID, lower(it.Rect), bound)
+				}
+			}
+			if cost.Leaves == 0 {
+				t.Fatalf("k=%d: no leaf accesses recorded", k)
+			}
+		}
+	}
+}
+
+func TestKthBoundEmptyTree(t *testing.T) {
+	tree := New(2, 8)
+	items, bound, cost := tree.KthBound(
+		func(geom.Rect) float64 { return 0 },
+		func(geom.Rect) float64 { return 0 }, 3)
+	if items != nil || !math.IsInf(bound, 1) || cost.Leaves != 0 {
+		t.Fatalf("empty tree: items=%v bound=%g cost=%+v", items, bound, cost)
+	}
+}
+
+// Walk with a nil prune visits everything; a pruning walk must never visit an
+// item inside a pruned subtree and must skip those pages entirely.
+func TestWalkPruning(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tree, items := randTree(rng, 200)
+	var all []uint32
+	full := tree.Walk(nil, func(it Item) { all = append(all, it.ID) })
+	if len(all) != len(items) {
+		t.Fatalf("full walk saw %d of %d items", len(all), len(items))
+	}
+	// Prune the left half of the domain.
+	cut := geom.NewRect(geom.Point{0, 0}, geom.Point{450, 941})
+	var kept []uint32
+	cost := tree.Walk(
+		func(m geom.Rect) bool { return cut.ContainsRect(m) },
+		func(it Item) { kept = append(kept, it.ID) })
+	if cost.Leaves > full.Leaves {
+		t.Fatalf("pruned walk read %d leaves, full walk %d", cost.Leaves, full.Leaves)
+	}
+	seen := map[uint32]bool{}
+	for _, id := range kept {
+		seen[id] = true
+	}
+	for _, it := range items {
+		if !cut.ContainsRect(it.Rect) && !seen[it.ID] {
+			t.Fatalf("item %d outside the pruned region was skipped", it.ID)
+		}
+	}
+}
+
+func TestSearchWithCostMatchesSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tree, _ := randTree(rng, 150)
+	for iter := 0; iter < 20; iter++ {
+		lo := geom.Point{rng.Float64() * 800, rng.Float64() * 800}
+		r := geom.NewRect(lo, geom.Point{lo[0] + 100, lo[1] + 100})
+		want := tree.Search(r, nil)
+		got, cost := tree.SearchWithCost(r, nil)
+		if len(got) != len(want) {
+			t.Fatalf("SearchWithCost found %d, Search %d", len(got), len(want))
+		}
+		if cost.Leaves <= 0 {
+			t.Fatal("no leaf accesses recorded")
+		}
+	}
+}
