@@ -61,11 +61,12 @@ submit:
 }
 
 // QueryBatch evaluates a full PNNQ for every point in qs using a pool of
-// workers (GOMAXPROCS when workers <= 0). Each query runs under the index's
-// shared read lock, so batches interleave safely with concurrent Insert and
-// Delete calls; result i corresponds to qs[i] and is identical to what a
-// sequential Query(qs[i]) would return against the same index state. The
-// first failing query (e.g. a point outside the domain) fails the batch.
+// workers (GOMAXPROCS when workers <= 0). Each query pins a snapshot
+// version lock-free, so batches interleave with concurrent Insert and
+// Delete calls without ever waiting on them; result i corresponds to qs[i]
+// and is identical to what a sequential Query(qs[i]) would return against
+// the same version. The first failing query (e.g. a point outside the
+// domain) fails the batch.
 func (ix *Index) QueryBatch(qs []Point, workers int) ([][]Result, error) {
 	return batchRun(qs, workers, ix.Query)
 }
@@ -78,8 +79,9 @@ func (ix *Index) PossibleNNBatch(qs []Point, workers int) ([][]Candidate, error)
 
 // GroupNNBatch evaluates a group NN query for every group in groups using a
 // pool of workers (GOMAXPROCS when workers <= 0). Each query snapshots its
-// candidates under the shared read lock and refines probabilities outside
-// it, so batches interleave with writers; result i corresponds to groups[i].
+// candidates from a pinned version and refines probabilities on the
+// snapshot, so batches never block writers; result i corresponds to
+// groups[i].
 func (ix *Index) GroupNNBatch(groups [][]Point, agg Agg, workers int) ([][]Result, error) {
 	return batchRun(groups, workers, func(g []Point) ([]Result, error) {
 		return ix.GroupNN(g, agg)

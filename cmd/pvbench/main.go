@@ -60,6 +60,12 @@ func main() {
 		wpOps   = flag.Int("wp-ops", 256, "writepath: measured insert ops per scenario")
 		wpBatch = flag.Int("wp-batch", 32, "writepath: group-commit batch size")
 
+		// Mixed read/write benchmark flags (the "mixed" experiment).
+		mxJSON    = flag.String("mixed-json", "BENCH_mixed.json", "mixed: output JSON path (empty = stdout only)")
+		mxDur     = flag.Duration("mixed-duration", 5*time.Second, "mixed: measurement window per writer count")
+		mxWriters = flag.String("mixed-writers", "0,1,4", "mixed: comma-separated concurrent writer counts")
+		mxBatch   = flag.Int("mixed-batch", 16, "mixed: writer group-commit batch size")
+
 		// Extension-query benchmark flags (the "extquery" experiment).
 		eqJSON    = flag.String("eq-json", "BENCH_extquery.json", "extquery: output JSON path (empty = stdout only)")
 		eqNs      = flag.String("eq-n", "1000,10000,100000", "extquery: comma-separated dataset sizes")
@@ -123,6 +129,7 @@ func main() {
 	wantReadpath := false
 	wantWritepath := false
 	wantExtquery := false
+	wantMixed := false
 	allSeen := false
 	for _, arg := range flag.Args() {
 		switch {
@@ -134,6 +141,8 @@ func main() {
 			wantWritepath = true
 		case arg == "extquery":
 			wantExtquery = true
+		case arg == "mixed":
+			wantMixed = true
 		case arg == "all":
 			allSeen = true
 		default:
@@ -199,6 +208,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if wantMixed {
+		writersList, err := parseIntList(*mxWriters)
+		if err == nil {
+			err = runMixed(mixedConfig{
+				JSONPath:  *mxJSON,
+				N:         *loadN,
+				Dim:       *loadD,
+				Instances: *instances,
+				Seed:      *seed,
+				Duration:  *mxDur,
+				Conns:     *conns,
+				Batch:     *mxBatch,
+				Writers:   writersList,
+			})
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvbench: mixed: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if wantWritepath {
 		err := runWritepath(writepathConfig{
 			JSONPath:  *wpJSON,
@@ -251,6 +280,7 @@ experiments:
   readpath                      read-path benchmark: QPS, p50/p99, allocs/op -> JSON
   writepath                     write-path benchmark: single vs batched, WAL on/off -> JSON
   extquery                      extension-query retrieval: scan vs R-tree branch-and-bound -> JSON
+  mixed                         query latency under 0/1/4 concurrent writers (MVCC) -> JSON
 
 flags:
 `)

@@ -1,0 +1,277 @@
+package main
+
+// Mixed read/write benchmark mode: measures query latency while concurrent
+// writer goroutines hammer the index with group-committed insert/delete
+// churn — the workload the MVCC read path exists for. Results land in
+// BENCH_mixed.json so the repo tracks its tail latency under write load
+// commit over commit.
+//
+// For each writer count the same closed-loop query workload runs for the
+// configured duration; writers continuously apply insert batches and delete
+// them again, publishing a new index version per commit. The headline
+// number is the ratio of query p99 with writers to query p99 without: under
+// the old RWMutex read path every ApplyBatch stalled all queries for the
+// full apply (tens of milliseconds), while snapshot pinning keeps the two
+// within a small factor.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pvoronoi"
+	"pvoronoi/internal/dataset"
+)
+
+// mixedConfig bundles the mixed experiment parameters.
+type mixedConfig struct {
+	JSONPath  string // output file ("" = stdout only)
+	N, Dim    int    // base index size
+	Instances int    // pdf samples per object
+	Seed      int64
+	Duration  time.Duration // measurement window per writer count
+	Conns     int           // closed-loop query workers
+	Batch     int           // writer group-commit batch size
+	Writers   []int         // writer counts to sweep
+}
+
+// mixedRow is one measured (writer count) configuration.
+type mixedRow struct {
+	Writers      int     `json:"writers"`
+	QueriesPerS  float64 `json:"queries_per_s"`
+	P50us        int64   `json:"p50_us"`
+	P95us        int64   `json:"p95_us"`
+	P99us        int64   `json:"p99_us"`
+	WriteBatches int64   `json:"write_batches"`
+	WriteOps     int64   `json:"write_ops"`
+	// EpochDelta is how many index versions the phase published.
+	EpochDelta uint64 `json:"epoch_delta"`
+}
+
+// mixedReport is the serialized BENCH_mixed.json document.
+type mixedReport struct {
+	GeneratedBy string          `json:"generated_by"`
+	Config      mixedConfigJSON `json:"config"`
+	Rows        []mixedRow      `json:"rows"`
+	// P99RatioVsZeroWriters is the headline: query p99 at the largest
+	// writer count divided by query p99 with no writers. The seed's
+	// RWMutex read path had no bound here (queries stalled for entire
+	// batch applies); the MVCC read path keeps it small.
+	P99RatioVsZeroWriters float64 `json:"p99_ratio_vs_zero_writers"`
+}
+
+type mixedConfigJSON struct {
+	Objects    int     `json:"objects"`
+	Dim        int     `json:"dim"`
+	Instances  int     `json:"instances"`
+	Seed       int64   `json:"seed"`
+	DurationS  float64 `json:"duration_s"`
+	Conns      int     `json:"conns"`
+	Batch      int     `json:"batch"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+}
+
+// mixedWriterObjs generates one writer's churn set: fresh IDs in a range
+// disjoint from the base index and every other writer.
+func mixedWriterObjs(cfg mixedConfig, idBase uint32, rng *rand.Rand, domain pvoronoi.Rect) []*pvoronoi.Object {
+	objs := make([]*pvoronoi.Object, cfg.Batch)
+	for i := range objs {
+		lo := make(pvoronoi.Point, cfg.Dim)
+		hi := make(pvoronoi.Point, cfg.Dim)
+		for j := 0; j < cfg.Dim; j++ {
+			side := 1 + rng.Float64()*40
+			span := domain.Hi[j] - domain.Lo[j]
+			lo[j] = domain.Lo[j] + rng.Float64()*(span-side)
+			hi[j] = lo[j] + side
+		}
+		o := &pvoronoi.Object{ID: pvoronoi.ID(idBase + uint32(i)), Region: pvoronoi.NewRect(lo, hi)}
+		if cfg.Instances > 0 {
+			o.Instances = pvoronoi.SampleUniform(o.Region, cfg.Instances, cfg.Seed+int64(idBase)+int64(i))
+		}
+		objs[i] = o
+	}
+	return objs
+}
+
+// runMixedPhase measures one writer-count configuration.
+func runMixedPhase(ix *pvoronoi.Index, cfg mixedConfig, writers int) (mixedRow, error) {
+	row := mixedRow{Writers: writers}
+	domain := ix.DB().Domain
+	epoch0 := ix.Epoch()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var writeBatches, writeOps atomic.Int64
+	errCh := make(chan error, writers+cfg.Conns)
+
+	// Writers: continuous insert-batch / delete-batch churn, each in a
+	// disjoint ID range.
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(1000+wr)))
+			idBase := uint32(2_000_000 + wr*1_000_000)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				objs := mixedWriterObjs(cfg, idBase, rng, domain)
+				if _, err := ix.InsertBatch(objs); err != nil {
+					errCh <- fmt.Errorf("writer %d insert: %w", wr, err)
+					return
+				}
+				ids := make([]pvoronoi.ID, len(objs))
+				for i, o := range objs {
+					ids[i] = o.ID
+				}
+				if _, err := ix.DeleteBatch(ids); err != nil {
+					errCh <- fmt.Errorf("writer %d delete: %w", wr, err)
+					return
+				}
+				writeBatches.Add(2)
+				writeOps.Add(int64(2 * len(objs)))
+			}
+		}(wr)
+	}
+
+	// Readers: closed-loop full PNNQs, per-worker latency logs.
+	lats := make([][]float64, cfg.Conns)
+	for c := 0; c < cfg.Conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(77+c)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := make(pvoronoi.Point, cfg.Dim)
+				for j := 0; j < cfg.Dim; j++ {
+					q[j] = domain.Lo[j] + rng.Float64()*(domain.Hi[j]-domain.Lo[j])
+				}
+				t0 := time.Now()
+				if _, err := ix.Query(q); err != nil {
+					errCh <- fmt.Errorf("query worker %d: %w", c, err)
+					return
+				}
+				lats[c] = append(lats[c], float64(time.Since(t0).Microseconds()))
+			}
+		}(c)
+	}
+
+	start := time.Now()
+	time.Sleep(cfg.Duration)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return row, err
+	default:
+	}
+
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	pct := func(p float64) int64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(p / 100 * float64(len(all)-1))
+		return int64(all[i])
+	}
+	row.QueriesPerS = float64(len(all)) / elapsed.Seconds()
+	row.P50us, row.P95us, row.P99us = pct(50), pct(95), pct(99)
+	row.WriteBatches = writeBatches.Load()
+	row.WriteOps = writeOps.Load()
+	row.EpochDelta = ix.Epoch() - epoch0
+	return row, nil
+}
+
+// runMixed builds the base index and sweeps the writer counts.
+func runMixed(cfg mixedConfig) error {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 8
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 16
+	}
+	if len(cfg.Writers) == 0 {
+		cfg.Writers = []int{0, 1, 4}
+	}
+
+	fmt.Printf("mixed: building PV-index over %d objects (d=%d, %d instances)...\n",
+		cfg.N, cfg.Dim, cfg.Instances)
+	db := dataset.Synthetic(dataset.SyntheticParams{
+		N: cfg.N, Dim: cfg.Dim, MaxSide: 60, Instances: cfg.Instances, Seed: cfg.Seed,
+	})
+	ix, err := pvoronoi.BuildParallel(db, pvoronoi.DefaultOptions(), 0)
+	if err != nil {
+		return err
+	}
+
+	report := mixedReport{
+		GeneratedBy: "pvbench mixed",
+		Config: mixedConfigJSON{
+			Objects: cfg.N, Dim: cfg.Dim, Instances: cfg.Instances, Seed: cfg.Seed,
+			DurationS: cfg.Duration.Seconds(), Conns: cfg.Conns, Batch: cfg.Batch,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+		},
+	}
+
+	for _, w := range cfg.Writers {
+		row, err := runMixedPhase(ix, cfg, w)
+		if err != nil {
+			return fmt.Errorf("writers=%d: %w", w, err)
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Printf("mixed: writers=%d  %9.1f q/s  p50 %6dus  p95 %6dus  p99 %6dus  %d write batches (%d ops, %d epochs)\n",
+			row.Writers, row.QueriesPerS, row.P50us, row.P95us, row.P99us,
+			row.WriteBatches, row.WriteOps, row.EpochDelta)
+	}
+
+	var zero, most *mixedRow
+	for i := range report.Rows {
+		r := &report.Rows[i]
+		if r.Writers == 0 {
+			zero = r
+		}
+		if most == nil || r.Writers > most.Writers {
+			most = r
+		}
+	}
+	if zero != nil && most != nil && zero.P99us > 0 && most.Writers > 0 {
+		report.P99RatioVsZeroWriters = float64(most.P99us) / float64(zero.P99us)
+		fmt.Printf("mixed: p99 under %d writers is %.2fx the zero-writer p99\n",
+			most.Writers, report.P99RatioVsZeroWriters)
+	}
+
+	if cfg.JSONPath != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(cfg.JSONPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}

@@ -15,8 +15,9 @@ import (
 
 // server wires a shared PV-index to the HTTP API. Every query handler runs
 // on the request's own goroutine: net/http gives us one goroutine per
-// request, and the index's internal read lock lets them all evaluate in
-// parallel while insert/delete requests serialize as writers.
+// request, and the index's MVCC read path lets them all evaluate in
+// parallel — each pins an immutable snapshot version lock-free — while
+// insert/delete requests serialize as writers without ever stalling reads.
 type server struct {
 	ix      *pvoronoi.Index
 	dim     int // domain dimensionality, for request validation
@@ -801,7 +802,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	endpoints, uptime := s.metrics.snapshot()
 	io := s.ix.IO()
 	rc := s.ix.RecordCache()
-	domain := s.ix.DB().Domain // immutable after NewDB; safe without the lock
+	mv := s.ix.MVCC()
+	domain := s.ix.DB().Domain // immutable per version; safe without a lock
 	body := map[string]any{
 		"uptime_s": uptime.Seconds(),
 		"objects":  s.ix.Len(),
@@ -818,6 +820,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"misses":   rc.Misses,
 			"resident": int64(rc.Resident),
 			"capacity": int64(rc.Capacity),
+		},
+		"mvcc": map[string]int64{
+			"epoch":            int64(mv.Epoch),
+			"inflight_readers": mv.InFlightReaders,
+			"live_versions":    int64(mv.LiveVersions),
+			"reclaimed":        mv.Reclaimed,
 		},
 		"endpoints": endpoints,
 	}

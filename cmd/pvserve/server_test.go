@@ -553,3 +553,71 @@ func TestServeDurableCheckpointAndRecovery(t *testing.T) {
 		t.Fatalf("recovered %d objects, want 41", d2.Len())
 	}
 }
+
+// TestStatsMVCCGauges checks /v1/stats surfaces the MVCC snapshot
+// lifecycle: the write epoch (which must advance with updates), the
+// in-flight reader gauge, and the live/reclaimed version counters.
+func TestStatsMVCCGauges(t *testing.T) {
+	ix := testIndex(t, 40)
+	ts := httptest.NewServer(newServer(ix).routes())
+	defer ts.Close()
+
+	readStats := func() (epoch, live, reclaimed, inflight int64) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var stats struct {
+			MVCC struct {
+				Epoch           int64 `json:"epoch"`
+				InflightReaders int64 `json:"inflight_readers"`
+				LiveVersions    int64 `json:"live_versions"`
+				Reclaimed       int64 `json:"reclaimed"`
+			} `json:"mvcc"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		return stats.MVCC.Epoch, stats.MVCC.LiveVersions, stats.MVCC.Reclaimed, stats.MVCC.InflightReaders
+	}
+
+	epoch0, live0, _, _ := readStats()
+	if epoch0 < 1 {
+		t.Fatalf("published epoch %d, want >= 1", epoch0)
+	}
+	if live0 != 1 {
+		t.Fatalf("idle server reports %d live versions, want 1", live0)
+	}
+
+	// An insert publishes a new version; the epoch must advance and the
+	// retired predecessor must be reclaimed (no reader pins it).
+	body, _ := json.Marshal(map[string]any{
+		"id":     8800,
+		"region": map[string]any{"lo": []float64{10, 10}, "hi": []float64{30, 30}},
+		"sample": map[string]any{"n": 5, "seed": 1},
+	})
+	resp, err := http.Post(ts.URL+"/v1/insert", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert status %d", resp.StatusCode)
+	}
+
+	epoch1, live1, reclaimed1, inflight1 := readStats()
+	if epoch1 != epoch0+1 {
+		t.Fatalf("epoch after insert = %d, want %d", epoch1, epoch0+1)
+	}
+	if live1 != 1 {
+		t.Fatalf("live versions after insert = %d, want 1", live1)
+	}
+	if reclaimed1 < 1 {
+		t.Fatalf("reclaimed counter = %d, want >= 1", reclaimed1)
+	}
+	if inflight1 != 0 {
+		t.Fatalf("idle in-flight readers = %d, want 0", inflight1)
+	}
+}

@@ -104,10 +104,10 @@ func TestConcurrentQueriesWithWriter(t *testing.T) {
 	}
 	wg.Wait()
 
-	// After all churn objects are gone, queries must agree with a fresh
-	// build over the surviving database.
-	if db.Len() != 120 {
-		t.Fatalf("database has %d objects after churn, want 120", db.Len())
+	// After all churn objects are gone, the current version must hold
+	// exactly the original survivors.
+	if n := ix.Len(); n != 120 {
+		t.Fatalf("index has %d objects after churn, want 120", n)
 	}
 }
 
@@ -125,7 +125,9 @@ func TestRecordCacheNeverStale(t *testing.T) {
 	qs := []Point{{500, 500}, {120, 780}, {903, 88}, {333, 333}}
 	warmAndCheck := func(step string) {
 		t.Helper()
-		fresh, err := Build(db, testOptions())
+		// Rebuild from the current version's database (updates publish new
+		// versions; the bootstrap handle stays at version 1).
+		fresh, err := Build(ix.DB(), testOptions())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -266,8 +268,9 @@ func TestRecordCacheConcurrentChurn(t *testing.T) {
 	}
 	wg.Wait()
 
-	// Post-churn, the warm index must agree exactly with a fresh build.
-	fresh, err := Build(db, testOptions())
+	// Post-churn, the warm index must agree exactly with a fresh build over
+	// the current version's database.
+	fresh, err := Build(ix.DB(), testOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

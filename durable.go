@@ -32,9 +32,14 @@ type Durable struct {
 	dir string
 	log *wal.Log
 
-	ckptMu        sync.Mutex
+	ckptMu sync.Mutex
+	// lastCkptSeq/lastCkptEpoch identify the state the newest checkpoint
+	// covers: its WAL sequence and the index's MVCC write epoch. The epoch
+	// replaces the page store's mutation counter as the "anything changed?"
+	// signal — the store now also mutates on version reclamation, which
+	// changes no logical state.
 	lastCkptSeq   uint64
-	lastCkptEpoch int64
+	lastCkptEpoch uint64
 	hasCkpt       bool
 	closed        bool
 
@@ -75,6 +80,7 @@ type DurableStats struct {
 	WALSegments   int    // segment files on disk
 	CheckpointSeq uint64 // WAL sequence of the newest checkpoint
 	StoreEpoch    int64  // page store mutation epoch
+	IndexEpoch    uint64 // MVCC write epoch the skip check keys on
 }
 
 const currentFile = "CURRENT"
@@ -154,7 +160,7 @@ func OpenDurable(dir string, db *DB, opts Options) (*Durable, error) {
 		}
 	} else {
 		d.lastCkptSeq = ix.inner.WALSeq()
-		d.lastCkptEpoch = ix.inner.Store().Epoch()
+		d.lastCkptEpoch = ix.inner.Epoch()
 		d.hasCkpt = true
 	}
 	return d, nil
@@ -173,10 +179,12 @@ func HasCheckpoint(dir string) bool {
 
 // Checkpoint persists a consistent snapshot of the database and index,
 // updates CURRENT atomically, and trims WAL segments the snapshot made
-// obsolete. If nothing changed since the last checkpoint (same page-store
-// mutation epoch and WAL sequence) it is a no-op. Safe to call while
-// queries and updates are running — the snapshot pair is taken under the
-// index's read lock.
+// obsolete. If nothing changed since the last checkpoint (same index write
+// epoch and WAL sequence) it is a no-op. Safe to call while queries and
+// updates are running — the snapshot pair reads one pinned MVCC version and
+// serializes entirely off-lock, so a checkpoint concurrent with ApplyBatch
+// blocks neither: writers keep publishing while the pinned version streams
+// to disk.
 func (d *Durable) Checkpoint() (CheckpointStats, error) {
 	d.ckptMu.Lock()
 	defer d.ckptMu.Unlock()
@@ -185,7 +193,7 @@ func (d *Durable) Checkpoint() (CheckpointStats, error) {
 	}
 	start := time.Now()
 	if d.hasCkpt &&
-		d.Index.inner.Store().Epoch() == d.lastCkptEpoch &&
+		d.Index.inner.Epoch() == d.lastCkptEpoch &&
 		d.Index.inner.WALSeq() == d.lastCkptSeq {
 		return CheckpointStats{Seq: d.lastCkptSeq, Skipped: true}, nil
 	}
@@ -197,11 +205,11 @@ func (d *Durable) Checkpoint() (CheckpointStats, error) {
 		return CheckpointStats{}, err
 	}
 	w := bufio.NewWriter(f)
-	var epoch int64
+	// Read the epoch before pinning: a write that lands in between makes
+	// the pinned version newer than the recorded epoch, so the next
+	// checkpoint re-runs rather than wrongly skipping — always safe.
+	epoch := d.Index.inner.Epoch()
 	seq, err := d.Index.inner.SnapshotWith(w, func(db *uncertain.DB) error {
-		// Captured under the read lock, so the epoch matches exactly the
-		// state both snapshot files describe.
-		epoch = d.Index.inner.Store().Epoch()
 		return dataset.Save(db, tmpDB)
 	})
 	if err == nil {
@@ -272,6 +280,7 @@ func (d *Durable) Stats() DurableStats {
 		WALSegments:   ws.Segments,
 		CheckpointSeq: ckptSeq,
 		StoreEpoch:    d.Index.inner.Store().Epoch(),
+		IndexEpoch:    d.Index.inner.Epoch(),
 	}
 }
 

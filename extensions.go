@@ -24,9 +24,10 @@ type KNNResult = pnnq.KNNResult
 
 // The extension queries retrieve their candidates through the index's region
 // R*-tree (best-first branch-and-bound, never an O(n) scan) and snapshot the
-// candidates' stored instances under the index's read lock; the expensive
-// probability refinement then runs outside the lock, so long extension
-// queries do not stall writers.
+// candidates' stored instances from one pinned MVCC version; the expensive
+// probability refinement then runs on the snapshot. No lock is taken at any
+// point — long extension queries never stall writers, and writers never
+// stall them.
 
 // ExtQueryCost reports the per-query cost of one extension query: candidate
 // count, R-tree node and leaf accesses during retrieval, the record-cache
@@ -66,8 +67,8 @@ func (ix *Index) GroupNN(group []Point, agg Agg) ([]Result, error) {
 }
 
 // GroupNNWithCost is GroupNN plus the per-query cost breakdown. Candidate
-// retrieval and the instance snapshot happen atomically under the index's
-// read lock; the probability computation runs outside it.
+// retrieval and the instance snapshot read one pinned version atomically;
+// the probability computation runs on the snapshot afterwards.
 func (ix *Index) GroupNNWithCost(group []Point, agg Agg) ([]Result, ExtQueryCost, error) {
 	start := time.Now()
 	snap, err := ix.inner.GroupNNSnapshot(group, agg)
@@ -94,8 +95,8 @@ func (ix *Index) PossibleKNN(q Point, k int) ([]KNNResult, error) {
 }
 
 // PossibleKNNWithCost is PossibleKNN plus the per-query cost breakdown. Like
-// GroupNNWithCost, only retrieval and the instance snapshot hold the read
-// lock.
+// GroupNNWithCost, retrieval and the instance snapshot read one pinned
+// version; nothing blocks writers.
 func (ix *Index) PossibleKNNWithCost(q Point, k int) ([]KNNResult, ExtQueryCost, error) {
 	start := time.Now()
 	snap, err := ix.inner.KNNSnapshot(q, k)

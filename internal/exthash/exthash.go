@@ -20,13 +20,15 @@ import (
 )
 
 // Table is an extendible hash table keyed by uint32. Not safe for concurrent
-// mutation.
+// mutation, but a sealed handle may be read concurrently while a CloneCOW
+// descendant is mutated: mutations never rewrite shared pages in place.
 type Table struct {
 	store       *pagestore.Store
 	dir         []pagestore.PageID // 2^globalDepth entries
 	globalDepth uint
 	size        int
 	slotsPer    int
+	sess        *pagestore.COWSession
 }
 
 const (
@@ -40,11 +42,12 @@ func New(store *pagestore.Store) (*Table, error) {
 	t := &Table{
 		store:    store,
 		slotsPer: (store.PageSize() - bucketHeader) / slotSize,
+		sess:     pagestore.NewFullSession(store),
 	}
 	if t.slotsPer < 2 {
 		return nil, fmt.Errorf("exthash: page size %d too small", store.PageSize())
 	}
-	p, err := store.Alloc()
+	p, err := t.allocPage()
 	if err != nil {
 		return nil, err
 	}
@@ -54,6 +57,55 @@ func New(store *pagestore.Store) (*Table, error) {
 	t.dir = []pagestore.PageID{p}
 	t.globalDepth = 0
 	return t, nil
+}
+
+// CloneCOW returns a mutable copy-on-write descendant of t: the directory is
+// copied, every bucket and value page is initially shared. Mutations shadow
+// shared pages onto fresh IDs and append the replaced IDs to freed — the
+// caller frees those once no reader of an older version remains. The
+// original handle is sealed by convention and stays safe for concurrent
+// readers.
+func (t *Table) CloneCOW(freed *[]pagestore.PageID) *Table {
+	c := *t
+	c.dir = append(make([]pagestore.PageID, 0, len(t.dir)), t.dir...)
+	c.sess = pagestore.NewCOWSession(t.store, freed)
+	return &c
+}
+
+// AbortCOW releases every page this session allocated (invisible to any
+// published version) and forgets its deferred frees. The handle must not be
+// used afterwards.
+func (t *Table) AbortCOW() { t.sess.Abort() }
+
+// allocPage reserves a page through the session (ownership recorded).
+func (t *Table) allocPage() (pagestore.PageID, error) { return t.sess.Alloc() }
+
+// freePage releases a page the table stops referencing: immediately when the
+// session owns it, deferred to the freed list otherwise.
+func (t *Table) freePage(id pagestore.PageID) error { return t.sess.Free(id) }
+
+// writableBucket returns a bucket page ID the session may write in place.
+// A shared bucket is shadowed: a fresh page is allocated, every directory
+// slot pointing at the old page is repointed, and the old page is deferred
+// to the freed list. The caller overwrites the returned page's contents
+// entirely, so no byte copy is needed.
+func (t *Table) writableBucket(id pagestore.PageID) (pagestore.PageID, error) {
+	if t.sess.Owned(id) {
+		return id, nil
+	}
+	p, err := t.allocPage()
+	if err != nil {
+		return 0, err
+	}
+	for i := range t.dir {
+		if t.dir[i] == id {
+			t.dir[i] = p
+		}
+	}
+	if err := t.freePage(id); err != nil {
+		return 0, err
+	}
+	return p, nil
 }
 
 // Len returns the number of stored keys.
@@ -140,7 +192,7 @@ func (t *Table) writeValue(val []byte) (pagestore.PageID, error) {
 	defer t.store.ReleasePage(scratch)
 	var head, prev pagestore.PageID
 	for off := 0; off == 0 || off < len(val); off += dataPer {
-		p, err := t.store.Alloc()
+		p, err := t.allocPage()
 		if err != nil {
 			return 0, err
 		}
@@ -206,16 +258,17 @@ func (t *Table) readValue(head pagestore.PageID, n uint32) ([]byte, error) {
 	return out, nil
 }
 
-// freeValue releases the value chain starting at head.
+// freeValue releases the value chain starting at head (deferred for pages
+// shared with older versions).
 func (t *Table) freeValue(head pagestore.PageID) error {
 	p := head
 	for p != 0 {
-		buf, err := t.store.Read(p)
-		if err != nil {
+		var hdr [4]byte
+		if _, err := t.store.ReadAt(p, hdr[:], 0); err != nil {
 			return err
 		}
-		next := pagestore.PageID(binary.LittleEndian.Uint32(buf[0:4]))
-		if err := t.store.Free(p); err != nil {
+		next := pagestore.PageID(binary.LittleEndian.Uint32(hdr[:]))
+		if err := t.freePage(p); err != nil {
 			return err
 		}
 		p = next
@@ -250,7 +303,7 @@ func (t *Table) Put(key uint32, val []byte) error {
 		if err != nil {
 			return err
 		}
-		// Replace in place.
+		// Replace in place (shadowing the bucket page if shared).
 		for i, s := range b.slots {
 			if s.key == key {
 				if err := t.freeValue(s.firstPage); err != nil {
@@ -261,7 +314,11 @@ func (t *Table) Put(key uint32, val []byte) error {
 					return err
 				}
 				b.slots[i] = slot{key: key, valLen: uint32(len(val)), firstPage: head}
-				return t.writeBucket(pageID, b)
+				target, err := t.writableBucket(pageID)
+				if err != nil {
+					return err
+				}
+				return t.writeBucket(target, b)
 			}
 		}
 		if len(b.slots) < t.slotsPer {
@@ -271,7 +328,11 @@ func (t *Table) Put(key uint32, val []byte) error {
 			}
 			b.slots = append(b.slots, slot{key: key, valLen: uint32(len(val)), firstPage: head})
 			t.size++
-			return t.writeBucket(pageID, b)
+			target, err := t.writableBucket(pageID)
+			if err != nil {
+				return err
+			}
+			return t.writeBucket(target, b)
 		}
 		// Bucket full: split and retry.
 		if err := t.split(idx, pageID, b); err != nil {
@@ -282,6 +343,12 @@ func (t *Table) Put(key uint32, val []byte) error {
 
 // split divides the bucket at directory index idx on one more hash bit.
 func (t *Table) split(idx int, pageID pagestore.PageID, b bucket) error {
+	// Shadow the splitting bucket first (repointing the pre-split directory
+	// entries), so its rewrite never lands on a page shared with readers.
+	pageID, err := t.writableBucket(pageID)
+	if err != nil {
+		return err
+	}
 	if uint(b.localDepth) == t.globalDepth {
 		if t.globalDepth >= 30 {
 			return errors.New("exthash: directory depth limit reached")
@@ -295,7 +362,7 @@ func (t *Table) split(idx int, pageID pagestore.PageID, b bucket) error {
 	}
 	newDepth := b.localDepth + 1
 	bit := uint32(1) << (newDepth - 1)
-	newPage, err := t.store.Alloc()
+	newPage, err := t.allocPage()
 	if err != nil {
 		return err
 	}
@@ -339,10 +406,43 @@ func (t *Table) Delete(key uint32) (bool, error) {
 			}
 			b.slots = append(b.slots[:i], b.slots[i+1:]...)
 			t.size--
-			return true, t.writeBucket(pageID, b)
+			target, err := t.writableBucket(pageID)
+			if err != nil {
+				return false, err
+			}
+			return true, t.writeBucket(target, b)
 		}
 	}
 	return false, nil
+}
+
+// CollectPages appends every page ID reachable from the table — each bucket
+// page plus each stored value's chain — to dst and returns it. Read-only.
+func (t *Table) CollectPages(dst []pagestore.PageID) ([]pagestore.PageID, error) {
+	seen := make(map[pagestore.PageID]bool, len(t.dir))
+	for _, p := range t.dir {
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		dst = append(dst, p)
+		b, err := t.readBucket(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range b.slots {
+			v := s.firstPage
+			for v != 0 {
+				dst = append(dst, v)
+				var hdr [4]byte
+				if _, err := t.store.ReadAt(v, hdr[:], 0); err != nil {
+					return nil, err
+				}
+				v = pagestore.PageID(binary.LittleEndian.Uint32(hdr[:]))
+			}
+		}
+	}
+	return dst, nil
 }
 
 // Keys appends all stored keys to dst (in unspecified order).

@@ -38,6 +38,7 @@ func FromImage(store *pagestore.Store, img *Image) (*Table, error) {
 		dir:         make([]pagestore.PageID, len(img.Dir)),
 		globalDepth: uint(img.GlobalDepth),
 		size:        img.Size,
+		sess:        pagestore.NewFullSession(store),
 	}
 	if t.slotsPer < 2 {
 		return nil, fmt.Errorf("exthash: page size %d too small", store.PageSize())

@@ -77,6 +77,7 @@ func FromImage(store *pagestore.Store, lookup UBRLookup, img *Image) (*Tree, err
 		maxDepth:   img.MaxDepth,
 		size:       img.Size,
 		SplitCount: img.SplitCount,
+		sess:       pagestore.NewFullSession(store),
 	}
 	fan := 1 << t.dim
 	var build func(idx int32) (*node, error)
@@ -86,6 +87,7 @@ func FromImage(store *pagestore.Store, lookup UBRLookup, img *Image) (*Tree, err
 		}
 		ni := img.Nodes[idx]
 		n := &node{
+			owner:     t.sess,
 			firstPage: pagestore.PageID(ni.FirstPage),
 			pages:     int(ni.Pages),
 			depth:     int(ni.Depth),

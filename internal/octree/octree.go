@@ -31,7 +31,9 @@ type Entry struct {
 // the entry is copied to every child.
 type UBRLookup func(id uint32) (geom.Rect, bool)
 
-// Tree is the primary index. Not safe for concurrent mutation.
+// Tree is the primary index. Not safe for concurrent mutation, but a sealed
+// handle may be read concurrently while a CloneCOW descendant is mutated:
+// mutations never touch shared nodes or rewrite shared pages in place.
 type Tree struct {
 	domain    geom.Rect
 	dim       int
@@ -42,12 +44,14 @@ type Tree struct {
 	memUsed   int
 	maxDepth  int
 	size      int // total entry copies across leaves
+	sess      *pagestore.COWSession
 
 	// SplitCount tallies leaf splits, for construction statistics.
 	SplitCount int
 }
 
 type node struct {
+	owner     *pagestore.COWSession
 	children  []*node // nil ⇒ leaf
 	firstPage pagestore.PageID
 	pages     int // length of the page chain
@@ -91,16 +95,63 @@ func New(cfg Config) (*Tree, error) {
 		lookup:    cfg.Lookup,
 		memBudget: cfg.MemBudget,
 		maxDepth:  cfg.MaxDepth,
+		sess:      pagestore.NewFullSession(cfg.Store),
 	}
-	p, err := cfg.Store.Alloc()
+	p, err := t.allocPage()
 	if err != nil {
 		return nil, err
 	}
 	if err := t.writeLeafPage(p, 0, nil); err != nil {
 		return nil, err
 	}
-	t.root = &node{firstPage: p, pages: 1}
+	t.root = &node{owner: t.sess, firstPage: p, pages: 1}
 	return t, nil
+}
+
+// CloneCOW returns a mutable copy-on-write descendant of t that initially
+// shares every node and leaf page. Mutations path-copy touched nodes and
+// shadow-write touched pages (allocating fresh page IDs), appending each
+// shared page they stop referencing to freed — the caller frees those once
+// no reader of an older version remains. lookup, if non-nil, replaces the
+// UBR resolver so splits in the clone read through the writer's view.
+// The original handle is sealed by convention and stays safe for
+// concurrent readers.
+func (t *Tree) CloneCOW(lookup UBRLookup, freed *[]pagestore.PageID) *Tree {
+	c := *t
+	c.sess = pagestore.NewCOWSession(t.store, freed)
+	if lookup != nil {
+		c.lookup = lookup
+	}
+	return &c
+}
+
+// AbortCOW releases every page this session allocated (none of them are
+// visible to any published version) and forgets its deferred frees. The
+// handle must not be used afterwards.
+func (t *Tree) AbortCOW() { t.sess.Abort() }
+
+// allocPage reserves a page through the session (ownership recorded).
+func (t *Tree) allocPage() (pagestore.PageID, error) { return t.sess.Alloc() }
+
+// pageOwned reports whether the session may rewrite the page in place.
+func (t *Tree) pageOwned(id pagestore.PageID) bool { return t.sess.Owned(id) }
+
+// freePage releases a page the tree stops referencing: immediately when the
+// session owns it, deferred to the session's freed list otherwise.
+func (t *Tree) freePage(id pagestore.PageID) error { return t.sess.Free(id) }
+
+// ownedNode returns n if the session owns it, otherwise a session-owned copy
+// (children slice cloned, page references shared). The caller must store the
+// returned pointer back into the parent.
+func (t *Tree) ownedNode(n *node) *node {
+	if n.owner == t.sess {
+		return n
+	}
+	c := &node{owner: t.sess, firstPage: n.firstPage, pages: n.pages, depth: n.depth}
+	if n.children != nil {
+		c.children = append(make([]*node, 0, len(n.children)), n.children...)
+	}
+	return c
 }
 
 // entrySize is the on-page footprint of one entry.
@@ -229,24 +280,37 @@ func childRegion(region geom.Rect, mask int) geom.Rect {
 // Insert adds an entry for object id with uncertainty region u to every leaf
 // whose cell intersects ubr.
 func (t *Tree) Insert(id uint32, u geom.Rect, ubr geom.Rect) error {
+	if !t.domain.Intersects(ubr) {
+		return nil
+	}
+	t.root = t.ownedNode(t.root)
 	return t.insert(t.root, t.domain, Entry{ID: id, Region: u}, ubr)
 }
 
 // InsertDiff adds the entry only to leaves whose cells intersect newUBR but
 // not oldUBR — the N′−N leaf set of the paper's incremental deletion Step 4.
 func (t *Tree) InsertDiff(id uint32, u geom.Rect, newUBR, oldUBR geom.Rect) error {
+	if !t.domain.Intersects(newUBR) {
+		return nil
+	}
+	t.root = t.ownedNode(t.root)
 	return t.insertDiff(t.root, t.domain, Entry{ID: id, Region: u}, newUBR, oldUBR)
 }
 
+// insert descends into the cells intersecting ubr. n is session-owned;
+// children are path-copied before descent so shared subtrees never mutate.
 func (t *Tree) insert(n *node, region geom.Rect, e Entry, ubr geom.Rect) error {
-	if !region.Intersects(ubr) {
-		return nil
-	}
 	if n.children == nil {
 		return t.leafInsert(n, region, e)
 	}
-	for mask, c := range n.children {
-		if err := t.insert(c, childRegion(region, mask), e, ubr); err != nil {
+	for mask := range n.children {
+		cr := childRegion(region, mask)
+		if !cr.Intersects(ubr) {
+			continue
+		}
+		c := t.ownedNode(n.children[mask])
+		n.children[mask] = c
+		if err := t.insert(c, cr, e, ubr); err != nil {
 			return err
 		}
 	}
@@ -254,17 +318,20 @@ func (t *Tree) insert(n *node, region geom.Rect, e Entry, ubr geom.Rect) error {
 }
 
 func (t *Tree) insertDiff(n *node, region geom.Rect, e Entry, newUBR, oldUBR geom.Rect) error {
-	if !region.Intersects(newUBR) {
-		return nil
-	}
 	if n.children == nil {
 		if region.Intersects(oldUBR) {
 			return nil // leaf already holds the entry
 		}
 		return t.leafInsert(n, region, e)
 	}
-	for mask, c := range n.children {
-		if err := t.insertDiff(c, childRegion(region, mask), e, newUBR, oldUBR); err != nil {
+	for mask := range n.children {
+		cr := childRegion(region, mask)
+		if !cr.Intersects(newUBR) {
+			continue
+		}
+		c := t.ownedNode(n.children[mask])
+		n.children[mask] = c
+		if err := t.insertDiff(c, cr, e, newUBR, oldUBR); err != nil {
 			return err
 		}
 	}
@@ -272,7 +339,9 @@ func (t *Tree) insertDiff(n *node, region geom.Rect, e Entry, newUBR, oldUBR geo
 }
 
 // leafInsert places e into leaf n (cell = region), splitting or chaining on
-// overflow per the paper's construction Step 3.
+// overflow per the paper's construction Step 3. n is session-owned; a head
+// page shared with an older version is shadow-copied (fresh page ID, old ID
+// deferred to the freed list) rather than rewritten in place.
 func (t *Tree) leafInsert(n *node, region geom.Rect, e Entry) error {
 	next, entries, err := t.readLeafPage(n.firstPage)
 	if err != nil {
@@ -280,16 +349,30 @@ func (t *Tree) leafInsert(n *node, region geom.Rect, e Entry) error {
 	}
 	if len(entries) < t.perPage() {
 		entries = append(entries, e)
-		if err := t.writeLeafPage(n.firstPage, next, entries); err != nil {
+		target := n.firstPage
+		if !t.pageOwned(target) {
+			p, err := t.allocPage()
+			if err != nil {
+				return err
+			}
+			if err := t.freePage(target); err != nil {
+				return err
+			}
+			n.firstPage = p
+			target = p
+		}
+		if err := t.writeLeafPage(target, next, entries); err != nil {
 			return err
 		}
 		t.size++
 		return nil
 	}
 	// Head page full. Split if memory allows; otherwise chain a new page.
+	// The new head points at the old chain, which stays untouched — no
+	// shadow copy needed.
 	canSplit := n.depth < t.maxDepth && t.memUsed+nodeBytes(t.dim) <= t.memBudget
 	if !canSplit {
-		p, err := t.store.Alloc()
+		p, err := t.allocPage()
 		if err != nil {
 			return err
 		}
@@ -316,14 +399,14 @@ func (t *Tree) splitLeaf(n *node, region geom.Rect, e Entry) error {
 	fan := 1 << t.dim
 	n.children = make([]*node, fan)
 	for mask := 0; mask < fan; mask++ {
-		p, err := t.store.Alloc()
+		p, err := t.allocPage()
 		if err != nil {
 			return err
 		}
 		if err := t.writeLeafPage(p, 0, nil); err != nil {
 			return err
 		}
-		n.children[mask] = &node{firstPage: p, pages: 1, depth: n.depth + 1}
+		n.children[mask] = &node{owner: t.sess, firstPage: p, pages: 1, depth: n.depth + 1}
 	}
 	n.firstPage = 0
 	n.pages = 0
@@ -364,7 +447,7 @@ func (t *Tree) drainLeaf(n *node) ([]Entry, error) {
 			return nil, err
 		}
 		all = append(all, entries...)
-		if err := t.store.Free(p); err != nil {
+		if err := t.freePage(p); err != nil {
 			return nil, err
 		}
 		p = next
@@ -376,19 +459,26 @@ func (t *Tree) drainLeaf(n *node) ([]Entry, error) {
 // Remove deletes all entries for object id from leaves whose cells intersect
 // ubr. It returns the number of entry copies removed.
 func (t *Tree) Remove(id uint32, ubr geom.Rect) (int, error) {
+	if !t.domain.Intersects(ubr) {
+		return 0, nil
+	}
+	t.root = t.ownedNode(t.root)
 	return t.remove(t.root, t.domain, id, ubr, nil)
 }
 
 // RemoveDiff deletes entries for id only from leaves intersecting oldUBR but
 // not newUBR — the N−N′ leaf set of the paper's incremental insertion Step 4.
 func (t *Tree) RemoveDiff(id uint32, oldUBR, newUBR geom.Rect) (int, error) {
+	if !t.domain.Intersects(oldUBR) {
+		return 0, nil
+	}
+	t.root = t.ownedNode(t.root)
 	return t.remove(t.root, t.domain, id, oldUBR, &newUBR)
 }
 
+// remove descends into the cells intersecting ubr. n is session-owned;
+// children are path-copied before descent.
 func (t *Tree) remove(n *node, region geom.Rect, id uint32, ubr geom.Rect, except *geom.Rect) (int, error) {
-	if !region.Intersects(ubr) {
-		return 0, nil
-	}
 	if n.children == nil {
 		if except != nil && region.Intersects(*except) {
 			return 0, nil
@@ -396,8 +486,14 @@ func (t *Tree) remove(n *node, region geom.Rect, id uint32, ubr geom.Rect, excep
 		return t.leafRemove(n, id)
 	}
 	total := 0
-	for mask, c := range n.children {
-		k, err := t.remove(c, childRegion(region, mask), id, ubr, except)
+	for mask := range n.children {
+		cr := childRegion(region, mask)
+		if !cr.Intersects(ubr) {
+			continue
+		}
+		c := t.ownedNode(n.children[mask])
+		n.children[mask] = c
+		k, err := t.remove(c, cr, id, ubr, except)
 		if err != nil {
 			return total, err
 		}
@@ -406,31 +502,86 @@ func (t *Tree) remove(n *node, region geom.Rect, id uint32, ubr geom.Rect, excep
 	return total, nil
 }
 
-// leafRemove rewrites each page of the leaf without entries for id.
+// leafRemove drops every entry for id from leaf n. When anything changes the
+// whole chain is rebuilt onto fresh session-owned pages (a mid-chain rewrite
+// would cascade next-pointer patches up to the head anyway), and the old
+// pages are freed through the session — deferred if shared.
 func (t *Tree) leafRemove(n *node, id uint32) (int, error) {
-	removed := 0
+	var all []Entry
 	p := n.firstPage
 	for p != 0 {
 		next, entries, err := t.readLeafPage(p)
 		if err != nil {
-			return removed, err
+			return 0, err
 		}
-		kept := entries[:0]
-		for _, e := range entries {
-			if e.ID != id {
-				kept = append(kept, e)
-			}
-		}
-		if len(kept) != len(entries) {
-			removed += len(entries) - len(kept)
-			if err := t.writeLeafPage(p, next, kept); err != nil {
-				return removed, err
-			}
-		}
+		all = append(all, entries...)
 		p = next
+	}
+	kept := all[:0]
+	for _, e := range all {
+		if e.ID != id {
+			kept = append(kept, e)
+		}
+	}
+	removed := len(all) - len(kept)
+	if removed == 0 {
+		return 0, nil
+	}
+	if err := t.rewriteChain(n, kept); err != nil {
+		return removed, err
 	}
 	t.size -= removed
 	return removed, nil
+}
+
+// rewriteChain replaces leaf n's page chain with a fresh chain holding
+// entries (at least one page, possibly empty), freeing the old chain through
+// the session. Pages are written tail-first so each knows its successor.
+func (t *Tree) rewriteChain(n *node, entries []Entry) error {
+	p := n.firstPage
+	for p != 0 {
+		next, err := t.chainNext(p)
+		if err != nil {
+			return err
+		}
+		if err := t.freePage(p); err != nil {
+			return err
+		}
+		p = next
+	}
+	per := t.perPage()
+	numPages := (len(entries) + per - 1) / per
+	if numPages == 0 {
+		numPages = 1
+	}
+	var next pagestore.PageID
+	for i := numPages - 1; i >= 0; i-- {
+		lo := i * per
+		hi := lo + per
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		id, err := t.allocPage()
+		if err != nil {
+			return err
+		}
+		if err := t.writeLeafPage(id, next, entries[lo:hi]); err != nil {
+			return err
+		}
+		next = id
+	}
+	n.firstPage = next
+	n.pages = numPages
+	return nil
+}
+
+// chainNext reads just the next-page pointer of a leaf page.
+func (t *Tree) chainNext(id pagestore.PageID) (pagestore.PageID, error) {
+	var hdr [4]byte
+	if _, err := t.store.ReadAt(id, hdr[:], 0); err != nil {
+		return 0, err
+	}
+	return pagestore.PageID(binary.LittleEndian.Uint32(hdr[:])), nil
 }
 
 // PointQuery returns the entries of the unique leaf whose cell contains q.
@@ -516,6 +667,37 @@ func (t *Tree) rangeIDs(n *node, region geom.Rect, r geom.Rect, out map[uint32]b
 		}
 	}
 	return nil
+}
+
+// CollectPages appends every page ID reachable from the tree — each leaf's
+// full page chain — to dst and returns it. Read-only: it is how a pinned
+// MVCC version enumerates its share of the page store for serialization.
+func (t *Tree) CollectPages(dst []pagestore.PageID) ([]pagestore.PageID, error) {
+	var walk func(n *node) error
+	walk = func(n *node) error {
+		if n.children != nil {
+			for _, c := range n.children {
+				if err := walk(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		p := n.firstPage
+		for p != 0 {
+			dst = append(dst, p)
+			next, err := t.chainNext(p)
+			if err != nil {
+				return err
+			}
+			p = next
+		}
+		return nil
+	}
+	if err := walk(t.root); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // Validate walks the tree checking structural invariants: internal nodes

@@ -41,6 +41,51 @@ func (s *Store) Image() *Image {
 	return img
 }
 
+// ImageOf captures only the listed pages — the reachable set of one MVCC
+// version — without touching allocator state or unrelated pages. Allocator
+// state is synthesized compactly: Next is one past the highest captured page
+// and Free lists the gaps below it, so a store restored via FromImage can
+// allocate without ever colliding with a captured ID.
+//
+// Unlike Image, it takes no global lock: each page is copied under its
+// shard's read lock only. The caller must guarantee the listed pages are
+// immutable for the duration (true for pages reachable from a pinned
+// version, which writers never rewrite in place and the reclaimer cannot
+// free while the version is pinned).
+func (s *Store) ImageOf(ids []PageID) (*Image, error) {
+	img := &Image{
+		PageSize: s.pageSize,
+		Pages:    make(map[uint32][]byte, len(ids)),
+	}
+	var maxID PageID
+	for _, id := range ids {
+		if _, dup := img.Pages[uint32(id)]; dup {
+			continue
+		}
+		sh := s.shardFor(id)
+		sh.mu.RLock()
+		p, ok := sh.pages[id]
+		if !ok {
+			sh.mu.RUnlock()
+			return nil, fmt.Errorf("pagestore: ImageOf references unknown page %d", id)
+		}
+		buf := make([]byte, len(p))
+		copy(buf, p)
+		sh.mu.RUnlock()
+		img.Pages[uint32(id)] = buf
+		if id > maxID {
+			maxID = id
+		}
+	}
+	img.Next = uint32(maxID) + 1
+	for id := PageID(1); id <= maxID; id++ {
+		if _, ok := img.Pages[uint32(id)]; !ok {
+			img.Free = append(img.Free, uint32(id))
+		}
+	}
+	return img, nil
+}
+
 // FromImage reconstructs a store from a snapshot. I/O counters start at
 // zero; allocator state (next ID, free list) is restored exactly so that
 // page IDs recorded by the structures above remain valid.

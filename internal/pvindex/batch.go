@@ -40,7 +40,7 @@ var ErrWAL = errors.New("pvindex: wal failure")
 type seMode int
 
 const (
-	// seUseStaged reuses the UBR staged outside the lock unchanged — valid
+	// seUseStaged reuses the UBR staged before the apply unchanged — valid
 	// when no earlier batch op could have affected the newcomer's PV-cell.
 	seUseStaged seMode = iota
 	// seWarmStart re-runs SE warm-started from the staged UBR as the upper
@@ -52,7 +52,7 @@ const (
 	seCold
 )
 
-// stagedSE is the outside-the-lock SE precomputation for one insert: the
+// stagedSE is the pre-apply SE precomputation for one insert: the
 // newcomer's UBR over the pre-batch database, with its cost profile.
 type stagedSE struct {
 	ubr   geom.Rect
@@ -68,41 +68,49 @@ type impact struct {
 	isDelete bool
 }
 
-// ApplyBatch applies a batch of updates as one group commit:
+// ApplyBatch applies a batch of updates as one group commit onto a fresh
+// MVCC version:
 //
 //  1. The whole batch is validated and every insert's SE computation is
-//     staged under the read lock — queries keep flowing while the expensive
-//     UBR work runs (in parallel across the batch).
+//     staged against the current published version (in parallel across the
+//     batch) — queries keep flowing, untouched.
 //  2. If a WAL is attached (Config.WAL / AttachWAL), the batch is appended
 //     to the log and made durable with a single fsync before any state
 //     changes — log-then-apply, so recovery can replay it.
-//  3. All updates apply under one write-lock acquisition, with one
-//     coalesced record-cache invalidation pass at the end instead of one
-//     per touched record.
+//  3. All updates apply to a copy-on-write working version (shared pages
+//     and nodes are shadow-copied, never rewritten), which then publishes
+//     with a single atomic pointer swap. Readers never observe a partial
+//     batch and never wait: the previous version keeps serving until the
+//     swap, then drains and is reclaimed.
 //
 // Validation is all-or-nothing: a duplicate insert ID or unknown delete ID
 // anywhere in the batch (accounting for earlier ops in the same batch)
 // fails the whole batch before anything is logged or applied. Concurrent
-// ApplyBatch calls serialize; queries interleave with the staging phase but
-// not the apply phase.
+// ApplyBatch calls serialize; queries never block on any phase.
 //
-// Stats are returned per op, positionally. On a mid-apply error (e.g. a
-// full page store) the already-applied prefix remains applied and the
-// returned stats cover it; like a failed Insert today, the index should be
-// considered compromised.
+// Stats are returned per op, positionally. A mid-apply error (e.g. a full
+// page store) discards the working version — the published state is
+// untouched, so reads keep working. With a WAL attached the failed batch
+// was already logged, so further writes and persistence snapshots are
+// refused (the memory/log divergence must not compound); recovery replays
+// the log from the last checkpoint.
 func (ix *Index) ApplyBatch(ups []Update) ([]UpdateStats, error) {
 	if len(ups) == 0 {
 		return nil, nil
 	}
 	ix.writerMu.Lock()
 	defer ix.writerMu.Unlock()
+	if err := ix.damagedErr(); err != nil {
+		return nil, err
+	}
 
-	staged, err := ix.stageBatch(ups)
+	base := ix.current.Load()
+	staged, err := ix.stageBatch(base, ups)
 	if err != nil {
 		return nil, err
 	}
 
-	var lastSeq uint64
+	lastSeq := base.walSeq
 	if ix.wal != nil {
 		entries := make([]wal.Entry, len(ups))
 		for i, u := range ups {
@@ -117,37 +125,53 @@ func (ix *Index) ApplyBatch(ups []Update) ([]UpdateStats, error) {
 		}
 	}
 
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	sts, err := ix.applyLocked(ups, staged, lastSeq)
+	w := ix.newWorking(base)
+	sts, err := w.apply(ups, staged)
 	if err != nil {
-		// Mid-apply failure: part of the batch is in, part is not. Mark
-		// the index damaged so later writes and snapshots are refused —
-		// recovery from the last good checkpoint plus the WAL (which holds
-		// the whole batch) is the consistent way back.
-		ix.damaged = fmt.Errorf("pvindex: batch failed mid-apply, index state is partial: %w", err)
+		// Clean rollback: the working version was never published, so
+		// readers keep the intact predecessor. But if the batch reached the
+		// WAL it is durably logged as committed while the caller sees a
+		// failure — refuse further writes so recovery (replay from the last
+		// checkpoint) remains the single source of truth.
+		w.abort()
+		if ix.wal != nil {
+			ix.setDamaged(fmt.Errorf("pvindex: batch through wal seq %d failed mid-apply after logging: %w", lastSeq, err))
+		}
+		return sts, err
 	}
-	return sts, err
+	ix.publishWorking(w, lastSeq)
+	return sts, nil
+}
+
+// damagedErr reports the sticky write-path failure, if any.
+func (ix *Index) damagedErr() error {
+	ix.dmgMu.Lock()
+	defer ix.dmgMu.Unlock()
+	return ix.dmg
+}
+
+// setDamaged records the first write-path failure that must fail-stop the
+// write and persistence paths.
+func (ix *Index) setDamaged(err error) {
+	ix.dmgMu.Lock()
+	defer ix.dmgMu.Unlock()
+	if ix.dmg == nil {
+		ix.dmg = err
+	}
 }
 
 // stageBatch validates the batch and precomputes every insert's UBR over
-// the current database state, in parallel. It runs under the read lock:
-// writerMu (held by the caller) guarantees no writer can shift the state
-// underneath, while queries proceed untouched.
-func (ix *Index) stageBatch(ups []Update) ([]stagedSE, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if ix.damaged != nil {
-		return nil, ix.damaged
-	}
-
+// the published version's state, in parallel. writerMu (held by the caller)
+// guarantees no writer can shift the state underneath; queries proceed
+// untouched because nothing here mutates.
+func (ix *Index) stageBatch(base *version, ups []Update) ([]stagedSE, error) {
 	// Validate against the database plus the batch's own earlier effects.
 	delta := make(map[uncertain.ID]bool, len(ups)) // ID -> exists after ops so far
 	exists := func(id uncertain.ID) bool {
 		if v, ok := delta[id]; ok {
 			return v
 		}
-		return ix.db.Get(id) != nil
+		return base.db.Get(id) != nil
 	}
 	for i, u := range ups {
 		switch u.Op {
@@ -155,9 +179,9 @@ func (ix *Index) stageBatch(ups []Update) ([]stagedSE, error) {
 			if u.Object == nil {
 				return nil, fmt.Errorf("pvindex: batch op %d: insert with nil object", i)
 			}
-			if u.Object.Dim() != ix.db.Dim() {
+			if u.Object.Dim() != base.db.Dim() {
 				return nil, fmt.Errorf("pvindex: batch op %d: object %d has dim %d, domain dim %d",
-					i, u.Object.ID, u.Object.Dim(), ix.db.Dim())
+					i, u.Object.ID, u.Object.Dim(), base.db.Dim())
 			}
 			if exists(u.Object.ID) {
 				return nil, fmt.Errorf("pvindex: batch op %d: %w: %d", i, uncertain.ErrDuplicateID, u.Object.ID)
@@ -187,30 +211,14 @@ func (ix *Index) stageBatch(ups []Update) ([]stagedSE, error) {
 	ix.parallelSE(len(idxs), func(k int) {
 		i := idxs[k]
 		t0 := time.Now()
-		staged[i].ubr, staged[i].stats = core.ComputeUBR(ix.db, ix.regionTree, ups[i].Object, ix.cfg.SE)
+		staged[i].ubr, staged[i].stats = core.ComputeUBR(base.db, base.regionTree, ups[i].Object, ix.cfg.SE)
 		staged[i].dur = time.Since(t0)
 	})
 	return staged, nil
 }
 
-// applyLocked applies a validated, staged, logged batch. Callers hold both
-// writerMu and the write lock. lastSeq is the WAL sequence number of the
-// batch's final record (0 when no WAL is attached).
-func (ix *Index) applyLocked(ups []Update, staged []stagedSE, lastSeq uint64) ([]UpdateStats, error) {
-	if lastSeq > 0 {
-		ix.walSeq = lastSeq
-	}
-
-	// All record mutations divert into batchDirty; the deferred pass is the
-	// batch's one coalesced cache invalidation (deduplicated across ops).
-	ix.batchDirty = make(map[uint32]struct{}, len(ups)*4)
-	defer func() {
-		for id := range ix.batchDirty {
-			ix.rcache.invalidate(id)
-		}
-		ix.batchDirty = nil
-	}()
-
+// apply runs a validated, staged, logged batch against the working version.
+func (w *working) apply(ups []Update, staged []stagedSE) ([]UpdateStats, error) {
 	insertsOnly := true
 	for _, u := range ups {
 		if u.Op != OpInsert {
@@ -219,7 +227,7 @@ func (ix *Index) applyLocked(ups []Update, staged []stagedSE, lastSeq uint64) ([
 		}
 	}
 	if insertsOnly && len(ups) > 1 {
-		return ix.applyInsertsLocked(ups, staged)
+		return w.applyInserts(ups, staged)
 	}
 
 	stats := make([]UpdateStats, 0, len(ups))
@@ -238,14 +246,14 @@ func (ix *Index) applyLocked(ups []Update, staged []stagedSE, lastSeq uint64) ([
 				}
 				mode = seWarmStart
 			}
-			st, newB, err := ix.applyInsertLocked(u.Object, &staged[i], mode)
+			st, newB, err := w.applyInsert(u.Object, &staged[i], mode)
 			if err != nil {
 				return stats, err
 			}
 			stats = append(stats, st)
 			impacts = append(impacts, impact{rect: newB})
 		case OpDelete:
-			st, victimUBR, err := ix.applyDeleteLocked(u.ID)
+			st, victimUBR, err := w.applyDelete(u.ID)
 			if err != nil {
 				return stats, err
 			}
@@ -256,7 +264,7 @@ func (ix *Index) applyLocked(ups []Update, staged []stagedSE, lastSeq uint64) ([
 	return stats, nil
 }
 
-// applyInsertsLocked is the group-commit fast path for an all-insert batch.
+// applyInserts is the group-commit fast path for an all-insert batch.
 // Because insertions only ever shrink PV-cells (Lemma 9), the whole batch
 // can be applied set-at-a-time instead of op-at-a-time:
 //
@@ -270,15 +278,16 @@ func (ix *Index) applyLocked(ups []Update, staged []stagedSE, lastSeq uint64) ([
 // The pre-batch stored UBRs used for the affected-set filters are upper
 // bounds of the final cells (shrink-only), so filtering against them is
 // conservative: no affected object can be missed. Both recompute phases
-// fan out across a worker pool — SE reads only the database and region
-// tree, which no longer change at that point.
-func (ix *Index) applyInsertsLocked(ups []Update, staged []stagedSE) ([]UpdateStats, error) {
+// fan out across a worker pool — SE reads only the working database and
+// region tree, which no longer change at that point.
+func (w *working) applyInserts(ups []Update, staged []stagedSE) ([]UpdateStats, error) {
+	ix := w.ix
 	n := len(ups)
 	stats := make([]UpdateStats, n)
 	batchStart := time.Now()
 	defer func() {
 		// TotalTime per op: its share of the batch's wall clock plus its
-		// attributed staging time (spent before the lock).
+		// attributed staging time (spent before the apply).
 		per := time.Since(batchStart) / time.Duration(n)
 		for i := range stats {
 			stats[i].TotalTime = per + staged[i].dur
@@ -289,10 +298,10 @@ func (ix *Index) applyInsertsLocked(ups []Update, staged []stagedSE) ([]UpdateSt
 	// op, so Add cannot fail on IDs; any error here is fatal corruption.
 	newcomer := make(map[uint32]struct{}, n)
 	for _, u := range ups {
-		if err := ix.db.Add(u.Object); err != nil {
+		if err := w.db.Add(u.Object); err != nil {
 			return nil, err
 		}
-		ix.regionTree.Insert(rtree.Item{Rect: u.Object.Region, ID: uint32(u.Object.ID)})
+		w.regionTree.Insert(rtree.Item{Rect: u.Object.Region, ID: uint32(u.Object.ID)})
 		newcomer[uint32(u.Object.ID)] = struct{}{}
 	}
 
@@ -317,7 +326,7 @@ func (ix *Index) applyInsertsLocked(ups []Update, staged []stagedSE) ([]UpdateSt
 			return
 		}
 		t0 := time.Now()
-		b, s := core.ComputeUBRAfterInsert(ix.db, ix.regionTree, ups[i].Object, staged[i].ubr, ix.cfg.SE)
+		b, s := core.ComputeUBRAfterInsert(w.db, w.regionTree, ups[i].Object, staged[i].ubr, ix.cfg.SE)
 		finalB[i] = b
 		stats[i].SETime += time.Since(t0)
 		stats[i].SE.Add(s)
@@ -333,7 +342,7 @@ func (ix *Index) applyInsertsLocked(ups []Update, staged []stagedSE) ([]UpdateSt
 	var affected []affectedObj
 	seen := make(map[uint32]struct{})
 	for i, u := range ups {
-		ids, err := ix.primary.RangeIDs(finalB[i])
+		ids, err := w.primary.RangeIDs(finalB[i])
 		if err != nil {
 			return stats, err
 		}
@@ -345,7 +354,7 @@ func (ix *Index) applyInsertsLocked(ups []Update, staged []stagedSE) ([]UpdateSt
 			if _, dup := seen[id]; dup {
 				continue
 			}
-			other := ix.db.Get(uncertain.ID(id))
+			other := w.db.Get(uncertain.ID(id))
 			if other == nil {
 				continue
 			}
@@ -353,7 +362,7 @@ func (ix *Index) applyInsertsLocked(ups []Update, staged []stagedSE) ([]UpdateSt
 			if other.Region.Intersects(u.Object.Region) {
 				continue
 			}
-			oldB, ok := ix.lookupUBR(id)
+			oldB, ok := w.lookupUBR(id)
 			if !ok {
 				continue
 			}
@@ -376,21 +385,21 @@ func (ix *Index) applyInsertsLocked(ups []Update, staged []stagedSE) ([]UpdateSt
 	seStats := make([]core.Stats, len(affected))
 	ix.parallelSE(len(affected), func(k int) {
 		a := affected[k]
-		other := ix.db.Get(uncertain.ID(a.id))
+		other := w.db.Get(uncertain.ID(a.id))
 		t0 := time.Now()
-		updatedB[k], seStats[k] = core.ComputeUBRAfterInsert(ix.db, ix.regionTree, other, a.oldB, ix.cfg.SE)
+		updatedB[k], seStats[k] = core.ComputeUBRAfterInsert(w.db, w.regionTree, other, a.oldB, ix.cfg.SE)
 		seDur[k] = time.Since(t0)
 	})
 	for k, a := range affected {
 		stats[a.op].SETime += seDur[k]
 		stats[a.op].SE.Add(seStats[k])
-		other := ix.db.Get(uncertain.ID(a.id))
+		other := w.db.Get(uncertain.ID(a.id))
 		t0 := time.Now()
-		if _, err := ix.primary.RemoveDiff(a.id, a.oldB, updatedB[k]); err != nil {
+		if _, err := w.primary.RemoveDiff(a.id, a.oldB, updatedB[k]); err != nil {
 			return stats, err
 		}
 		rec := record{UBR: updatedB[k], Region: other.Region, Instances: other.Instances}
-		if err := ix.putRecord(a.id, rec); err != nil {
+		if err := w.putRecord(a.id, rec); err != nil {
 			return stats, err
 		}
 		stats[a.op].IndexTime += time.Since(t0)
@@ -399,7 +408,7 @@ func (ix *Index) applyInsertsLocked(ups []Update, staged []stagedSE) ([]UpdateSt
 	// Phase 5: newcomers enter the primary and secondary indexes.
 	for i, u := range ups {
 		t0 := time.Now()
-		if err := ix.addObject(u.Object, finalB[i]); err != nil {
+		if err := w.addObject(u.Object, finalB[i]); err != nil {
 			return stats, err
 		}
 		stats[i].IndexTime += time.Since(t0)
@@ -408,9 +417,10 @@ func (ix *Index) applyInsertsLocked(ups []Update, staged []stagedSE) ([]UpdateSt
 }
 
 // parallelSE runs fn(0..n-1) across a worker pool sized to GOMAXPROCS —
-// used for the in-lock SE recomputation fan-outs, which are read-only over
-// the database and region tree. Each index is visited by exactly one
-// worker, so fn may write to per-index slots without synchronization.
+// used for the SE staging and recomputation fan-outs, which are read-only
+// over the database and region tree they run against. Each index is visited
+// by exactly one worker, so fn may write to per-index slots without
+// synchronization.
 func (ix *Index) parallelSE(n int, fn func(i int)) {
 	if n == 0 {
 		return
@@ -454,58 +464,82 @@ func (ix *Index) WAL() *wal.Log { return ix.wal }
 
 // WALSeq returns the sequence number of the last WAL record this index has
 // applied (0 if none). A snapshot saved at this value plus a replay of all
-// later WAL records reproduces the index's current state.
+// later WAL records reproduces the index's current state. Lock-free.
 func (ix *Index) WALSeq() uint64 {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.walSeq
+	return ix.current.Load().walSeq
 }
 
 // Recover replays every WAL record beyond the index's last applied
 // sequence — the tail the current snapshot is missing — and returns how
-// many updates it applied. A torn record at the log's tail (from a crash
-// mid-commit) ends recovery cleanly: that update was never acknowledged.
+// many updates it applied. The whole tail applies to one working version
+// (one database clone, one publish at the end), so replay cost stays
+// O(affected objects) per record, not O(index size); queries already being
+// served keep reading the pre-replay version until the single publish. A
+// torn record at the log's tail (from a crash mid-commit) ends recovery
+// cleanly: that update was never acknowledged. A replay error discards the
+// working version entirely — the index stays at its checkpoint state.
 func (ix *Index) Recover() (int, error) {
 	if ix.wal == nil {
 		return 0, fmt.Errorf("pvindex: Recover without an attached WAL")
 	}
 	ix.writerMu.Lock()
 	defer ix.writerMu.Unlock()
+	if err := ix.damagedErr(); err != nil {
+		return 0, err
+	}
 
+	base := ix.current.Load()
+	var w *working // created lazily on the first update record
+	lastSeq := base.walSeq
 	replayed := 0
-	err := ix.wal.Replay(ix.walSeq+1, func(rec wal.Record) error {
+	err := ix.wal.Replay(base.walSeq+1, func(rec wal.Record) error {
 		if rec.Type == wal.TypeCheckpoint {
-			ix.mu.Lock()
-			ix.walSeq = rec.Seq
-			ix.mu.Unlock()
+			lastSeq = rec.Seq
 			return nil
 		}
 		u, err := decodeUpdate(rec)
 		if err != nil {
 			return err
 		}
-		if err := ix.replayUpdate(u, rec.Seq); err != nil {
-			return fmt.Errorf("pvindex: replaying wal record %d: %w", rec.Seq, err)
+		if w == nil {
+			w = ix.newWorking(base)
 		}
+		var aerr error
+		switch u.Op {
+		case OpInsert:
+			_, _, aerr = w.applyInsert(u.Object, nil, seCold)
+		case OpDelete:
+			_, _, aerr = w.applyDelete(u.ID)
+		default:
+			aerr = fmt.Errorf("unknown op %d", u.Op)
+		}
+		if aerr != nil {
+			return fmt.Errorf("pvindex: replaying wal record %d: %w", rec.Seq, aerr)
+		}
+		lastSeq = rec.Seq
 		replayed++
 		return nil
 	})
-	return replayed, err
-}
-
-// replayUpdate applies one recovered update without re-logging it.
-func (ix *Index) replayUpdate(u Update, seq uint64) error {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.walSeq = seq
-	switch u.Op {
-	case OpInsert:
-		_, _, err := ix.applyInsertLocked(u.Object, nil, seCold)
-		return err
-	case OpDelete:
-		_, _, err := ix.applyDeleteLocked(u.ID)
-		return err
-	default:
-		return fmt.Errorf("pvindex: unknown op %d in wal", u.Op)
+	if err != nil {
+		if w != nil {
+			w.abort()
+		}
+		return replayed, err
 	}
+	switch {
+	case w != nil:
+		ix.publishWorking(w, lastSeq)
+	case lastSeq != base.walSeq:
+		// Only checkpoint records: acknowledge the advanced sequence with a
+		// structure-sharing publish.
+		ix.publish(&version{
+			epoch:      base.epoch + 1,
+			walSeq:     lastSeq,
+			db:         base.db,
+			primary:    base.primary,
+			secondary:  base.secondary,
+			regionTree: base.regionTree,
+		}, nil, nil)
+	}
+	return replayed, nil
 }

@@ -55,16 +55,18 @@ func TestApplyBatchMixedMatchesOracle(t *testing.T) {
 	}
 
 	// Several mixed batches: inserts of fresh IDs interleaved with deletes
-	// of random survivors.
+	// of random survivors (picked from the current version's database — the
+	// bootstrap handle is version 1's immutable snapshot).
 	nextID := uncertain.ID(5000)
 	for round := 0; round < 4; round++ {
+		cur := ix.DB()
 		var ups []Update
 		for i := 0; i < 6; i++ {
 			ups = append(ups, Update{Op: OpInsert, Object: newObj(rng, nextID, 2, 850, 30)})
 			nextID++
 		}
 		for i := 0; i < 4; i++ {
-			victim := db.Objects()[rng.Intn(db.Len())].ID
+			victim := cur.Objects()[rng.Intn(cur.Len())].ID
 			// Avoid deleting the same ID twice within one batch.
 			dup := false
 			for _, u := range ups {
@@ -136,8 +138,8 @@ func TestApplyBatchValidation(t *testing.T) {
 	if !errors.Is(err, uncertain.ErrDuplicateID) {
 		t.Fatalf("duplicate ID: got %v", err)
 	}
-	if db.Len() != n0 {
-		t.Fatalf("failed batch mutated the database (%d -> %d objects)", n0, db.Len())
+	if ix.DB().Len() != n0 {
+		t.Fatalf("failed batch mutated the database (%d -> %d objects)", n0, ix.DB().Len())
 	}
 
 	// Duplicate within the batch itself.
@@ -161,8 +163,8 @@ func TestApplyBatchValidation(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("delete+reinsert batch: %v", err)
 	}
-	if db.Len() != n0 {
-		t.Fatalf("delete+reinsert changed cardinality (%d -> %d)", n0, db.Len())
+	if ix.DB().Len() != n0 {
+		t.Fatalf("delete+reinsert changed cardinality (%d -> %d)", n0, ix.DB().Len())
 	}
 	assertMatchesBruteforce(t, ix, rng, 500, 2, 60)
 
@@ -186,9 +188,10 @@ func TestApplyBatchKeepsRecordCacheCoherent(t *testing.T) {
 		}
 	}
 	// A batch that rewrites many records (deletes grow neighbors' UBRs).
+	cur := ix.DB()
 	var ups []Update
 	for i := 0; i < 10; i++ {
-		ups = append(ups, Update{Op: OpDelete, ID: db.Objects()[rng.Intn(db.Len()-i)].ID})
+		ups = append(ups, Update{Op: OpDelete, ID: cur.Objects()[rng.Intn(cur.Len()-i)].ID})
 		ups = append(ups, Update{Op: OpInsert, Object: newObj(rng, uncertain.ID(8000+i), 2, 650, 25)})
 	}
 	// Dedup batch-internal delete collisions.
@@ -209,7 +212,7 @@ func TestApplyBatchKeepsRecordCacheCoherent(t *testing.T) {
 	// Every surviving object's cached record must match its stored truth:
 	// UBR lookups and instance fetches go through the cache.
 	assertMatchesBruteforce(t, ix, rng, 700, 2, 80)
-	for _, o := range db.Objects() {
+	for _, o := range ix.DB().Objects() {
 		ins, err := ix.Instances(o.ID)
 		if err != nil {
 			t.Fatal(err)
@@ -235,11 +238,12 @@ func TestApplyBatchWALRecovery(t *testing.T) {
 	ix.AttachWAL(log)
 
 	applyRound := func(round int) {
+		cur := ix.DB()
 		var ups []Update
 		for i := 0; i < 5; i++ {
 			ups = append(ups, Update{Op: OpInsert, Object: newObj(rng, uncertain.ID(6000+round*10+i), 2, 750, 25)})
 		}
-		ups = append(ups, Update{Op: OpDelete, ID: db.Objects()[rng.Intn(db.Len())].ID})
+		ups = append(ups, Update{Op: OpDelete, ID: cur.Objects()[rng.Intn(cur.Len())].ID})
 		if _, err := ix.ApplyBatch(ups); err != nil {
 			t.Fatal(err)
 		}
@@ -294,10 +298,10 @@ func TestApplyBatchWALRecovery(t *testing.T) {
 
 	// The recovered index must agree with brute force over its own replayed
 	// database — and that database must equal the live one.
-	if recovered.DB().Len() != db.Len() {
-		t.Fatalf("recovered database has %d objects, live has %d", recovered.DB().Len(), db.Len())
+	if recovered.DB().Len() != ix.DB().Len() {
+		t.Fatalf("recovered database has %d objects, live has %d", recovered.DB().Len(), ix.DB().Len())
 	}
-	for _, o := range db.Objects() {
+	for _, o := range ix.DB().Objects() {
 		if recovered.DB().Get(o.ID) == nil {
 			t.Fatalf("object %d missing after recovery", o.ID)
 		}
@@ -424,19 +428,17 @@ func TestApplyBatchChurnWithConcurrentQueries(t *testing.T) {
 		}(int64(100 + r))
 	}
 
-	// Writer: 12 rounds of mixed batches.
+	// Writer: 12 rounds of mixed batches. Victims come from the current
+	// version's database — immutable, so no lock is needed, and nobody else
+	// writes concurrently.
 	wrng := rand.New(rand.NewSource(200))
 	for round := 0; round < 12; round++ {
 		var ups []Update
 		for i := 0; i < 4; i++ {
 			ups = append(ups, Update{Op: OpInsert, Object: newObj(wrng, uncertain.ID(4000+round*4+i), 2, 650, 25)})
 		}
-		func() {
-			ix.mu.RLock()
-			defer ix.mu.RUnlock()
-			// Pick a live victim under the read lock.
-			ups = append(ups, Update{Op: OpDelete, ID: ix.db.Objects()[wrng.Intn(ix.db.Len())].ID})
-		}()
+		cur := ix.DB()
+		ups = append(ups, Update{Op: OpDelete, ID: cur.Objects()[wrng.Intn(cur.Len())].ID})
 		if _, err := ix.ApplyBatch(ups); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
@@ -489,35 +491,99 @@ func TestWALCodecRoundTrip(t *testing.T) {
 	}
 }
 
-func TestMidApplyFailurePoisonsIndex(t *testing.T) {
+// TestMidApplyFailureRollsBack exercises a batch that dies mid-apply on a
+// page-limited store. Under MVCC the working version is simply discarded:
+// the published version keeps serving, queries stay correct against the
+// pre-batch oracle, and — with no WAL attached — later writes and snapshots
+// proceed normally.
+func TestMidApplyFailureRollsBack(t *testing.T) {
 	rng := rand.New(rand.NewSource(19))
 	db := randomDB(rng, 50, 2, 500, 25, true)
-	// Find a page budget that lets the build succeed, then rebuild with just
-	// a little headroom so a fat insert batch fails mid-apply.
+	// Find a page budget that lets the build succeed, then rebuild with
+	// headroom for one small batch but not a fat one. COW shadow pages and
+	// deferred frees mean an update needs some slack beyond the live set.
 	probe, err := Build(db.Clone(), testConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	live := probe.Store().Live()
 	cfg := testConfig()
-	cfg.Store = pagestore.NewLimited(pagestore.DefaultPageSize, live+3)
+	cfg.Store = pagestore.NewLimited(pagestore.DefaultPageSize, live+40)
 	ix, err := Build(db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	n0 := ix.DB().Len()
 
 	var ups []Update
-	for i := 0; i < 20; i++ {
+	for i := 0; i < 40; i++ {
 		o := newObj(rng, uncertain.ID(5000+i), 2, 450, 20)
-		o.Instances = uncertain.SampleInstances(o.Region, uncertain.PDFUniform, 50, rng)
+		o.Instances = uncertain.SampleInstances(o.Region, uncertain.PDFUniform, 80, rng)
 		ups = append(ups, Update{Op: OpInsert, Object: o})
 	}
 	if _, err := ix.ApplyBatch(ups); err == nil {
 		t.Skip("page limit not reached; cannot exercise the mid-apply path")
 	}
 
-	// The index is now half-applied: snapshots and further writes must be
-	// refused so the damage can never become durable.
+	// The failed batch never published: cardinality is unchanged and every
+	// query still agrees with the pre-batch brute-force oracle.
+	if ix.DB().Len() != n0 {
+		t.Fatalf("failed batch published: %d -> %d objects", n0, ix.DB().Len())
+	}
+	assertMatchesBruteforce(t, ix, rng, 500, 2, 40)
+
+	// Without a WAL the rollback is complete: snapshots and further writes
+	// keep working (the aborted batch's pages were returned to the store).
+	var buf bytes.Buffer
+	if err := ix.SaveTo(&buf); err != nil {
+		t.Fatalf("snapshot after clean rollback refused: %v", err)
+	}
+	if _, err := ix.Insert(newObj(rng, 9999, 2, 450, 20)); err != nil {
+		t.Fatalf("write after clean rollback refused: %v", err)
+	}
+	assertMatchesBruteforce(t, ix, rng, 500, 2, 40)
+}
+
+// TestMidApplyFailureWithWALPoisonsWrites is the durable-mode counterpart:
+// once a batch has been fsynced to the WAL, a mid-apply failure must
+// fail-stop the write and persistence paths (the log says committed, memory
+// says rolled back — recovery is the only consistent way forward). Queries
+// keep serving the intact published version.
+func TestMidApplyFailureWithWALPoisonsWrites(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	db := randomDB(rng, 50, 2, 500, 25, true)
+	probe, err := Build(db.Clone(), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := probe.Store().Live()
+	cfg := testConfig()
+	cfg.Store = pagestore.NewLimited(pagestore.DefaultPageSize, live+40)
+	log, err := wal.Open(t.TempDir(), wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	cfg.WAL = log
+	ix, err := Build(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ups []Update
+	for i := 0; i < 40; i++ {
+		o := newObj(rng, uncertain.ID(5000+i), 2, 450, 20)
+		o.Instances = uncertain.SampleInstances(o.Region, uncertain.PDFUniform, 80, rng)
+		ups = append(ups, Update{Op: OpInsert, Object: o})
+	}
+	if _, err := ix.ApplyBatch(ups); err == nil {
+		t.Skip("page limit not reached; cannot exercise the mid-apply path")
+	}
+
+	// Queries still serve the last published version...
+	assertMatchesBruteforce(t, ix, rng, 500, 2, 40)
+	// ...but writes and snapshots are refused: the WAL holds a batch the
+	// caller was told failed, and persisting around it would strand it.
 	var buf bytes.Buffer
 	if err := ix.SaveTo(&buf); err == nil {
 		t.Fatal("snapshot of a damaged index was accepted")

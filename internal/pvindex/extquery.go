@@ -10,10 +10,10 @@ import (
 
 // Extension-query retrieval rides the index's region R*-tree (the same tree
 // SE consults) instead of scanning the raw database, and follows the same
-// lock discipline as PNNQ's Snapshot: candidate retrieval and the instance
-// fetch happen atomically under the read lock, while the expensive
-// probability refinement runs on the returned snapshot outside it, so long
-// extension queries never stall writers.
+// MVCC discipline as PNNQ's Snapshot: candidate retrieval and the instance
+// fetch both read one pinned version, while the expensive probability
+// refinement runs on the returned snapshot afterwards — extension queries
+// never block writers, and writers never block them.
 
 // ExtCost attributes the retrieval cost of one extension query: candidate
 // count, R-tree node/leaf accesses, and the record-cache outcomes of the
@@ -27,22 +27,22 @@ type ExtCost struct {
 }
 
 // ExtSnapshot is an atomic extension-query read: the candidate IDs and each
-// candidate's stored pdf instances (parallel slice), fetched under one read
-// lock so a concurrent writer can never remove a candidate between retrieval
-// and the data access. Instance slices may be shared with the record cache —
-// treat them as immutable.
+// candidate's stored pdf instances (parallel slice), fetched from one pinned
+// version so a concurrent writer can never remove a candidate between
+// retrieval and the data access. Instance slices may be shared with the
+// record cache — treat them as immutable.
 type ExtSnapshot struct {
 	IDs       []uncertain.ID
 	Instances [][]uncertain.Instance
 	Cost      ExtCost
 }
 
-// fetchInstancesLocked resolves each candidate's stored instances through the
-// record cache, accumulating hit/miss counts. Callers hold ix.mu.
-func (ix *Index) fetchInstancesLocked(ids []uncertain.ID, cost *ExtCost) ([][]uncertain.Instance, error) {
+// fetchInstancesAt resolves each candidate's stored instances through the
+// record cache against a pinned version, accumulating hit/miss counts.
+func (ix *Index) fetchInstancesAt(v *version, ids []uncertain.ID, cost *ExtCost) ([][]uncertain.Instance, error) {
 	out := make([][]uncertain.Instance, len(ids))
 	for i, id := range ids {
-		rec, ok, hit, err := ix.getRecord(uint32(id))
+		rec, ok, hit, err := ix.getRecordAt(v, uint32(id))
 		if err != nil {
 			return nil, err
 		}
@@ -61,14 +61,14 @@ func (ix *Index) fetchInstancesLocked(ids []uncertain.ID, cost *ExtCost) ([][]un
 
 // GroupNNSnapshot retrieves the group-NN candidate set (branch-and-bound
 // over the region tree with aggregate min/max distance bounds) plus each
-// candidate's instances, atomically.
+// candidate's instances, atomically from one pinned version.
 func (ix *Index) GroupNNSnapshot(qs []geom.Point, agg extquery.Agg) (*ExtSnapshot, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	ids, tc := extquery.GroupNNCandidatesTree(ix.regionTree, qs, agg)
+	v := ix.pin()
+	defer ix.unpin(v)
+	ids, tc := extquery.GroupNNCandidatesTree(v.regionTree, qs, agg)
 	snap := &ExtSnapshot{IDs: ids, Cost: ExtCost{Candidates: len(ids), NodeIO: tc.Nodes, LeafIO: tc.Leaves}}
 	var err error
-	snap.Instances, err = ix.fetchInstancesLocked(ids, &snap.Cost)
+	snap.Instances, err = ix.fetchInstancesAt(v, ids, &snap.Cost)
 	if err != nil {
 		return nil, err
 	}
@@ -78,22 +78,22 @@ func (ix *Index) GroupNNSnapshot(qs []geom.Point, agg extquery.Agg) (*ExtSnapsho
 // GroupNNCandidatesOnly is GroupNNSnapshot without the instance fetch, for
 // callers that need just the candidate IDs.
 func (ix *Index) GroupNNCandidatesOnly(qs []geom.Point, agg extquery.Agg) ([]uncertain.ID, ExtCost, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	ids, tc := extquery.GroupNNCandidatesTree(ix.regionTree, qs, agg)
+	v := ix.pin()
+	defer ix.unpin(v)
+	ids, tc := extquery.GroupNNCandidatesTree(v.regionTree, qs, agg)
 	return ids, ExtCost{Candidates: len(ids), NodeIO: tc.Nodes, LeafIO: tc.Leaves}, nil
 }
 
 // KNNSnapshot retrieves the possible k-NN candidate set (incremental
 // best-first traversal with k-th-maxdist pruning) plus each candidate's
-// instances, atomically.
+// instances, atomically from one pinned version.
 func (ix *Index) KNNSnapshot(q geom.Point, k int) (*ExtSnapshot, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	ids, tc := extquery.KNNCandidatesTree(ix.regionTree, q, k)
+	v := ix.pin()
+	defer ix.unpin(v)
+	ids, tc := extquery.KNNCandidatesTree(v.regionTree, q, k)
 	snap := &ExtSnapshot{IDs: ids, Cost: ExtCost{Candidates: len(ids), NodeIO: tc.Nodes, LeafIO: tc.Leaves}}
 	var err error
-	snap.Instances, err = ix.fetchInstancesLocked(ids, &snap.Cost)
+	snap.Instances, err = ix.fetchInstancesAt(v, ids, &snap.Cost)
 	if err != nil {
 		return nil, err
 	}
@@ -106,8 +106,8 @@ func (ix *Index) KNNSnapshot(q geom.Point, k int) (*ExtSnapshot, error) {
 // domination counts). Reverse NN is candidate-set only, so there is no
 // instance snapshot to fetch.
 func (ix *Index) RNNCandidates(q geom.Point) ([]uncertain.ID, ExtCost, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	ids, tc := extquery.RNNCandidatesTree(ix.regionTree, q, ix.cfg.SE.MaxDepth)
+	v := ix.pin()
+	defer ix.unpin(v)
+	ids, tc := extquery.RNNCandidatesTree(v.regionTree, q, ix.cfg.SE.MaxDepth)
 	return ids, ExtCost{Candidates: len(ids), NodeIO: tc.Nodes, LeafIO: tc.Leaves}, nil
 }

@@ -6,9 +6,7 @@ import (
 	"time"
 
 	"pvoronoi/internal/core"
-	"pvoronoi/internal/exthash"
 	"pvoronoi/internal/geom"
-	"pvoronoi/internal/octree"
 	"pvoronoi/internal/pagestore"
 	"pvoronoi/internal/rtree"
 	"pvoronoi/internal/uncertain"
@@ -35,25 +33,14 @@ func BuildParallel(db *uncertain.DB, cfg Config, workers int) (*Index, error) {
 	if cfg.Fanout <= 0 {
 		cfg.Fanout = rtree.DefaultFanout
 	}
-	ix := &Index{db: db, store: cfg.Store, cfg: cfg}
+	ix := &Index{store: cfg.Store, cfg: cfg}
 	ix.initRuntime()
 
 	start := time.Now()
-	var err error
-	ix.secondary, err = exthash.New(cfg.Store)
+	w, err := ix.bootstrapWorking(db)
 	if err != nil {
 		return nil, err
 	}
-	ix.primary, err = octree.New(octree.Config{
-		Domain:    db.Domain,
-		Store:     cfg.Store,
-		Lookup:    ix.lookupUBR,
-		MemBudget: cfg.MemBudget,
-	})
-	if err != nil {
-		return nil, err
-	}
-	ix.regionTree = core.BuildRegionTree(db, cfg.Fanout)
 
 	objs := db.Objects()
 	ubrs := make([]geom.Rect, len(objs))
@@ -63,12 +50,12 @@ func BuildParallel(db *uncertain.DB, cfg Config, workers int) (*Index, error) {
 	// its structure; structural reads are safe concurrently.
 	var wg sync.WaitGroup
 	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
+	for wkr := 0; wkr < workers; wkr++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				ubrs[i], seStats[i] = core.ComputeUBR(db, ix.regionTree, objs[i], cfg.SE)
+				ubrs[i], seStats[i] = core.ComputeUBR(db, w.regionTree, objs[i], cfg.SE)
 			}
 		}()
 	}
@@ -84,12 +71,13 @@ func BuildParallel(db *uncertain.DB, cfg Config, workers int) (*Index, error) {
 		ix.Build.CSetTime += seStats[i].CSetTime
 		ix.Build.UBRTime += seStats[i].UBRTime
 		ix.Build.CSetSizeSum += seStats[i].CSetSize
-		if err := ix.addObject(o, ubrs[i]); err != nil {
+		if err := w.addObject(o, ubrs[i]); err != nil {
 			return nil, err
 		}
 		ix.Build.Objects++
 	}
 	ix.Build.InsertTime = time.Since(t0)
 	ix.Build.Total = time.Since(start)
+	ix.installBootstrap(w, 0)
 	return ix, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"pvoronoi/internal/core"
 	"pvoronoi/internal/exthash"
+	"pvoronoi/internal/geom"
 	"pvoronoi/internal/octree"
 	"pvoronoi/internal/pagestore"
 	"pvoronoi/internal/rtree"
@@ -42,53 +43,71 @@ type indexImage struct {
 // and configuration) to w. The database itself is not written — it is the
 // caller's input at load time, matching the paper's separation of data and
 // access structure. Durable deployments that must also persist the data use
-// SnapshotWith, which saves both under one lock.
+// SnapshotWith, which saves both from one pinned version.
+//
+// Serialization pins the current version and runs entirely off-lock:
+// writers publish new versions freely while the pinned one streams out, and
+// only the pages reachable from the pinned version are captured (a page a
+// writer shadow-copies mid-save is still intact in the pinned version).
 func (ix *Index) SaveTo(w io.Writer) error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.saveLocked(w)
+	v := ix.pin()
+	defer ix.unpin(v)
+	return ix.saveVersion(w, v)
 }
 
-// saveLocked is SaveTo without locking. Callers hold ix.mu (either mode).
-func (ix *Index) saveLocked(w io.Writer) error {
-	if ix.damaged != nil {
-		return fmt.Errorf("pvindex: refusing to snapshot a damaged index: %w", ix.damaged)
+// saveVersion serializes one pinned version.
+func (ix *Index) saveVersion(w io.Writer, v *version) error {
+	if err := ix.damagedErr(); err != nil {
+		return fmt.Errorf("pvindex: refusing to snapshot a damaged index: %w", err)
+	}
+	pages, err := v.primary.CollectPages(nil)
+	if err != nil {
+		return err
+	}
+	pages, err = v.secondary.CollectPages(pages)
+	if err != nil {
+		return err
+	}
+	storeImg, err := ix.store.ImageOf(pages)
+	if err != nil {
+		return err
 	}
 	img := indexImage{
 		Magic:           persistMagic,
 		SE:              ix.cfg.SE,
 		MemBudget:       ix.cfg.MemBudget,
 		Fanout:          ix.cfg.Fanout,
-		Objects:         ix.db.Len(),
+		Objects:         v.db.Len(),
 		RecordCacheSize: ix.cfg.RecordCacheSize,
-		WALSeq:          ix.walSeq,
-		Store:           ix.store.Image(),
-		Primary:         ix.primary.Image(),
-		Secondary:       ix.secondary.Image(),
+		WALSeq:          v.walSeq,
+		Store:           storeImg,
+		Primary:         v.primary.Image(),
+		Secondary:       v.secondary.Image(),
 	}
 	return gob.NewEncoder(w).Encode(&img)
 }
 
-// SnapshotWith writes a mutually consistent snapshot pair under one read
-// lock: fn runs first (typically saving the database), then the index image
-// is written to w. Because the lock is held across both, no writer can slip
-// an update between the database's state and the index's — the invariant a
-// durable checkpoint depends on.
+// SnapshotWith writes a mutually consistent snapshot pair from one pinned
+// version: fn runs first (typically saving the database), then the index
+// image is written to w. Both read the same immutable version, so no writer
+// can slip an update between the database's state and the index's — the
+// invariant a durable checkpoint depends on — and neither holds any lock:
+// writers keep committing while the checkpoint streams.
 func (ix *Index) SnapshotWith(w io.Writer, fn func(db *uncertain.DB) error) (walSeq uint64, err error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if ix.damaged != nil {
-		return 0, fmt.Errorf("pvindex: refusing to snapshot a damaged index: %w", ix.damaged)
+	v := ix.pin()
+	defer ix.unpin(v)
+	if err := ix.damagedErr(); err != nil {
+		return 0, fmt.Errorf("pvindex: refusing to snapshot a damaged index: %w", err)
 	}
 	if fn != nil {
-		if err := fn(ix.db); err != nil {
+		if err := fn(v.db); err != nil {
 			return 0, err
 		}
 	}
-	if err := ix.saveLocked(w); err != nil {
+	if err := ix.saveVersion(w, v); err != nil {
 		return 0, err
 	}
-	return ix.walSeq, nil
+	return v.walSeq, nil
 }
 
 // LoadFrom reconstructs an index from r over the given database. The
@@ -110,9 +129,7 @@ func LoadFrom(r io.Reader, db *uncertain.DB) (*Index, error) {
 		return nil, err
 	}
 	ix := &Index{
-		db:     db,
-		store:  store,
-		walSeq: img.WALSeq,
+		store: store,
 		cfg: Config{
 			Store:           store,
 			MemBudget:       img.MemBudget,
@@ -122,11 +139,25 @@ func LoadFrom(r io.Reader, db *uncertain.DB) (*Index, error) {
 		},
 	}
 	ix.initRuntime()
-	ix.secondary, err = exthash.FromImage(store, img.Secondary)
+	secondary, err := exthash.FromImage(store, img.Secondary)
 	if err != nil {
 		return nil, err
 	}
-	ix.primary, err = octree.FromImage(store, ix.lookupUBR, img.Primary)
+	// The loaded octree's lookup reads the secondary index directly; it is
+	// only consulted by mutations, which run on CloneCOW descendants wired
+	// to the writer's own view.
+	lookup := func(id uint32) (geom.Rect, bool) {
+		buf, found, err := secondary.Get(id)
+		if err != nil || !found {
+			return geom.Rect{}, false
+		}
+		rec, err := decodeRecord(buf)
+		if err != nil {
+			return geom.Rect{}, false
+		}
+		return rec.UBR, true
+	}
+	primary, err := octree.FromImage(store, lookup, img.Primary)
 	if err != nil {
 		return nil, err
 	}
@@ -134,11 +165,20 @@ func LoadFrom(r io.Reader, db *uncertain.DB) (*Index, error) {
 	if fanout <= 0 {
 		fanout = rtree.DefaultFanout
 	}
-	ix.regionTree = core.BuildRegionTree(db, fanout)
+	regionTree := core.BuildRegionTree(db, fanout)
+
+	ix.current.Store(&version{
+		epoch:      1,
+		walSeq:     img.WALSeq,
+		db:         db,
+		primary:    primary,
+		secondary:  secondary,
+		regionTree: regionTree,
+	})
 
 	// Sanity: every database object must have a stored record.
 	for _, o := range db.Objects() {
-		if _, ok := ix.lookupUBR(uint32(o.ID)); !ok {
+		if _, ok := lookup(uint32(o.ID)); !ok {
 			return nil, fmt.Errorf("pvindex: object %d missing from loaded index", o.ID)
 		}
 	}

@@ -154,11 +154,14 @@ func TestSaveLoadAfterUpdateTraffic(t *testing.T) {
 		}
 	}
 
+	// Load against the current version's database — the bootstrap handle is
+	// version 1's snapshot and no longer matches the updated index.
+	cur := ix.DB()
 	var buf bytes.Buffer
 	if err := ix.SaveTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	loaded, err := LoadFrom(&buf, db)
+	loaded, err := LoadFrom(&buf, cur)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,11 +178,11 @@ func TestSaveLoadAfterUpdateTraffic(t *testing.T) {
 		if !sameIDs(idsOf(a), idsOf(b)) {
 			t.Fatalf("q=%v: original %v loaded %v", q, idsOf(a), idsOf(b))
 		}
-		if !sameIDs(idsOf(b), bruteforce.PossibleNN(db, q)) {
+		if !sameIDs(idsOf(b), bruteforce.PossibleNN(cur, q)) {
 			t.Fatalf("q=%v: loaded updated index wrong vs brute force", q)
 		}
 	}
-	for _, o := range db.Objects() {
+	for _, o := range cur.Objects() {
 		ua, _ := ix.UBR(o.ID)
 		ub, ok := loaded.UBR(o.ID)
 		if !ok || !ua.Equal(ub) {
@@ -191,7 +194,7 @@ func TestSaveLoadAfterUpdateTraffic(t *testing.T) {
 		}
 	}
 	// The loaded index keeps supporting updates.
-	if _, err := loaded.Delete(db.Objects()[0].ID); err != nil {
+	if _, err := loaded.Delete(cur.Objects()[0].ID); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pvoronoi/internal/core"
@@ -58,47 +59,51 @@ type BuildStats struct {
 	SE          core.Stats
 }
 
-// Index is a built PV-index over a database. It is safe for concurrent use:
-// queries (PossibleNN, Instances, UBR, Snapshot reads) share a read lock and
-// run in parallel; Insert and Delete take the write lock and serialize
-// against everything else. The octree, hash table, region tree and database
-// are all guarded by this one lock — they are never safe to mutate
-// concurrently on their own.
+// Index is a built PV-index over a database, served through epoch-based
+// MVCC: the entire index state — database, octree, secondary-index records,
+// region R*-tree, WAL position — lives in an immutable version published
+// via an atomic pointer. Queries pin the current version with two atomic
+// operations and never take a lock, so they proceed at full speed while
+// ApplyBatch builds the next version copy-on-write and publishes it with a
+// single pointer swap. Retired versions are reclaimed by an epoch/refcount
+// sweep once their last in-flight reader drains (see version.go).
 type Index struct {
-	mu         sync.RWMutex
-	db         *uncertain.DB
-	store      *pagestore.Store
-	primary    *octree.Tree
-	secondary  *exthash.Table
-	regionTree *rtree.Tree
-	cfg        Config
+	// current is the published version every new reader pins.
+	current atomic.Pointer[version]
 
-	// writerMu serializes whole update batches (stage + log + apply), so a
-	// batch's staged SE work and its WAL order can never interleave with
-	// another writer's. Acquired before mu; queries never touch it.
+	store *pagestore.Store
+	cfg   Config
+
+	// writerMu serializes whole update batches (stage + log + build +
+	// publish), so a batch's staged SE work and its WAL order can never
+	// interleave with another writer's. Readers never touch it.
 	writerMu sync.Mutex
 	// wal, when attached, receives every update batch before it applies.
+	// Mutated only via AttachWAL before serving writers.
 	wal *wal.Log
-	// walSeq is the sequence number of the last applied WAL record (0 when
-	// none). Guarded by mu; persisted in snapshots so recovery knows where
-	// replay starts.
-	walSeq uint64
-	// batchDirty, non-nil only while a batch applies under the write lock,
-	// collects the IDs of mutated records for the batch's single coalesced
-	// cache-invalidation pass; getRecord bypasses the cache for IDs in it.
-	batchDirty map[uint32]struct{}
-	// damaged is set when a batch failed mid-apply: the index is then in a
-	// half-applied state, so further writes and — critically — snapshots
-	// are refused. A snapshot of a damaged index stamped with the batch's
-	// WAL sequence would persist the corruption and cut off the WAL replay
-	// that could still heal it. Guarded by mu.
-	damaged error
 
-	// rcache holds decoded secondary-index records; writers invalidate
-	// touched IDs under the write lock (see recordcache.go).
+	// dmg, guarded by dmgMu, is set when a WAL-logged batch failed to
+	// apply: the in-memory rollback was clean (the working version is
+	// simply discarded), but the log now holds a batch the caller was told
+	// failed. Further writes and persistence snapshots are refused so the
+	// divergence can never compound or become durable; queries keep
+	// serving the last published version.
+	dmgMu sync.Mutex
+	dmg   error
+
+	// rcache holds decoded secondary-index records, generation-tagged so
+	// readers pinned to different versions can share it (recordcache.go).
 	rcache *recordCache
 	// scratch pools per-query working memory for the Step-1 hot loop.
 	scratch sync.Pool
+
+	// reclaimMu guards the retired-version queue (version.go).
+	reclaimMu sync.Mutex
+	retired   []*version
+	reclaims  int64
+	// prunedTo is the oldest-pinnable epoch the cache generation table was
+	// last pruned against (guarded by reclaimMu).
+	prunedTo uint64
 
 	// Build records the construction cost profile.
 	Build BuildStats
@@ -124,9 +129,102 @@ func (ix *Index) initRuntime() {
 	}
 }
 
+// working is the writer's mutable view while it builds the next version:
+// a cloned database, copy-on-write handles over the octree, secondary index
+// and region tree, the deferred-free list shared by both page-backed
+// structures, and the set of record IDs rewritten so far (for the cache
+// generation bump at publish and for the writer's own read-your-writes).
+// In bootstrap mode (construction, load) there is no predecessor version:
+// structures mutate in place and no dirty tracking is needed.
+type working struct {
+	ix        *Index
+	epoch     uint64 // epoch this working set publishes as
+	baseEpoch uint64 // epoch writer-side cache fills are tagged with
+
+	db         *uncertain.DB
+	primary    *octree.Tree
+	secondary  *exthash.Table
+	regionTree *rtree.Tree
+
+	freed []pagestore.PageID
+	dirty map[uint32]struct{} // nil in bootstrap mode
+}
+
+// bootstrapWorking creates the construction-time working set over db.
+func (ix *Index) bootstrapWorking(db *uncertain.DB) (*working, error) {
+	w := &working{ix: ix, epoch: 1, baseEpoch: 1, db: db}
+	var err error
+	w.secondary, err = exthash.New(ix.store)
+	if err != nil {
+		return nil, err
+	}
+	w.primary, err = octree.New(octree.Config{
+		Domain:    db.Domain,
+		Store:     ix.store,
+		Lookup:    w.lookupUBR,
+		MemBudget: ix.cfg.MemBudget,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.regionTree = core.BuildRegionTree(db, ix.cfg.Fanout)
+	return w, nil
+}
+
+// newWorking derives the writer's view for the next version from base:
+// O(n) only in the database clone (bookkeeping maps over shared object
+// pointers); the trees start as O(1) copy-on-write handles.
+func (ix *Index) newWorking(base *version) *working {
+	w := &working{
+		ix:        ix,
+		epoch:     base.epoch + 1,
+		baseEpoch: base.epoch,
+		db:        base.db.Clone(),
+		dirty:     make(map[uint32]struct{}),
+	}
+	w.regionTree = base.regionTree.CloneCOW()
+	w.secondary = base.secondary.CloneCOW(&w.freed)
+	w.primary = base.primary.CloneCOW(w.lookupUBR, &w.freed)
+	return w
+}
+
+// abort discards a working set after a mid-apply failure: pages it
+// allocated are invisible to every published version and return to the
+// store immediately; its deferred frees are dropped (the old version keeps
+// serving them). The published state is untouched — MVCC makes a failed
+// batch a clean rollback.
+func (w *working) abort() {
+	w.primary.AbortCOW()
+	w.secondary.AbortCOW()
+}
+
+// seal freezes the working set into a publishable version.
+func (w *working) seal(walSeq uint64) *version {
+	return &version{
+		epoch:      w.epoch,
+		walSeq:     walSeq,
+		db:         w.db,
+		primary:    w.primary,
+		secondary:  w.secondary,
+		regionTree: w.regionTree,
+	}
+}
+
+// publishWorking seals w and swaps it in as the current version.
+func (ix *Index) publishWorking(w *working, walSeq uint64) {
+	ix.publish(w.seal(walSeq), w.freed, w.dirty)
+}
+
+// installBootstrap publishes the construction result as version 1 (no
+// predecessor to retire).
+func (ix *Index) installBootstrap(w *working, walSeq uint64) {
+	ix.current.Store(w.seal(walSeq))
+}
+
 // Build constructs the PV-index for every object in db. The database is
-// referenced, not copied: subsequent Insert/Delete calls on the index keep
-// db and the index in sync.
+// adopted as version 1's snapshot: subsequent ApplyBatch/Insert/Delete
+// calls publish new versions with cloned bookkeeping, so read the current
+// database through Index.DB() or View rather than the original pointer.
 func Build(db *uncertain.DB, cfg Config) (*Index, error) {
 	if cfg.Store == nil {
 		cfg.Store = pagestore.New(pagestore.DefaultPageSize)
@@ -137,69 +235,106 @@ func Build(db *uncertain.DB, cfg Config) (*Index, error) {
 	if cfg.Fanout <= 0 {
 		cfg.Fanout = rtree.DefaultFanout
 	}
-	ix := &Index{db: db, store: cfg.Store, cfg: cfg}
+	ix := &Index{store: cfg.Store, cfg: cfg}
 	ix.initRuntime()
 
 	start := time.Now()
-	var err error
-	ix.secondary, err = exthash.New(cfg.Store)
+	w, err := ix.bootstrapWorking(db)
 	if err != nil {
 		return nil, err
 	}
-	ix.primary, err = octree.New(octree.Config{
-		Domain:    db.Domain,
-		Store:     cfg.Store,
-		Lookup:    ix.lookupUBR,
-		MemBudget: cfg.MemBudget,
-	})
-	if err != nil {
-		return nil, err
-	}
-	ix.regionTree = core.BuildRegionTree(db, cfg.Fanout)
-
 	for _, o := range db.Objects() {
-		ubr, st := core.ComputeUBR(db, ix.regionTree, o, cfg.SE)
+		ubr, st := core.ComputeUBR(db, w.regionTree, o, cfg.SE)
 		ix.Build.SE.Add(st)
 		ix.Build.CSetTime += st.CSetTime
 		ix.Build.UBRTime += st.UBRTime
 		ix.Build.CSetSizeSum += st.CSetSize
 		t0 := time.Now()
-		if err := ix.addObject(o, ubr); err != nil {
+		if err := w.addObject(o, ubr); err != nil {
 			return nil, err
 		}
 		ix.Build.InsertTime += time.Since(t0)
 		ix.Build.Objects++
 	}
 	ix.Build.Total = time.Since(start)
+	ix.installBootstrap(w, 0)
 	return ix, nil
 }
 
-// getRecord returns the decoded record for id, serving from the record
-// cache when possible and filling it on a miss. hit reports whether this
-// call was a cache hit. The returned record's slices are shared with the
-// cache — callers must treat them as immutable. Callers hold ix.mu (either
-// mode; read-lock holders never race invalidation, which needs the write
-// lock).
-func (ix *Index) getRecord(id uint32) (rec record, ok bool, hit bool, err error) {
-	if _, dirty := ix.batchDirty[id]; dirty {
-		// Mid-batch read of a record this batch already rewrote: its cached
-		// copy is stale until the batch's coalesced invalidation pass runs,
-		// so bypass the cache entirely (no fill either — the entry would be
-		// invalidated moments later anyway).
-		buf, found, err := ix.secondary.Get(id)
-		if err != nil || !found {
-			return record{}, false, false, err
-		}
-		rec, err = decodeRecord(buf)
-		if err != nil {
-			return record{}, false, false, err
-		}
-		return rec, true, false, nil
+// getRecord is the writer's record read: it bypasses the cache for IDs this
+// batch already rewrote (the cached copy describes the predecessor version)
+// and otherwise serves and fills the shared cache at the base epoch.
+func (w *working) getRecord(id uint32) (rec record, ok bool, err error) {
+	dirty := false
+	if w.dirty != nil {
+		_, dirty = w.dirty[id]
 	}
-	if rec, ok := ix.rcache.get(id); ok {
+	if !dirty {
+		if rec, ok := w.ix.rcache.get(id, w.baseEpoch); ok {
+			return rec, true, nil
+		}
+	}
+	buf, found, err := w.secondary.Get(id)
+	if err != nil || !found {
+		return record{}, false, err
+	}
+	rec, err = decodeRecord(buf)
+	if err != nil {
+		return record{}, false, err
+	}
+	if !dirty {
+		w.ix.rcache.put(id, rec, w.baseEpoch)
+	}
+	return rec, true, nil
+}
+
+// putRecord writes o's record to the working secondary index and marks the
+// ID dirty so the cache generation bumps at publish.
+func (w *working) putRecord(id uint32, rec record) error {
+	if err := w.secondary.Put(id, encodeRecord(rec)); err != nil {
+		return err
+	}
+	w.markDirty(id)
+	return nil
+}
+
+// markDirty records that id's stored bytes changed in this working set.
+func (w *working) markDirty(id uint32) {
+	if w.dirty != nil {
+		w.dirty[id] = struct{}{}
+	}
+}
+
+// lookupUBR serves octree leaf splits (and the update algorithms' affected-
+// set filters) from the working secondary index.
+func (w *working) lookupUBR(id uint32) (geom.Rect, bool) {
+	rec, ok, err := w.getRecord(id)
+	if err != nil || !ok {
+		return geom.Rect{}, false
+	}
+	return rec.UBR, true
+}
+
+// addObject writes o's record to the secondary index and its entries to the
+// primary index.
+func (w *working) addObject(o *uncertain.Object, ubr geom.Rect) error {
+	rec := record{UBR: ubr, Region: o.Region, Instances: o.Instances}
+	if err := w.putRecord(uint32(o.ID), rec); err != nil {
+		return err
+	}
+	return w.primary.Insert(uint32(o.ID), o.Region, ubr)
+}
+
+// getRecordAt is the reader's record fetch against a pinned version: cache
+// first (validated against the version's epoch), then the version's
+// secondary index, filling the cache tagged with the version's epoch. hit
+// reports whether this call was a cache hit. The returned record's slices
+// are shared with the cache — callers must treat them as immutable.
+func (ix *Index) getRecordAt(v *version, id uint32) (rec record, ok bool, hit bool, err error) {
+	if rec, ok := ix.rcache.get(id, v.epoch); ok {
 		return rec, true, true, nil
 	}
-	buf, found, err := ix.secondary.Get(id)
+	buf, found, err := v.secondary.Get(id)
 	if err != nil || !found {
 		return record{}, false, false, err
 	}
@@ -207,86 +342,48 @@ func (ix *Index) getRecord(id uint32) (rec record, ok bool, hit bool, err error)
 	if err != nil {
 		return record{}, false, false, err
 	}
-	ix.rcache.put(id, rec)
+	ix.rcache.put(id, rec, v.epoch)
 	return rec, true, false, nil
-}
-
-// putRecord writes o's record to the secondary index and invalidates any
-// cached copy — the write-invalidation half of the cache's contract.
-// Callers hold ix.mu exclusively.
-func (ix *Index) putRecord(id uint32, rec record) error {
-	if err := ix.secondary.Put(id, encodeRecord(rec)); err != nil {
-		return err
-	}
-	ix.noteRecordMutation(id)
-	return nil
-}
-
-// noteRecordMutation keeps the record cache coherent after id's stored
-// record changed: immediately invalidated outside a batch, deferred into
-// the batch's coalesced invalidation pass inside one. Callers hold ix.mu
-// exclusively.
-func (ix *Index) noteRecordMutation(id uint32) {
-	if ix.batchDirty != nil {
-		ix.batchDirty[id] = struct{}{}
-		return
-	}
-	ix.rcache.invalidate(id)
-}
-
-// lookupUBR serves octree leaf splits from the secondary index (via the
-// record cache).
-func (ix *Index) lookupUBR(id uint32) (geom.Rect, bool) {
-	rec, ok, _, err := ix.getRecord(id)
-	if err != nil || !ok {
-		return geom.Rect{}, false
-	}
-	return rec.UBR, true
 }
 
 // RecordCacheStats reports the decoded-record cache's hit/miss counters and
 // residency. Safe under concurrent traffic.
 func (ix *Index) RecordCacheStats() RecordCacheStats { return ix.rcache.stats() }
 
-// addObject writes o's record to the secondary index and its entries to the
-// primary index.
-func (ix *Index) addObject(o *uncertain.Object, ubr geom.Rect) error {
-	rec := record{UBR: ubr, Region: o.Region, Instances: o.Instances}
-	if err := ix.putRecord(uint32(o.ID), rec); err != nil {
-		return err
-	}
-	return ix.primary.Insert(uint32(o.ID), o.Region, ubr)
-}
-
 // UBR returns the stored UBR of an object. Its coordinate slices may be
 // shared with the record cache — treat the rectangle as immutable.
 func (ix *Index) UBR(id uncertain.ID) (geom.Rect, bool) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.lookupUBR(uint32(id))
+	v := ix.pin()
+	defer ix.unpin(v)
+	rec, ok, _, err := ix.getRecordAt(v, uint32(id))
+	if err != nil || !ok {
+		return geom.Rect{}, false
+	}
+	return rec.UBR, true
 }
 
 // Store exposes the underlying page store (for I/O accounting).
 func (ix *Index) Store() *pagestore.Store { return ix.store }
 
-// PrimaryStats reports the octree's shape.
+// PrimaryStats reports the octree's shape as of the current version.
 func (ix *Index) PrimaryStats() octree.Stats {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.primary.TreeStats()
+	v := ix.pin()
+	defer ix.unpin(v)
+	return v.primary.TreeStats()
 }
 
-// DB returns the indexed database. The pointer itself is stable; reading
-// through it while writers run requires View.
-func (ix *Index) DB() *uncertain.DB { return ix.db }
+// DB returns the current version's database. It is immutable — writers
+// publish new versions instead of mutating it — so reading it is safe, but
+// the pointer changes with every applied batch; pin a version (Pin, View)
+// when multiple reads must agree.
+func (ix *Index) DB() *uncertain.DB { return ix.current.Load().db }
 
-// View runs fn under the index's read lock, giving it a consistent view of
-// the database while Insert/Delete writers are excluded. Queries that walk
-// the raw database (the extension queries of extquery) go through here.
+// View runs fn over a pinned version's database — a consistent snapshot
+// that no concurrent writer can change, acquired without any lock.
 func (ix *Index) View(fn func(db *uncertain.DB) error) error {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return fn(ix.db)
+	v := ix.pin()
+	defer ix.unpin(v)
+	return fn(v.db)
 }
 
 // Candidate is a PNNQ Step-1 survivor: an object with non-zero probability
@@ -302,9 +399,9 @@ type Candidate struct {
 // containing q and prunes the leaf's candidate list by min/max distance.
 // The result is exactly the set of objects whose PV-cells contain q.
 func (ix *Index) PossibleNN(q geom.Point) ([]Candidate, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	cands, _, err := ix.possibleNN(q)
+	v := ix.pin()
+	defer ix.unpin(v)
+	cands, _, err := ix.possibleNNAt(v, q)
 	return cands, err
 }
 
@@ -312,22 +409,21 @@ func (ix *Index) PossibleNN(q geom.Point) ([]Candidate, error) {
 // read — the exact per-query leaf I/O, attributable to this call even under
 // concurrent traffic.
 func (ix *Index) PossibleNNIO(q geom.Point) ([]Candidate, int, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.possibleNN(q)
+	v := ix.pin()
+	defer ix.unpin(v)
+	return ix.possibleNNAt(v, q)
 }
 
-// possibleNN is PossibleNN without locking, returning the leaf pages read.
-// Callers hold ix.mu (either mode). All intermediate state — decoded leaf
-// entries, the dedup set, the pre-filter candidate list — lives in a pooled
-// scratch; only the surviving candidates are materialized, with their
-// regions deep-copied into a single backing array so the result owns no
-// pooled memory.
-func (ix *Index) possibleNN(q geom.Point) ([]Candidate, int, error) {
+// possibleNNAt is PossibleNN against a pinned version, returning the leaf
+// pages read. All intermediate state — decoded leaf entries, the dedup set,
+// the pre-filter candidate list — lives in a pooled scratch; only the
+// surviving candidates are materialized, with their regions deep-copied
+// into a single backing array so the result owns no pooled memory.
+func (ix *Index) possibleNNAt(v *version, q geom.Point) ([]Candidate, int, error) {
 	sc := ix.scratch.Get().(*queryScratch)
 	defer ix.scratch.Put(sc)
 
-	entries, leafIO, err := ix.primary.PointQueryInto(q, sc.entries[:0])
+	entries, leafIO, err := v.primary.PointQueryInto(q, sc.entries[:0])
 	sc.entries = entries
 	if err != nil || len(entries) == 0 {
 		return nil, leafIO, err
@@ -391,14 +487,14 @@ func (ix *Index) possibleNN(q geom.Point) ([]Candidate, int, error) {
 // shared with the record cache and other concurrent readers — treat it as
 // immutable.
 func (ix *Index) Instances(id uncertain.ID) ([]uncertain.Instance, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.instances(id)
+	v := ix.pin()
+	defer ix.unpin(v)
+	return ix.instancesAt(v, id)
 }
 
-// instances is Instances without locking. Callers hold ix.mu (either mode).
-func (ix *Index) instances(id uncertain.ID) ([]uncertain.Instance, error) {
-	rec, ok, _, err := ix.getRecord(uint32(id))
+// instancesAt is Instances against a pinned version.
+func (ix *Index) instancesAt(v *version, id uncertain.ID) ([]uncertain.Instance, error) {
+	rec, ok, _, err := ix.getRecordAt(v, uint32(id))
 	if err != nil {
 		return nil, err
 	}
@@ -410,7 +506,7 @@ func (ix *Index) instances(id uncertain.ID) ([]uncertain.Instance, error) {
 
 // QuerySnapshot is an atomic PNNQ read: the Step-1 candidate set, each
 // candidate's stored pdf instances (parallel slice), and the number of
-// primary-index leaf pages read — all fetched under one read lock so a
+// primary-index leaf pages read — all fetched from one pinned version so a
 // concurrent writer can never remove a candidate between Step 1 and the
 // Step-2 data access.
 type QuerySnapshot struct {
@@ -423,13 +519,13 @@ type QuerySnapshot struct {
 	CacheMisses int
 }
 
-// Snapshot evaluates Step 1 and fetches every candidate's instances in one
-// critical section. Full-query callers (Step 2 probability computation) run
-// on the snapshot outside the lock.
+// Snapshot evaluates Step 1 and fetches every candidate's instances against
+// one pinned version. Full-query callers (Step 2 probability computation)
+// run on the snapshot afterwards; writers are never blocked.
 func (ix *Index) Snapshot(q geom.Point) (*QuerySnapshot, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	cands, leafIO, err := ix.possibleNN(q)
+	v := ix.pin()
+	defer ix.unpin(v)
+	cands, leafIO, err := ix.possibleNNAt(v, q)
 	if err != nil {
 		return nil, err
 	}
@@ -439,7 +535,7 @@ func (ix *Index) Snapshot(q geom.Point) (*QuerySnapshot, error) {
 		LeafIO:     leafIO,
 	}
 	for i, c := range cands {
-		rec, ok, hit, err := ix.getRecord(uint32(c.ID))
+		rec, ok, hit, err := ix.getRecordAt(v, uint32(c.ID))
 		if err != nil {
 			return nil, err
 		}
@@ -479,20 +575,21 @@ func (ix *Index) Insert(o *uncertain.Object) (UpdateStats, error) {
 	return UpdateStats{}, err
 }
 
-// applyInsertLocked performs the incremental insertion of §VI-B. The
-// newcomer's UBR comes from the staged precomputation when mode allows
-// (staged may be nil, forcing seCold — the replay path). Callers hold
-// ix.mu exclusively; the returned rectangle is the newcomer's applied UBR
-// (its impact region for later batch ops).
-func (ix *Index) applyInsertLocked(o *uncertain.Object, staged *stagedSE, mode seMode) (UpdateStats, geom.Rect, error) {
+// applyInsert performs the incremental insertion of §VI-B against the
+// writer's working version. The newcomer's UBR comes from the staged
+// precomputation when mode allows (staged may be nil, forcing seCold — the
+// replay path). The returned rectangle is the newcomer's applied UBR (its
+// impact region for later batch ops).
+func (w *working) applyInsert(o *uncertain.Object, staged *stagedSE, mode seMode) (UpdateStats, geom.Rect, error) {
 	var st UpdateStats
 	start := time.Now()
 	defer func() { st.TotalTime = time.Since(start) }()
+	cfg := w.ix.cfg
 
-	if err := ix.db.Add(o); err != nil {
+	if err := w.db.Add(o); err != nil {
 		return st, geom.Rect{}, err
 	}
-	ix.regionTree.Insert(rtree.Item{Rect: o.Region, ID: uint32(o.ID)})
+	w.regionTree.Insert(rtree.Item{Rect: o.Region, ID: uint32(o.ID)})
 
 	// Step 1: UBR of the newcomer over the updated database. The PV-cells
 	// of affected objects can only shrink (Lemma 9), so their UBRs are
@@ -504,7 +601,7 @@ func (ix *Index) applyInsertLocked(o *uncertain.Object, staged *stagedSE, mode s
 	switch mode {
 	case seUseStaged:
 		// Nothing relevant changed since staging: the precomputed UBR is
-		// exactly what SE would produce now, at zero in-lock cost.
+		// exactly what SE would produce now, at zero additional cost.
 		newB = staged.ubr
 		st.SETime += staged.dur
 		st.SE.Add(staged.stats)
@@ -515,19 +612,19 @@ func (ix *Index) applyInsertLocked(o *uncertain.Object, staged *stagedSE, mode s
 		st.SE.Add(staged.stats)
 		t0 := time.Now()
 		var seStats core.Stats
-		newB, seStats = core.ComputeUBRAfterInsert(ix.db, ix.regionTree, o, staged.ubr, ix.cfg.SE)
+		newB, seStats = core.ComputeUBRAfterInsert(w.db, w.regionTree, o, staged.ubr, cfg.SE)
 		st.SETime += time.Since(t0)
 		st.SE.Add(seStats)
 	default: // seCold
 		t0 := time.Now()
 		var seStats core.Stats
-		newB, seStats = core.ComputeUBR(ix.db, ix.regionTree, o, ix.cfg.SE)
+		newB, seStats = core.ComputeUBR(w.db, w.regionTree, o, cfg.SE)
 		st.SETime += time.Since(t0)
 		st.SE.Add(seStats)
 	}
 
 	// Step 2: candidate affected set from the primary index.
-	ids, err := ix.primary.RangeIDs(newB)
+	ids, err := w.primary.RangeIDs(newB)
 	if err != nil {
 		return st, geom.Rect{}, err
 	}
@@ -538,7 +635,7 @@ func (ix *Index) applyInsertLocked(o *uncertain.Object, staged *stagedSE, mode s
 		if oid == o.ID {
 			continue
 		}
-		other := ix.db.Get(oid)
+		other := w.db.Get(oid)
 		if other == nil {
 			continue
 		}
@@ -546,7 +643,7 @@ func (ix *Index) applyInsertLocked(o *uncertain.Object, staged *stagedSE, mode s
 		if other.Region.Intersects(o.Region) {
 			continue
 		}
-		oldB, ok := ix.lookupUBR(id)
+		oldB, ok := w.lookupUBR(id)
 		if !ok {
 			continue
 		}
@@ -559,24 +656,24 @@ func (ix *Index) applyInsertLocked(o *uncertain.Object, staged *stagedSE, mode s
 
 		// Step 3: warm-started SE (h = old UBR).
 		t1 := time.Now()
-		updated, seAffected := core.ComputeUBRAfterInsert(ix.db, ix.regionTree, other, oldB, ix.cfg.SE)
+		updated, seAffected := core.ComputeUBRAfterInsert(w.db, w.regionTree, other, oldB, cfg.SE)
 		st.SETime += time.Since(t1)
 		st.SE.Add(seAffected)
 
 		// Step 4: drop entries from leaves no longer covered, refresh record.
 		t2 := time.Now()
-		if _, err := ix.primary.RemoveDiff(id, oldB, updated); err != nil {
+		if _, err := w.primary.RemoveDiff(id, oldB, updated); err != nil {
 			return st, geom.Rect{}, err
 		}
 		rec := record{UBR: updated, Region: other.Region, Instances: other.Instances}
-		if err := ix.putRecord(id, rec); err != nil {
+		if err := w.putRecord(id, rec); err != nil {
 			return st, geom.Rect{}, err
 		}
 		st.IndexTime += time.Since(t2)
 	}
 
 	t3 := time.Now()
-	err = ix.addObject(o, newB)
+	err = w.addObject(o, newB)
 	st.IndexTime += time.Since(t3)
 	return st, newB, err
 }
@@ -593,32 +690,33 @@ func (ix *Index) Delete(id uncertain.ID) (UpdateStats, error) {
 	return UpdateStats{}, err
 }
 
-// applyDeleteLocked performs the incremental deletion of §VI-B. Affected
-// PV-cells can only grow, so UBRs are recomputed warm-started from the old
-// UBR as the lower bound and entries are added to newly covered leaves.
-// Callers hold ix.mu exclusively; the returned rectangle is the victim's
+// applyDelete performs the incremental deletion of §VI-B against the
+// writer's working version. Affected PV-cells can only grow, so UBRs are
+// recomputed warm-started from the old UBR as the lower bound and entries
+// are added to newly covered leaves. The returned rectangle is the victim's
 // stored UBR (its impact region for later batch ops).
-func (ix *Index) applyDeleteLocked(id uncertain.ID) (UpdateStats, geom.Rect, error) {
+func (w *working) applyDelete(id uncertain.ID) (UpdateStats, geom.Rect, error) {
 	var st UpdateStats
 	start := time.Now()
 	defer func() { st.TotalTime = time.Since(start) }()
+	cfg := w.ix.cfg
 
-	victim := ix.db.Get(id)
+	victim := w.db.Get(id)
 	if victim == nil {
 		return st, geom.Rect{}, fmt.Errorf("pvindex: delete of object %d: %w", id, uncertain.ErrUnknownID)
 	}
-	victimUBR, ok := ix.lookupUBR(uint32(id))
+	victimUBR, ok := w.lookupUBR(uint32(id))
 	if !ok {
 		return st, geom.Rect{}, fmt.Errorf("pvindex: object %d missing from secondary index", id)
 	}
 
-	if _, err := ix.db.Remove(id); err != nil {
+	if _, err := w.db.Remove(id); err != nil {
 		return st, geom.Rect{}, err
 	}
-	ix.regionTree.Delete(rtree.Item{Rect: victim.Region, ID: uint32(id)})
+	w.regionTree.Delete(rtree.Item{Rect: victim.Region, ID: uint32(id)})
 
 	// Step 2: candidate affected set.
-	ids, err := ix.primary.RangeIDs(victimUBR)
+	ids, err := w.primary.RangeIDs(victimUBR)
 	if err != nil {
 		return st, geom.Rect{}, err
 	}
@@ -627,13 +725,13 @@ func (ix *Index) applyDeleteLocked(id uncertain.ID) (UpdateStats, geom.Rect, err
 	// Step 4a: remove the victim's entries and record first, so warm-started
 	// SE and leaf splits see the post-delete state.
 	t0 := time.Now()
-	if _, err := ix.primary.Remove(uint32(id), victimUBR); err != nil {
+	if _, err := w.primary.Remove(uint32(id), victimUBR); err != nil {
 		return st, geom.Rect{}, err
 	}
-	if _, err := ix.secondary.Delete(uint32(id)); err != nil {
+	if _, err := w.secondary.Delete(uint32(id)); err != nil {
 		return st, geom.Rect{}, err
 	}
-	ix.noteRecordMutation(uint32(id))
+	w.markDirty(uint32(id))
 	st.IndexTime += time.Since(t0)
 
 	for otherID := range ids {
@@ -641,7 +739,7 @@ func (ix *Index) applyDeleteLocked(id uncertain.ID) (UpdateStats, geom.Rect, err
 		if oid == id {
 			continue
 		}
-		other := ix.db.Get(oid)
+		other := w.db.Get(oid)
 		if other == nil {
 			continue
 		}
@@ -649,7 +747,7 @@ func (ix *Index) applyDeleteLocked(id uncertain.ID) (UpdateStats, geom.Rect, err
 		if other.Region.Intersects(victim.Region) {
 			continue
 		}
-		oldB, ok := ix.lookupUBR(otherID)
+		oldB, ok := w.lookupUBR(otherID)
 		if !ok {
 			continue
 		}
@@ -661,17 +759,17 @@ func (ix *Index) applyDeleteLocked(id uncertain.ID) (UpdateStats, geom.Rect, err
 
 		// Step 3: warm-started SE (l = old UBR).
 		t1 := time.Now()
-		updated, seAffected := core.ComputeUBRAfterDelete(ix.db, ix.regionTree, other, oldB, ix.cfg.SE)
+		updated, seAffected := core.ComputeUBRAfterDelete(w.db, w.regionTree, other, oldB, cfg.SE)
 		st.SETime += time.Since(t1)
 		st.SE.Add(seAffected)
 
 		// Step 4b: extend coverage to newly reached leaves (N′−N).
 		t2 := time.Now()
 		rec := record{UBR: updated, Region: other.Region, Instances: other.Instances}
-		if err := ix.putRecord(otherID, rec); err != nil {
+		if err := w.putRecord(otherID, rec); err != nil {
 			return st, geom.Rect{}, err
 		}
-		if err := ix.primary.InsertDiff(otherID, other.Region, updated, oldB); err != nil {
+		if err := w.primary.InsertDiff(otherID, other.Region, updated, oldB); err != nil {
 			return st, geom.Rect{}, err
 		}
 		st.IndexTime += time.Since(t2)

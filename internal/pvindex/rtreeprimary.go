@@ -22,11 +22,12 @@ type RTreePrimary struct {
 // NewRTreePrimary builds the R-tree variant from a constructed PV-index,
 // reusing its stored UBRs.
 func NewRTreePrimary(ix *Index, fanout int) *RTreePrimary {
+	db := ix.DB()
 	rp := &RTreePrimary{
-		tree:    rtree.New(ix.db.Dim(), fanout),
-		regions: make(map[uncertain.ID]geom.Rect, ix.db.Len()),
+		tree:    rtree.New(db.Dim(), fanout),
+		regions: make(map[uncertain.ID]geom.Rect, db.Len()),
 	}
-	for _, o := range ix.db.Objects() {
+	for _, o := range db.Objects() {
 		ubr, ok := ix.UBR(o.ID)
 		if !ok {
 			continue

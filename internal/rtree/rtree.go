@@ -28,13 +28,21 @@ type Item struct {
 // DefaultFanout matches the paper's experimental setting.
 const DefaultFanout = 100
 
-// Tree is an R*-tree. Not safe for concurrent mutation.
+// cowTag identifies the mutation session that owns a node. Nodes whose tag
+// differs from the tree handle's are shared with older versions and must be
+// path-copied before mutation (see CloneCOW).
+type cowTag struct{ _ byte }
+
+// Tree is an R*-tree. Not safe for concurrent mutation, but a sealed handle
+// (one that is no longer mutated) may be read concurrently while a CloneCOW
+// descendant is being mutated: mutations never touch shared nodes.
 type Tree struct {
 	dim        int
 	maxEntries int
 	minEntries int
 	root       *node
 	size       int
+	sess       *cowTag
 
 	// leafIO counts leaf-node accesses during queries — the simulated
 	// disk reads of the paper's experiments. Atomic so concurrent readers
@@ -43,6 +51,7 @@ type Tree struct {
 }
 
 type node struct {
+	owner   *cowTag
 	level   int // 0 = leaf
 	entries []entry
 }
@@ -78,12 +87,46 @@ func New(dim, fanout int) *Tree {
 	if minE < 1 {
 		minE = 1
 	}
+	sess := new(cowTag)
 	return &Tree{
 		dim:        dim,
 		maxEntries: fanout,
 		minEntries: minE,
-		root:       &node{level: 0},
+		root:       &node{owner: sess, level: 0},
+		sess:       sess,
 	}
+}
+
+// CloneCOW returns a mutable copy-on-write descendant of t that initially
+// shares every node. Mutations of the clone path-copy the nodes they touch
+// and never modify shared ones, so t (now sealed by convention) stays
+// readable concurrently — the region tree's half of the index's MVCC
+// versioning. Cost is O(1) plus one node copy per node on each subsequent
+// mutation path.
+func (t *Tree) CloneCOW() *Tree {
+	c := &Tree{
+		dim:        t.dim,
+		maxEntries: t.maxEntries,
+		minEntries: t.minEntries,
+		root:       t.root,
+		size:       t.size,
+		sess:       new(cowTag),
+	}
+	c.leafIO.Store(t.leafIO.Load())
+	return c
+}
+
+// ownedNode returns n if the current session already owns it, otherwise a
+// copy owned by the session (entries slice cloned; child pointers and rects
+// shared — geometry values are never mutated in place). The caller must
+// store the returned pointer back into the parent.
+func (t *Tree) ownedNode(n *node) *node {
+	if n.owner == t.sess {
+		return n
+	}
+	c := &node{owner: t.sess, level: n.level}
+	c.entries = append(make([]entry, 0, len(n.entries)+1), n.entries...)
+	return c
 }
 
 // Len returns the number of stored items.
@@ -127,10 +170,11 @@ func (t *Tree) insertAtLevel(e entry, level int) {
 	for len(queue) > 0 {
 		p := queue[0]
 		queue = queue[1:]
+		t.root = t.ownedNode(t.root)
 		split := t.insertRec(t.root, p.e, p.level, reinserted, &queue)
 		if split != nil {
 			// Root split: grow the tree.
-			newRoot := &node{level: t.root.level + 1}
+			newRoot := &node{owner: t.sess, level: t.root.level + 1}
 			newRoot.entries = []entry{
 				{rect: t.root.mbr(), child: t.root},
 				{rect: split.mbr(), child: split},
@@ -141,14 +185,16 @@ func (t *Tree) insertAtLevel(e entry, level int) {
 }
 
 // insertRec descends to the target level, inserts, and handles overflow.
-// It returns a new sibling if n was split. Entries evicted by forced
-// reinsert are appended to queue for the caller's worklist.
+// n must be owned by the current session; children are path-copied before
+// descent. It returns a new sibling if n was split. Entries evicted by
+// forced reinsert are appended to queue for the caller's worklist.
 func (t *Tree) insertRec(n *node, e entry, level int, reinserted map[int]bool, queue *[]pendingEntry) *node {
 	if n.level == level {
 		n.entries = append(n.entries, e)
 	} else {
 		idx := t.chooseSubtree(n, e.rect)
-		child := n.entries[idx].child
+		child := t.ownedNode(n.entries[idx].child)
+		n.entries[idx].child = child
 		split := t.insertRec(child, e, level, reinserted, queue)
 		n.entries[idx].rect = child.mbr()
 		if split != nil {
@@ -279,7 +325,7 @@ func (t *Tree) splitNode(n *node) *node {
 	}
 	sortEntries(entries, bestAxis, bestUpper)
 
-	sibling := &node{level: n.level}
+	sibling := &node{owner: t.sess, level: n.level}
 	sibling.entries = append(sibling.entries, entries[bestK:]...)
 	n.entries = entries[:bestK]
 	return sibling
@@ -316,6 +362,20 @@ func (t *Tree) Delete(item Item) bool {
 	if path == nil {
 		return false
 	}
+	// Materialize an owned copy of the found path top-down (the search
+	// itself is read-only, so shared nodes it crossed stay untouched).
+	path[0] = t.ownedNode(path[0])
+	t.root = path[0]
+	for i := 1; i < len(path); i++ {
+		parent := path[i-1]
+		for j := range parent.entries {
+			if parent.entries[j].child == path[i] {
+				path[i] = t.ownedNode(path[i])
+				parent.entries[j].child = path[i]
+				break
+			}
+		}
+	}
 	leaf := path[len(path)-1]
 	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
 	t.size--
@@ -325,7 +385,7 @@ func (t *Tree) Delete(item Item) bool {
 		t.root = t.root.entries[0].child
 	}
 	if len(t.root.entries) == 0 && !t.root.leaf() {
-		t.root = &node{level: 0}
+		t.root = &node{owner: t.sess, level: 0}
 	}
 	return true
 }

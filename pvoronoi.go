@@ -110,8 +110,9 @@ type Options struct {
 	PageSize int
 	// RecordCacheSize bounds the index's decoded-record cache in entries
 	// (0 = implementation default, negative = cache disabled). The cache
-	// serves each query's Step-2 pdf fetch from memory for hot objects and
-	// is invalidated by Insert/Delete, so results never go stale.
+	// serves each query's Step-2 pdf fetch from memory for hot objects; it
+	// is generation-tagged against the index's write epochs, so readers on
+	// any snapshot version never observe a stale record.
 	RecordCacheSize int
 }
 
@@ -166,17 +167,24 @@ type Result = pnnq.Result
 
 // Index is a built PV-index bound to a database.
 //
-// An Index is safe for concurrent use: any number of goroutines may run
-// Query, QueryBatch, PossibleNN and the extension queries in parallel while
-// other goroutines interleave Insert and Delete. Readers share a lock and
-// proceed concurrently; writers are exclusive. Each query observes the index
-// atomically — never a half-applied update.
+// An Index is safe for concurrent use and serves reads lock-free through
+// epoch-based MVCC: any number of goroutines may run Query, QueryBatch,
+// PossibleNN and the extension queries in parallel while other goroutines
+// interleave Insert, Delete and ApplyBatch. Every query pins an immutable
+// snapshot version with two atomic operations — it never takes a lock and
+// never waits for a writer, however large the concurrent batch. Writers
+// build the next version copy-on-write and publish it with a single atomic
+// pointer swap; superseded versions are reclaimed once their last in-flight
+// reader drains. Each query observes the index atomically — never a
+// half-applied update.
 type Index struct {
 	inner *pvindex.Index
 }
 
-// Build constructs a PV-index over db. The database is referenced, not
-// copied; use Index.Insert and Index.Delete to keep both in sync.
+// Build constructs a PV-index over db. The database is adopted as the first
+// snapshot version; subsequent updates publish new versions, so read the
+// current data through Index.DB(), Len, UBR and the query methods rather
+// than the original pointer.
 func Build(db *DB, opts Options) (*Index, error) {
 	inner, err := pvindex.Build(db, opts.toConfig())
 	if err != nil {
@@ -280,8 +288,9 @@ func (ix *Index) PossibleNNWithCost(q Point) ([]Candidate, QueryCost, error) {
 type UpdateStats = pvindex.UpdateStats
 
 // Insert adds o to the database and incrementally refreshes the index.
-// Writers are exclusive: Insert blocks until in-flight queries drain, and
-// queries started after it observe the fully applied update.
+// The update builds a new snapshot version and publishes it atomically:
+// in-flight queries keep reading the previous version undisturbed, and
+// queries started after the publish observe the fully applied update.
 func (ix *Index) Insert(o *Object) error {
 	_, err := ix.inner.Insert(o)
 	return err
@@ -293,7 +302,8 @@ func (ix *Index) InsertWithStats(o *Object) (UpdateStats, error) {
 }
 
 // Delete removes the object with the given ID from the database and
-// incrementally refreshes the index. Like Insert, it is exclusive.
+// incrementally refreshes the index. Like Insert, it publishes a new
+// version without ever blocking readers.
 func (ix *Index) Delete(id ID) error {
 	_, err := ix.inner.Delete(id)
 	return err
@@ -304,8 +314,8 @@ func (ix *Index) DeleteWithStats(id ID) (UpdateStats, error) {
 	return ix.inner.Delete(id)
 }
 
-// Len returns the number of indexed objects. Unlike DB().Len(), it is safe
-// to call while writers are running.
+// Len returns the number of indexed objects in the current version. Safe
+// to call while writers are running (it reads a pinned snapshot).
 func (ix *Index) Len() int {
 	n := 0
 	_ = ix.inner.View(func(db *uncertain.DB) error {
@@ -320,10 +330,23 @@ func (ix *Index) Len() int {
 // read-only.
 func (ix *Index) UBR(id ID) (Rect, bool) { return ix.inner.UBR(id) }
 
-// DB returns the database the index is bound to. The pointer is stable, but
-// reading through it while Insert/Delete writers run is racy — use Len, UBR
-// and the query methods instead, which take the index's lock.
+// DB returns the current version's database. The snapshot it points at is
+// immutable — writers publish new versions instead of mutating it — so
+// reading it is always safe, but the pointer advances with every applied
+// update; capture it once when several reads must agree.
 func (ix *Index) DB() *DB { return ix.inner.DB() }
+
+// Epoch returns the index's published write epoch: 1 after construction,
+// incremented by every applied update batch. Lock-free.
+func (ix *Index) Epoch() uint64 { return ix.inner.Epoch() }
+
+// MVCCStats reports the snapshot lifecycle's gauges: the published epoch,
+// in-flight pinned readers, versions awaiting reclamation, and versions
+// reclaimed so far.
+type MVCCStats = pvindex.MVCCStats
+
+// MVCC returns the snapshot lifecycle gauges (see MVCCStats).
+func (ix *Index) MVCC() MVCCStats { return ix.inner.MVCC() }
 
 // IOStats reports the simulated disk I/O counters accumulated so far.
 type IOStats struct {

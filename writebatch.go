@@ -30,11 +30,12 @@ func InsertOp(o *Object) Update { return Update{Op: OpInsert, Object: o} }
 func DeleteOp(id ID) Update { return Update{Op: OpDelete, ID: id} }
 
 // ApplyBatch applies a mixed batch of inserts and deletes as one group
-// commit: the expensive UBR computations are staged outside the write lock
-// (in parallel, while queries keep running), the whole batch is logged to
-// the write-ahead log with a single fsync when one is attached (durable
-// mode), and all updates apply under a single write-lock acquisition with
-// one coalesced record-cache invalidation. Per-op maintenance stats return
+// commit: the expensive UBR computations are staged against the published
+// snapshot (in parallel, while queries keep running), the whole batch is
+// logged to the write-ahead log with a single fsync when one is attached
+// (durable mode), and all updates apply to a copy-on-write working version
+// that publishes with one atomic pointer swap — readers never block and
+// never observe a partial batch. Per-op maintenance stats return
 // positionally.
 //
 // Validation is all-or-nothing: a duplicate insert ID or unknown delete ID
@@ -46,9 +47,9 @@ func (ix *Index) ApplyBatch(ups []Update) ([]UpdateStats, error) {
 }
 
 // InsertBatch adds all objects as one group commit (see ApplyBatch). It is
-// the amortized alternative to calling Insert in a loop: one write-lock
-// acquisition and one WAL fsync for the whole batch instead of one each
-// per object.
+// the amortized alternative to calling Insert in a loop: one published
+// version and one WAL fsync for the whole batch instead of one each per
+// object.
 func (ix *Index) InsertBatch(objs []*Object) ([]UpdateStats, error) {
 	ups := make([]Update, len(objs))
 	for i, o := range objs {
