@@ -1,6 +1,7 @@
 package pvoronoi
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -9,6 +10,15 @@ import (
 // Results land positionally; the first error aborts outstanding work (workers
 // drain quickly because submission stops). workers <= 0 uses GOMAXPROCS.
 func batchRun[Q, T any](qs []Q, workers int, fn func(Q) (T, error)) ([]T, error) {
+	return batchRunCtx(context.Background(), qs, workers, fn)
+}
+
+// batchRunCtx is batchRun under a context: a cancelled or expired ctx stops
+// submission, drains the pool, and fails the batch with ctx.Err(). Queries
+// already dispatched run to completion — individual evaluations are short
+// (microseconds to low milliseconds), so the deadline bounds the batch
+// without needing cancellation points inside the geometry kernels.
+func batchRunCtx[Q, T any](ctx context.Context, qs []Q, workers int, fn func(Q) (T, error)) ([]T, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -18,6 +28,9 @@ func batchRun[Q, T any](qs []Q, workers int, fn func(Q) (T, error)) ([]T, error)
 	out := make([]T, len(qs))
 	if len(qs) == 0 {
 		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	var (
@@ -50,6 +63,12 @@ submit:
 		case jobs <- i:
 		case <-failed:
 			break submit
+		case <-ctx.Done():
+			errOnce.Do(func() {
+				firstErr = ctx.Err()
+				close(failed)
+			})
+			break submit
 		}
 	}
 	close(jobs)
@@ -71,10 +90,21 @@ func (ix *Index) QueryBatch(qs []Point, workers int) ([][]Result, error) {
 	return batchRun(qs, workers, ix.Query)
 }
 
+// QueryBatchCtx is QueryBatch bounded by ctx: a cancelled or expired context
+// stops the batch early and returns ctx.Err().
+func (ix *Index) QueryBatchCtx(ctx context.Context, qs []Point, workers int) ([][]Result, error) {
+	return batchRunCtx(ctx, qs, workers, ix.Query)
+}
+
 // PossibleNNBatch evaluates PNNQ Step 1 for every point in qs using a pool
 // of workers (GOMAXPROCS when workers <= 0). Semantics match QueryBatch.
 func (ix *Index) PossibleNNBatch(qs []Point, workers int) ([][]Candidate, error) {
 	return batchRun(qs, workers, ix.PossibleNN)
+}
+
+// PossibleNNBatchCtx is PossibleNNBatch bounded by ctx.
+func (ix *Index) PossibleNNBatchCtx(ctx context.Context, qs []Point, workers int) ([][]Candidate, error) {
+	return batchRunCtx(ctx, qs, workers, ix.PossibleNN)
 }
 
 // GroupNNBatch evaluates a group NN query for every group in groups using a
@@ -83,7 +113,12 @@ func (ix *Index) PossibleNNBatch(qs []Point, workers int) ([][]Candidate, error)
 // snapshot, so batches never block writers; result i corresponds to
 // groups[i].
 func (ix *Index) GroupNNBatch(groups [][]Point, agg Agg, workers int) ([][]Result, error) {
-	return batchRun(groups, workers, func(g []Point) ([]Result, error) {
+	return ix.GroupNNBatchCtx(context.Background(), groups, agg, workers)
+}
+
+// GroupNNBatchCtx is GroupNNBatch bounded by ctx.
+func (ix *Index) GroupNNBatchCtx(ctx context.Context, groups [][]Point, agg Agg, workers int) ([][]Result, error) {
+	return batchRunCtx(ctx, groups, workers, func(g []Point) ([]Result, error) {
 		return ix.GroupNN(g, agg)
 	})
 }
@@ -92,7 +127,12 @@ func (ix *Index) GroupNNBatch(groups [][]Point, agg Agg, workers int) ([][]Resul
 // using a pool of workers (GOMAXPROCS when workers <= 0). Semantics match
 // GroupNNBatch.
 func (ix *Index) PossibleKNNBatch(qs []Point, k, workers int) ([][]KNNResult, error) {
-	return batchRun(qs, workers, func(q Point) ([]KNNResult, error) {
+	return ix.PossibleKNNBatchCtx(context.Background(), qs, k, workers)
+}
+
+// PossibleKNNBatchCtx is PossibleKNNBatch bounded by ctx.
+func (ix *Index) PossibleKNNBatchCtx(ctx context.Context, qs []Point, k, workers int) ([][]KNNResult, error) {
+	return batchRunCtx(ctx, qs, workers, func(q Point) ([]KNNResult, error) {
 		return ix.PossibleKNN(q, k)
 	})
 }

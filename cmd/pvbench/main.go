@@ -66,6 +66,12 @@ func main() {
 		mxWriters = flag.String("mixed-writers", "0,1,4", "mixed: comma-separated concurrent writer counts")
 		mxBatch   = flag.Int("mixed-batch", 16, "mixed: writer group-commit batch size")
 
+		// Recovery benchmark flags (the "recovery" experiment).
+		rcJSON  = flag.String("rc-json", "BENCH_recovery.json", "recovery: output JSON path (empty = stdout only)")
+		rcN     = flag.Int("rc-n", 4000, "recovery: base store object count")
+		rcTails = flag.String("rc-tails", "0,512,2048", "recovery: comma-separated WAL tail lengths (updates)")
+		rcBatch = flag.Int("rc-batch", 64, "recovery: group-commit batch size while growing the tail")
+
 		// Extension-query benchmark flags (the "extquery" experiment).
 		eqJSON    = flag.String("eq-json", "BENCH_extquery.json", "extquery: output JSON path (empty = stdout only)")
 		eqNs      = flag.String("eq-n", "1000,10000,100000", "extquery: comma-separated dataset sizes")
@@ -130,6 +136,7 @@ func main() {
 	wantWritepath := false
 	wantExtquery := false
 	wantMixed := false
+	wantRecovery := false
 	allSeen := false
 	for _, arg := range flag.Args() {
 		switch {
@@ -143,6 +150,8 @@ func main() {
 			wantExtquery = true
 		case arg == "mixed":
 			wantMixed = true
+		case arg == "recovery":
+			wantRecovery = true
 		case arg == "all":
 			allSeen = true
 		default:
@@ -228,6 +237,24 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if wantRecovery {
+		tails, err := parseIntList(*rcTails)
+		if err == nil {
+			err = runRecovery(recoveryConfig{
+				JSONPath:  *rcJSON,
+				N:         *rcN,
+				Dim:       *loadD,
+				Instances: *instances,
+				Seed:      *seed,
+				Tails:     tails,
+				Batch:     *rcBatch,
+			})
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvbench: recovery: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if wantWritepath {
 		err := runWritepath(writepathConfig{
 			JSONPath:  *wpJSON,
@@ -281,6 +308,7 @@ experiments:
   writepath                     write-path benchmark: single vs batched, WAL on/off -> JSON
   extquery                      extension-query retrieval: scan vs R-tree branch-and-bound -> JSON
   mixed                         query latency under 0/1/4 concurrent writers (MVCC) -> JSON
+  recovery                      crash-recovery time vs WAL tail, clean + corrupt-checkpoint fallback -> JSON
 
 flags:
 `)

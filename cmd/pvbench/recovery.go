@@ -1,0 +1,194 @@
+package main
+
+// Recovery benchmark mode: measures how long OpenDurable takes to restore a
+// store as a function of the WAL tail it must replay, for both the clean
+// path (newest checkpoint loads) and the fallback path (newest checkpoint
+// corrupt, recovery falls back to the previous one and replays a longer
+// tail). Results land in BENCH_recovery.json so the repo can track recovery
+// latency — the metric behind the checkpoint cadence / replay length
+// trade-off — commit over commit.
+//
+// Each scenario builds a durable store, checkpoints, applies the configured
+// number of updates, and then abandons the handle without closing it: the
+// on-disk state is exactly what a crash leaves behind (the WAL is fsynced
+// per commit), so the timed reopen measures real crash recovery.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"pvoronoi"
+	"pvoronoi/internal/dataset"
+)
+
+// recoveryConfig bundles the recovery experiment parameters.
+type recoveryConfig struct {
+	JSONPath  string // output file ("" = stdout only)
+	N, Dim    int    // base store size
+	Instances int    // pdf samples per object
+	Seed      int64
+	Tails     []int // WAL tail lengths (updates) to measure
+	Batch     int   // group-commit batch size while growing the tail
+}
+
+// recoveryRow is one measured tail length.
+type recoveryRow struct {
+	TailUpdates      int     `json:"tail_updates"`
+	CleanMs          float64 `json:"clean_ms"`
+	CleanReplayed    int     `json:"clean_replayed"`
+	FallbackMs       float64 `json:"fallback_ms"`
+	FallbackReplayed int     `json:"fallback_replayed"`
+	FallbackCorrupt  int     `json:"fallback_corrupt_checkpoints"`
+}
+
+// recoveryReport is the serialized BENCH_recovery.json document.
+type recoveryReport struct {
+	GeneratedBy string             `json:"generated_by"`
+	Config      recoveryConfigJSON `json:"config"`
+	Rows        []recoveryRow      `json:"rows"`
+}
+
+type recoveryConfigJSON struct {
+	Objects    int   `json:"objects"`
+	Dim        int   `json:"dim"`
+	Instances  int   `json:"instances"`
+	Seed       int64 `json:"seed"`
+	Batch      int   `json:"batch"`
+	GoMaxProcs int   `json:"gomaxprocs"`
+}
+
+// corruptNewestOnDisk flips one payload byte of the newest checkpoint's
+// index file (base names embed the WAL sequence zero-padded, so the lexical
+// maximum is the newest).
+func corruptNewestOnDisk(dir string) error {
+	matches, err := filepath.Glob(filepath.Join(dir, "ckpt-*.pvidx"))
+	if err != nil {
+		return err
+	}
+	if len(matches) < 2 {
+		return fmt.Errorf("need >=2 checkpoints for fallback, found %d", len(matches))
+	}
+	sort.Strings(matches)
+	path := matches[len(matches)-1]
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	buf[len(buf)/2] ^= 0x20
+	return os.WriteFile(path, buf, 0o644)
+}
+
+// runRecovery measures every configured tail length.
+func runRecovery(cfg recoveryConfig) error {
+	if len(cfg.Tails) == 0 {
+		cfg.Tails = []int{0, 512, 2048}
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	opts := pvoronoi.DefaultOptions()
+	report := recoveryReport{
+		GeneratedBy: "pvbench recovery",
+		Config: recoveryConfigJSON{
+			Objects: cfg.N, Dim: cfg.Dim, Instances: cfg.Instances, Seed: cfg.Seed,
+			Batch: cfg.Batch, GoMaxProcs: runtime.GOMAXPROCS(0),
+		},
+	}
+
+	for _, tail := range cfg.Tails {
+		dir, err := os.MkdirTemp("", "pvbench-recovery-")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recovery: seeding %d objects + %d-update WAL tail in %s...\n", cfg.N, tail, dir)
+		db := dataset.Synthetic(dataset.SyntheticParams{
+			N: cfg.N, Dim: cfg.Dim, MaxSide: 60, Instances: cfg.Instances, Seed: cfg.Seed,
+		})
+		d, err := pvoronoi.OpenDurable(dir, db, opts)
+		if err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		// Grow the WAL tail beyond the open-time checkpoint, then abandon the
+		// handle: every commit is fsynced, so walking away leaves exactly a
+		// crash's on-disk state.
+		id := uint32(2_000_000)
+		rng := rand.New(rand.NewSource(cfg.Seed + 91))
+		for done := 0; done < tail; {
+			n := cfg.Batch
+			if tail-done < n {
+				n = tail - done
+			}
+			objs := wpObjects(writepathConfig{
+				N: cfg.N, Dim: cfg.Dim, Instances: cfg.Instances, Seed: cfg.Seed, Ops: n,
+			}, id, rng, db.Domain, false)
+			id += uint32(n)
+			if _, err := d.InsertBatch(objs); err != nil {
+				os.RemoveAll(dir)
+				return err
+			}
+			done += n
+		}
+
+		t0 := time.Now()
+		d2, err := pvoronoi.OpenDurable(dir, nil, opts)
+		if err != nil {
+			os.RemoveAll(dir)
+			return fmt.Errorf("clean recovery (tail %d): %w", tail, err)
+		}
+		row := recoveryRow{
+			TailUpdates:   tail,
+			CleanMs:       float64(time.Since(t0).Microseconds()) / 1000,
+			CleanReplayed: d2.Recovery().Replayed,
+		}
+		// The reopen checkpointed the replayed state, so the directory now
+		// retains two checkpoints: corrupt the newest and time the fallback,
+		// which replays the same tail from the older one.
+		if err := d2.Close(); err != nil {
+			os.RemoveAll(dir)
+			return err
+		}
+		if tail > 0 {
+			if err := corruptNewestOnDisk(dir); err != nil {
+				os.RemoveAll(dir)
+				return err
+			}
+			t0 = time.Now()
+			d3, err := pvoronoi.OpenDurable(dir, nil, opts)
+			if err != nil {
+				os.RemoveAll(dir)
+				return fmt.Errorf("fallback recovery (tail %d): %w", tail, err)
+			}
+			row.FallbackMs = float64(time.Since(t0).Microseconds()) / 1000
+			row.FallbackReplayed = d3.Recovery().Replayed
+			row.FallbackCorrupt = len(d3.Recovery().CorruptCheckpoints)
+			if err := d3.Close(); err != nil {
+				os.RemoveAll(dir)
+				return err
+			}
+		}
+		os.RemoveAll(dir)
+		report.Rows = append(report.Rows, row)
+		fmt.Printf("recovery: tail=%-6d clean %8.1fms (%d replayed)  fallback %8.1fms (%d replayed, %d corrupt)\n",
+			tail, row.CleanMs, row.CleanReplayed, row.FallbackMs, row.FallbackReplayed, row.FallbackCorrupt)
+	}
+
+	if cfg.JSONPath != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(cfg.JSONPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}

@@ -13,9 +13,14 @@
 //
 // In durable mode (-data-dir) every insert/delete is appended to a
 // write-ahead log and fsynced before it is acknowledged; on restart the
-// server loads the latest checkpoint and replays the log's tail, so no
-// acknowledged update is ever lost. SIGINT/SIGTERM trigger a graceful
-// shutdown: in-flight queries drain, and a final checkpoint is written.
+// server loads the newest checkpoint that passes checksum verification
+// (falling back to an older retained one if the newest is corrupt) and
+// replays the log's tail, so no acknowledged update is ever lost. A WAL
+// write failure (disk full, fsync error) puts the server in degraded
+// read-only mode — queries keep serving, writes get 503 — until a
+// successful POST /v1/checkpoint re-arms the write path. SIGINT/SIGTERM
+// trigger a graceful shutdown: in-flight queries drain, and a final
+// checkpoint is written.
 //
 // Endpoints (request and response bodies are JSON; see server.go routes):
 //
@@ -29,7 +34,8 @@
 //	POST /v1/deletebatch  batched deletes: one group commit, one WAL fsync
 //	POST /v1/checkpoint   force a durable snapshot (durable mode only)
 //	GET  /v1/stats        per-endpoint latency percentiles, leaf I/O, counts
-//	GET  /healthz         liveness probe
+//	GET  /v1/healthz      JSON health: {"status":"ok"} or "degraded" + cause
+//	GET  /healthz         liveness probe (same JSON)
 //
 // Every query response carries its own server-side latency in microseconds
 // and (for /v1/query, /v1/possiblenn) the exact number of primary-index leaf
@@ -73,6 +79,9 @@ func main() {
 		loadIdx   = flag.String("loadindex", "", "load a pvquery-saved index instead of building")
 		dataDir   = flag.String("data-dir", "", "durable mode: directory for WAL + checkpoints (recovers on boot)")
 		drain     = flag.Duration("shutdown-timeout", 15*time.Second, "graceful shutdown drain window")
+		reqTO     = flag.Duration("request-timeout", 30*time.Second, "per-request deadline propagated into batch query pools (0 = none)")
+		inflight  = flag.Int("max-inflight", 1024, "admission bound: beyond this many in-flight requests new ones get 503 (0 = unlimited)")
+		retain    = flag.Int("checkpoint-retain", 0, "checkpoints kept on disk for corruption fallback (0 = default 2)")
 	)
 	flag.Parse()
 
@@ -87,6 +96,7 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown C-set strategy %q", *strategy))
 	}
+	opts.CheckpointRetain = *retain
 
 	// The bootstrap dataset: served directly in memory mode, the validation
 	// set in -loadindex mode, and the first-boot (or pre-first-checkpoint
@@ -121,6 +131,14 @@ func main() {
 			fail(err)
 		}
 		rec := durable.Recovery()
+		if len(rec.CorruptCheckpoints) > 0 {
+			log.Printf("WARNING: checkpoint(s) %s failed verification; fell back to %s",
+				strings.Join(rec.CorruptCheckpoints, ", "), rec.UsedCheckpoint)
+		}
+		if rec.DroppedWALRecords > 0 {
+			log.Printf("WARNING: %d acknowledged WAL records lost to log corruption (%d torn bytes)",
+				rec.DroppedWALRecords, rec.TornWALBytes)
+		}
 		switch {
 		case rec.Rebuilt && rec.Replayed > 0:
 			log.Printf("rebuilt from bootstrap data and replayed %d WAL updates in %v",
@@ -161,6 +179,9 @@ func main() {
 		log.Printf("built in %v", time.Since(t0).Round(time.Millisecond))
 		srv = newServer(ix)
 	}
+
+	srv.reqTimeout = *reqTO
+	srv.maxInflight = *inflight
 
 	domain := ix.DB().Domain
 	log.Printf("serving on %s (domain %v – %v)", *addr, domain.Lo, domain.Hi)

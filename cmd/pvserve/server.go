@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"pvoronoi"
@@ -25,6 +27,25 @@ type server struct {
 	// durable is non-nil in -data-dir mode: updates are WAL-logged, and
 	// /v1/checkpoint snapshots on demand.
 	durable *pvoronoi.Durable
+
+	// reqTimeout bounds each request's context (0 = no deadline); it
+	// propagates into the batch query worker pools, so one slow batch
+	// cannot occupy the pool forever.
+	reqTimeout time.Duration
+	// maxInflight bounds admitted requests (0 = unlimited). Beyond the
+	// bound the server sheds load with 503 instead of piling up goroutines;
+	// health and stats endpoints are exempt so operators can always look.
+	maxInflight int
+	inflight    chan struct{}
+
+	// Degraded mode: after a storage fail-stop (WAL append/fsync failure,
+	// disk full) the server keeps answering reads off the last published
+	// MVCC version but refuses writes with 503 until a successful
+	// /v1/checkpoint proves the write path healthy again.
+	degMu         sync.Mutex
+	degraded      bool
+	degradedCause string
+	degradedSince time.Time
 }
 
 func newServer(ix *pvoronoi.Index) *server {
@@ -81,12 +102,18 @@ func (s *server) readPoint(w http.ResponseWriter, r *http.Request) (pvoronoi.Poi
 //	POST /v1/delete           {"id":1}
 //	POST /v1/insertbatch      {"objects":[{insert request}, ...]}   one group commit
 //	POST /v1/deletebatch      {"ids":[1,2,...]}                     one group commit
-//	POST /v1/checkpoint                              force a durable snapshot (durable mode)
-//	GET  /v1/stats                                   serving metrics + index shape
-//	GET  /healthz                                    liveness probe
+//	POST /v1/checkpoint                              force a durable snapshot (durable mode); re-arms writes after a storage fault
+//	GET  /v1/stats                                   serving metrics + index shape + health status
+//	GET  /v1/healthz                                 health probe: {"status":"ok"} or {"status":"degraded","cause":...}
+//	GET  /healthz                                    same (legacy path)
 //
 // /v1/query, /v1/possiblenn and /v1/possiblernn also accept GET with
 // ?point=x,y,... for curl-friendly exploration.
+//
+// When the durable write path fail-stops (disk full, fsync error), the
+// server degrades instead of dying: reads keep serving the last published
+// MVCC version, writes return 503 with Retry-After, and a successful
+// /v1/checkpoint (after the operator clears the fault) re-arms writes.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/query", s.handleQuery)
@@ -102,10 +129,123 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/v1/deletebatch", s.handleDeleteBatch)
 	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	if s.maxInflight > 0 {
+		s.inflight = make(chan struct{}, s.maxInflight)
+	}
+	if s.reqTimeout <= 0 && s.inflight == nil {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/v1/healthz", "/v1/stats":
+			// Always reachable: an operator diagnosing an overloaded or
+			// degraded server must not be shed with it.
+			mux.ServeHTTP(w, r)
+			return
+		}
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable,
+					fmt.Errorf("server at capacity (%d requests in flight)", s.maxInflight))
+				return
+			}
+		}
+		if s.reqTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		mux.ServeHTTP(w, r)
 	})
-	return mux
+}
+
+// --- degraded mode -------------------------------------------------------
+
+// degradedState reports whether the server is in read-only degraded mode
+// and why. The explicit flag is set by the first write that hits a WAL
+// fail-stop; the WAL health check also catches faults observed before any
+// handler noticed.
+func (s *server) degradedState() (degraded bool, cause string, since time.Time) {
+	s.degMu.Lock()
+	degraded, cause, since = s.degraded, s.degradedCause, s.degradedSince
+	s.degMu.Unlock()
+	if degraded {
+		return degraded, cause, since
+	}
+	if s.durable != nil && !s.durable.WALHealthy() {
+		return true, "write-ahead log unhealthy (pending checkpoint re-arm)", time.Time{}
+	}
+	return false, "", time.Time{}
+}
+
+func (s *server) enterDegraded(cause string) {
+	s.degMu.Lock()
+	defer s.degMu.Unlock()
+	if !s.degraded {
+		s.degraded = true
+		s.degradedCause = cause
+		s.degradedSince = time.Now()
+	}
+}
+
+func (s *server) exitDegraded() {
+	s.degMu.Lock()
+	s.degraded = false
+	s.degradedCause = ""
+	s.degradedSince = time.Time{}
+	s.degMu.Unlock()
+}
+
+// refuseDegradedWrite sheds a write request while degraded: 503 with a
+// Retry-After hint, reads unaffected. Returns true when the request was
+// handled (refused).
+func (s *server) refuseDegradedWrite(w http.ResponseWriter) bool {
+	degraded, cause, _ := s.degradedState()
+	if !degraded {
+		return false
+	}
+	w.Header().Set("Retry-After", "10")
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Errorf("degraded mode (%s): writes disabled until a successful checkpoint re-arms the write path", cause))
+	return true
+}
+
+// failUpdate writes an update error response. A WAL fail-stop flips the
+// server into degraded mode — subsequent writes are refused up front while
+// reads keep serving the last published version.
+func (s *server) failUpdate(w http.ResponseWriter, err error) {
+	if errors.Is(err, pvoronoi.ErrWAL) {
+		s.enterDegraded(err.Error())
+		w.Header().Set("Retry-After", "10")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeError(w, updateStatus(err), err)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	degraded, cause, since := s.degradedState()
+	if !degraded {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+		return
+	}
+	body := map[string]any{
+		"status": "degraded",
+		"cause":  cause,
+	}
+	if !since.IsZero() {
+		body["since"] = since.UTC().Format(time.RFC3339)
+	}
+	// 200: the process is alive and serving reads — degraded, not dead. A
+	// liveness probe must not restart-loop a node that can still answer
+	// queries; write routing keys on the status field.
+	writeJSON(w, http.StatusOK, body)
 }
 
 // --- JSON wire types -----------------------------------------------------
@@ -337,11 +477,11 @@ func (s *server) handlePossibleKNNBatch(w http.ResponseWriter, r *http.Request) 
 	}
 
 	start := time.Now()
-	results, err := s.ix.PossibleKNNBatch(points, k, 0)
+	results, err := s.ix.PossibleKNNBatchCtx(r.Context(), points, k, 0)
 	elapsed := time.Since(start)
 	s.metrics.observe("possibleknnbatch", elapsed, 0, err != nil)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, batchQueryStatus(err), err)
 		return
 	}
 
@@ -522,11 +662,11 @@ func (s *server) handleGroupNNBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
-	results, err := s.ix.GroupNNBatch(groups, agg, 0)
+	results, err := s.ix.GroupNNBatchCtx(r.Context(), groups, agg, 0)
 	elapsed := time.Since(start)
 	s.metrics.observe("groupnnbatch", elapsed, 0, err != nil)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, batchQueryStatus(err), err)
 		return
 	}
 
@@ -598,6 +738,9 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
+	if s.refuseDegradedWrite(w) {
+		return
+	}
 	var req insertRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %v", err))
@@ -614,7 +757,7 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.metrics.observe("insert", elapsed, 0, err != nil)
 	if err != nil {
-		writeError(w, updateStatus(err), err)
+		s.failUpdate(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -630,6 +773,9 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
+	if s.refuseDegradedWrite(w) {
+		return
+	}
 	var req struct {
 		ID uint32 `json:"id"`
 	}
@@ -643,7 +789,7 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.metrics.observe("delete", elapsed, 0, err != nil)
 	if err != nil {
-		writeError(w, updateStatus(err), err)
+		s.failUpdate(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -660,6 +806,9 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	if s.refuseDegradedWrite(w) {
 		return
 	}
 	var req struct {
@@ -688,7 +837,7 @@ func (s *server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.metrics.observe("insertbatch", elapsed, 0, err != nil)
 	if err != nil {
-		writeError(w, updateStatus(err), err)
+		s.failUpdate(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -704,6 +853,9 @@ func (s *server) handleInsertBatch(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	if s.refuseDegradedWrite(w) {
 		return
 	}
 	var req struct {
@@ -727,7 +879,7 @@ func (s *server) handleDeleteBatch(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.metrics.observe("deletebatch", elapsed, 0, err != nil)
 	if err != nil {
-		writeError(w, updateStatus(err), err)
+		s.failUpdate(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -754,8 +906,18 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 	elapsed := time.Since(start)
 	s.metrics.observe("checkpoint", elapsed, 0, err != nil)
 	if err != nil {
+		// A checkpoint that cannot complete while the WAL is unhealthy
+		// keeps (or puts) the server in degraded mode.
+		if !s.durable.WALHealthy() {
+			s.enterDegraded(err.Error())
+		}
 		writeError(w, http.StatusInternalServerError, err)
 		return
+	}
+	// A completed checkpoint proves the whole write path — snapshot files,
+	// directory syncs, WAL append — works again: re-arm writes.
+	if s.durable.WALHealthy() {
+		s.exitDegraded()
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"wal_seq":    st.Seq,
@@ -765,12 +927,13 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 }
 
 // updateStatus maps an update-path error to its HTTP status: conflict for
-// duplicate IDs, not-found for unknown IDs, internal for server-side
-// durability faults (WAL I/O), bad-request otherwise.
+// duplicate IDs, not-found for unknown IDs, service-unavailable for
+// server-side durability faults (WAL I/O — transient from the client's view:
+// retry after the operator re-arms), bad-request otherwise.
 func updateStatus(err error) int {
 	switch {
 	case errors.Is(err, pvoronoi.ErrWAL):
-		return http.StatusInternalServerError
+		return http.StatusServiceUnavailable
 	case errors.Is(err, uncertain.ErrDuplicateID):
 		return http.StatusConflict
 	case errors.Is(err, uncertain.ErrUnknownID):
@@ -778,6 +941,16 @@ func updateStatus(err error) int {
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// batchQueryStatus maps a batch query failure: a request deadline that
+// expired mid-batch is the caller's timeout (504), anything else is a
+// server-side fault.
+func batchQueryStatus(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusInternalServerError
 }
 
 func sumAffected(sts []pvoronoi.UpdateStats) int {
@@ -804,7 +977,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	rc := s.ix.RecordCache()
 	mv := s.ix.MVCC()
 	domain := s.ix.DB().Domain // immutable per version; safe without a lock
+	status := "ok"
+	degraded, cause, _ := s.degradedState()
+	if degraded {
+		status = "degraded"
+	}
 	body := map[string]any{
+		"status":   status,
 		"uptime_s": uptime.Seconds(),
 		"objects":  s.ix.Len(),
 		"domain": regionJSON{
@@ -829,6 +1008,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		"endpoints": endpoints,
 	}
+	if degraded {
+		body["degraded_cause"] = cause
+	}
 	if s.durable != nil {
 		ds := s.durable.Stats()
 		body["durable"] = map[string]any{
@@ -838,6 +1020,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"wal_syncs":      ds.WALSyncs,
 			"wal_bytes":      ds.WALBytes,
 			"wal_segments":   ds.WALSegments,
+			"wal_healthy":    ds.WALHealthy,
 			"checkpoint_seq": ds.CheckpointSeq,
 			"store_epoch":    ds.StoreEpoch,
 		}

@@ -9,8 +9,10 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"pvoronoi"
+	"pvoronoi/internal/vfs"
 )
 
 func testIndex(t *testing.T, n int) *pvoronoi.Index {
@@ -619,5 +621,202 @@ func TestStatsMVCCGauges(t *testing.T) {
 	}
 	if inflight1 != 0 {
 		t.Fatalf("idle in-flight readers = %d, want 0", inflight1)
+	}
+}
+
+// TestServeDegradedMode drives the whole degraded-mode state machine over
+// HTTP against an injected disk-full fault: writes hit 503 with Retry-After,
+// reads keep serving off the last MVCC version, /v1/healthz and /v1/stats
+// report degraded with the cause, and a successful /v1/checkpoint after the
+// fault clears re-arms the write path.
+func TestServeDegradedMode(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	db := pvoronoi.NewDB(pvoronoi.NewRect(pvoronoi.Point{0, 0}, pvoronoi.Point{1000, 1000}))
+	for i := 0; i < 40; i++ {
+		lo := pvoronoi.Point{rng.Float64() * 950, rng.Float64() * 950}
+		region := pvoronoi.NewRect(lo, pvoronoi.Point{lo[0] + 10, lo[1] + 10})
+		if err := db.Add(&pvoronoi.Object{ID: pvoronoi.ID(i), Region: region}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ffs := vfs.NewFaultFS(nil)
+	opts := pvoronoi.DefaultOptions()
+	opts.MemBudget = 1 << 18
+	opts.FS = ffs
+	d, err := pvoronoi.OpenDurable(dir, db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ts := httptest.NewServer(newDurableServer(d).routes())
+	defer ts.Close()
+
+	insert := func(id int) (*http.Response, map[string]json.RawMessage) {
+		return postJSON(t, ts, "/v1/insert", map[string]any{
+			"id":     id,
+			"region": map[string]any{"lo": []float64{400, 400}, "hi": []float64{420, 420}},
+		})
+	}
+	health := func() (string, string) {
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h struct {
+			Status string `json:"status"`
+			Cause  string `json:"cause"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&h)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h.Status, h.Cause
+	}
+
+	// Healthy baseline.
+	if resp, out := insert(9000); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy insert status %d: %s", resp.StatusCode, out["error"])
+	}
+	if st, _ := health(); st != "ok" {
+		t.Fatalf("healthz before fault: %q", st)
+	}
+
+	// Disk full: the WAL append fail-stops, the write gets 503 + Retry-After.
+	ffs.SetWriteBudget(0)
+	resp, out := insert(9001)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("insert under ENOSPC: status %d (%s), want 503", resp.StatusCode, out["error"])
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	if d.DB().Get(9001) != nil {
+		t.Fatal("failed insert is visible")
+	}
+
+	// Degraded is sticky: the next write is refused up front.
+	if resp, _ := insert(9002); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("second insert while degraded: status %d, want 503", resp.StatusCode)
+	}
+	if st, cause := health(); st != "degraded" || cause == "" {
+		t.Fatalf("healthz under fault: status %q cause %q", st, cause)
+	}
+
+	// Reads keep flowing off the last published version.
+	resp, out = postJSON(t, ts, "/v1/possiblenn", map[string]any{"point": []float64{500, 500}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read while degraded: status %d (%s)", resp.StatusCode, out["error"])
+	}
+	resp, _ = postJSON(t, ts, "/v1/query", map[string]any{"point": []float64{500, 500}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query while degraded: status %d", resp.StatusCode)
+	}
+
+	// Stats surface the degradation.
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Status  string `json:"status"`
+		Cause   string `json:"degraded_cause"`
+		Durable struct {
+			WALHealthy bool `json:"wal_healthy"`
+		} `json:"durable"`
+	}
+	err = json.NewDecoder(statsResp.Body).Decode(&stats)
+	statsResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Status != "degraded" || stats.Cause == "" || stats.Durable.WALHealthy {
+		t.Fatalf("stats under fault: %+v", stats)
+	}
+
+	// Checkpoint while the disk is still full fails and stays degraded.
+	if resp, _ := postJSON(t, ts, "/v1/checkpoint", map[string]any{}); resp.StatusCode == http.StatusOK {
+		t.Fatal("checkpoint succeeded while the disk is full")
+	}
+	if st, _ := health(); st != "degraded" {
+		t.Fatal("failed checkpoint cleared degraded mode")
+	}
+
+	// Operator frees the disk; a successful checkpoint re-arms writes.
+	ffs.ClearFaults()
+	resp, out = postJSON(t, ts, "/v1/checkpoint", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-arm checkpoint status %d: %s", resp.StatusCode, out["error"])
+	}
+	if st, _ := health(); st != "ok" {
+		t.Fatal("healthz still degraded after successful checkpoint")
+	}
+	resp, out = insert(9003)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("insert after re-arm: status %d (%s)", resp.StatusCode, out["error"])
+	}
+	if d.DB().Get(9003) == nil {
+		t.Fatal("post-re-arm insert not applied")
+	}
+}
+
+// TestServeAdmissionShedding fills the admission semaphore and checks new
+// work is shed with 503 while health and stats stay reachable.
+func TestServeAdmissionShedding(t *testing.T) {
+	ix := testIndex(t, 60)
+	s := newServer(ix)
+	s.maxInflight = 2
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	// Occupy every admission slot (requests park in the semaphore channel,
+	// so filling it directly models two stuck in-flight requests).
+	s.inflight <- struct{}{}
+	s.inflight <- struct{}{}
+
+	resp, _ := postJSON(t, ts, "/v1/possiblenn", map[string]any{"point": []float64{500, 500}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query at capacity: status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response without Retry-After")
+	}
+	// Operator endpoints bypass admission.
+	hr, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil || hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz at capacity: %v %d", err, hr.StatusCode)
+	}
+	hr.Body.Close()
+	sr, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil || sr.StatusCode != http.StatusOK {
+		t.Fatalf("stats at capacity: %v %d", err, sr.StatusCode)
+	}
+	sr.Body.Close()
+
+	// Slots free up; service resumes.
+	<-s.inflight
+	<-s.inflight
+	resp, _ = postJSON(t, ts, "/v1/possiblenn", map[string]any{"point": []float64{500, 500}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after drain: status %d", resp.StatusCode)
+	}
+}
+
+// TestServeRequestTimeout proves the per-request deadline reaches the batch
+// query pool: an already-expired deadline turns into 504, not a hang.
+func TestServeRequestTimeout(t *testing.T) {
+	ix := testIndex(t, 60)
+	s := newServer(ix)
+	s.reqTimeout = time.Nanosecond
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	resp, _ := postJSON(t, ts, "/v1/possibleknnbatch", map[string]any{
+		"points": [][]float64{{100, 100}, {500, 500}, {900, 900}},
+		"k":      2,
+	})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("expired batch: status %d, want 504", resp.StatusCode)
 	}
 }

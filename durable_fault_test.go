@@ -1,0 +1,345 @@
+package pvoronoi
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pvoronoi/internal/vfs"
+)
+
+// tortureModel tracks the object-ID set a prefix of the torture workload's
+// batches produces. Batch i inserts IDs 5000+2i and 5001+2i and deletes
+// bootstrap ID i.
+func tortureModel(bootstrapN, batches int) map[ID]bool {
+	m := make(map[ID]bool)
+	for i := 0; i < bootstrapN; i++ {
+		m[ID(i)] = true
+	}
+	for i := 0; i < batches; i++ {
+		m[ID(5000+2*i)] = true
+		m[ID(5001+2*i)] = true
+		delete(m, ID(i))
+	}
+	return m
+}
+
+// tortureWorkload runs the scripted durable session over fs: open from the
+// bootstrap database, apply six update batches with a checkpoint in the
+// middle, and close. It returns how many batches were acknowledged and
+// whether a batch was in flight when the first error hit. Deterministic:
+// every run issues the identical operation sequence until its crash point.
+func tortureWorkload(t *testing.T, dir string, fs vfs.FS) (acked int, inflight bool) {
+	t.Helper()
+	const batches = 6
+	opts := testOptions()
+	opts.FS = fs
+	d, err := OpenDurable(dir, buildSmallDB(t, 25, false), opts)
+	if err != nil {
+		return 0, false
+	}
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < batches; i++ {
+		ups := []Update{
+			InsertOp(mkObj(rng, ID(5000+2*i))),
+			InsertOp(mkObj(rng, ID(5001+2*i))),
+			DeleteOp(ID(i)),
+		}
+		if _, err := d.ApplyBatch(ups); err != nil {
+			return acked, true
+		}
+		acked++
+		if i == 2 {
+			if _, err := d.Checkpoint(); err != nil {
+				return acked, false
+			}
+		}
+	}
+	if err := d.Close(); err != nil {
+		return acked, false
+	}
+	return acked, false
+}
+
+// TestDurableTortureCrashSweep is the ALICE-style crash-consistency sweep:
+// run the scripted workload once fault-free to count its mutating filesystem
+// operations, then re-run it crashing at every single one of them. After
+// each crash the store is reopened on the real filesystem and must recover
+// to exactly the bootstrap state plus a prefix of the logged batches — every
+// acknowledged batch present, at most the one in-flight batch beyond that,
+// and never a partial batch (group commits are atomic). Recovery itself must
+// always succeed: a crash leaves torn tails and orphan temp files, none of
+// which may be mistaken for corruption of acknowledged data.
+func TestDurableTortureCrashSweep(t *testing.T) {
+	const bootstrapN = 25
+
+	// Dry run: learn the workload's fault-point count.
+	dry := vfs.NewFaultFS(nil)
+	acked, inflight := tortureWorkload(t, t.TempDir(), dry)
+	if acked != 6 || inflight {
+		t.Fatalf("fault-free workload acked %d batches (inflight=%v), want 6", acked, inflight)
+	}
+	total := dry.OpCount()
+	if total < 20 {
+		t.Fatalf("implausibly few fault points: %d", total)
+	}
+	stride := int64(1)
+	if testing.Short() {
+		stride = 7
+	}
+	t.Logf("sweeping %d fault points (stride %d)", total, stride)
+
+	for n := int64(1); n <= total; n += stride {
+		dir := t.TempDir()
+		ffs := vfs.NewFaultFS(nil)
+		ffs.CrashAt(n, 0.5)
+		acked, inflight := tortureWorkload(t, dir, ffs)
+		if !ffs.Crashed() {
+			t.Fatalf("crash point %d never fired", n)
+		}
+
+		// Reboot on the real filesystem. The same bootstrap database stands
+		// in for the operator supplying identical -data/-seed flags.
+		d2, err := OpenDurable(dir, buildSmallDB(t, bootstrapN, false), testOptions())
+		if err != nil {
+			t.Fatalf("crash point %d: recovery failed: %v", n, err)
+		}
+		got := make(map[ID]bool)
+		for _, o := range d2.DB().Objects() {
+			got[o.ID] = true
+		}
+		// The recovered state must equal the model after M batches for some
+		// M in [acked, acked+inflight]: fewer loses acknowledged writes, more
+		// invents unacknowledged ones, anything else is a torn batch.
+		matched := -1
+		hi := acked
+		if inflight {
+			hi++
+		}
+		for m := acked; m <= hi; m++ {
+			want := tortureModel(bootstrapN, m)
+			if len(want) != len(got) {
+				continue
+			}
+			ok := true
+			for id := range want {
+				if !got[id] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				matched = m
+				break
+			}
+		}
+		if matched < 0 {
+			t.Fatalf("crash point %d: recovered %d objects, not a prefix state (acked %d batches, inflight %v)",
+				n, len(got), acked, inflight)
+		}
+		// The recovered index must actually answer queries.
+		if _, err := d2.PossibleNN(Point{500, 500}); err != nil {
+			t.Fatalf("crash point %d: recovered index broken: %v", n, err)
+		}
+		if err := d2.Close(); err != nil {
+			t.Fatalf("crash point %d: close after recovery: %v", n, err)
+		}
+	}
+}
+
+// corruptNewestCheckpoint flips one payload byte of the newest checkpoint's
+// index file on disk, returning its base name.
+func corruptNewestCheckpoint(t *testing.T, dir string) string {
+	t.Helper()
+	cands := listCheckpoints(vfs.OS, dir)
+	if len(cands) < 2 {
+		t.Fatalf("need >=2 checkpoints for a fallback test, have %d", len(cands))
+	}
+	path := filepath.Join(dir, cands[0].base+".pvidx")
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x10
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return cands[0].base
+}
+
+// seedTwoCheckpoints builds a durable store with two retained checkpoints
+// and a WAL tail beyond the older one, returning the IDs that must survive.
+func seedTwoCheckpoints(t *testing.T, dir string) []ID {
+	t.Helper()
+	rng := rand.New(rand.NewSource(31))
+	d, err := OpenDurable(dir, buildSmallDB(t, 40, false), testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.InsertBatch([]*Object{mkObj(rng, 7000), mkObj(rng, 7001)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Acknowledged after the checkpoint recovery will fall back to: these
+	// must come out of the longer WAL replay.
+	if _, err := d.InsertBatch([]*Object{mkObj(rng, 7002), mkObj(rng, 7003)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil { // final checkpoint -> 2 retained
+		t.Fatal(err)
+	}
+	return []ID{7000, 7001, 7002, 7003}
+}
+
+// TestDurableBitFlipFallback flips a bit in the newest checkpoint: recovery
+// must detect the checksum mismatch, fall back to the previous checkpoint,
+// replay the longer WAL tail, and report the corruption — no acknowledged
+// write lost to bit rot in the snapshot.
+func TestDurableBitFlipFallback(t *testing.T) {
+	dir := t.TempDir()
+	ids := seedTwoCheckpoints(t, dir)
+	bad := corruptNewestCheckpoint(t, dir)
+
+	d2, err := OpenDurable(dir, nil, testOptions())
+	if err != nil {
+		t.Fatalf("fallback recovery failed: %v", err)
+	}
+	defer d2.Close()
+	rec := d2.Recovery()
+	if len(rec.CorruptCheckpoints) != 1 || rec.CorruptCheckpoints[0] != bad {
+		t.Fatalf("corrupt checkpoints %v, want [%s]", rec.CorruptCheckpoints, bad)
+	}
+	if rec.UsedCheckpoint == "" || rec.UsedCheckpoint == bad {
+		t.Fatalf("recovered from %q, want the older fallback", rec.UsedCheckpoint)
+	}
+	if rec.Replayed == 0 {
+		t.Fatal("fallback recovery replayed nothing — the WAL tail beyond the older checkpoint was lost")
+	}
+	for _, id := range ids {
+		if d2.DB().Get(id) == nil {
+			t.Fatalf("acknowledged insert %d lost across the fallback", id)
+		}
+	}
+	rebuildOracle(t, d2.Index, rand.New(rand.NewSource(32)))
+
+	// Surviving corruption rewrites a fresh checkpoint: a third open is clean.
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d3, err := OpenDurable(dir, nil, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	if len(d3.Recovery().CorruptCheckpoints) != 0 {
+		t.Fatalf("corruption persisted across recovery: %v", d3.Recovery().CorruptCheckpoints)
+	}
+}
+
+// TestDurableTornCheckpointFallback truncates the newest checkpoint mid-file
+// (a torn write, not bit rot): same fallback path, distinguished by the
+// envelope's length footer.
+func TestDurableTornCheckpointFallback(t *testing.T) {
+	dir := t.TempDir()
+	ids := seedTwoCheckpoints(t, dir)
+	cands := listCheckpoints(vfs.OS, dir)
+	path := filepath.Join(dir, cands[0].base+".pvidx")
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDurable(dir, nil, testOptions())
+	if err != nil {
+		t.Fatalf("torn-checkpoint recovery failed: %v", err)
+	}
+	defer d2.Close()
+	if len(d2.Recovery().CorruptCheckpoints) != 1 {
+		t.Fatalf("corrupt checkpoints %v, want the torn newest", d2.Recovery().CorruptCheckpoints)
+	}
+	for _, id := range ids {
+		if d2.DB().Get(id) == nil {
+			t.Fatalf("acknowledged insert %d lost across the fallback", id)
+		}
+	}
+}
+
+// TestDurableAllCheckpointsCorruptFailsLoudly corrupts every retained
+// checkpoint: recovery must refuse to run — silently rebuilding from the
+// bootstrap database would resurrect a stale past as if it were current.
+func TestDurableAllCheckpointsCorruptFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	seedTwoCheckpoints(t, dir)
+	for _, c := range listCheckpoints(vfs.OS, dir) {
+		path := filepath.Join(dir, c.base+".pvidx")
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[len(buf)/2] ^= 0x01
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := OpenDurable(dir, nil, testOptions()); err == nil {
+		t.Fatal("recovery succeeded with every checkpoint corrupt")
+	}
+	// A bootstrap database does not change the answer: the checkpoints prove
+	// acknowledged data existed, so rebuilding over it must still refuse.
+	if _, err := OpenDurable(dir, buildSmallDB(t, 40, false), testOptions()); err == nil {
+		t.Fatal("recovery rebuilt from bootstrap data over corrupt checkpoints")
+	}
+}
+
+// TestDurableCheckpointRetention drives several checkpoints and checks the
+// retention contract: exactly CheckpointRetain checkpoints on disk, and the
+// WAL still reaching back to just past the oldest retained one so fallback
+// always has its replay window.
+func TestDurableCheckpointRetention(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(33))
+	opts := testOptions()
+	opts.CheckpointRetain = 3
+	d, err := OpenDurable(dir, buildSmallDB(t, 40, false), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	for round := 0; round < 6; round++ {
+		if _, err := d.InsertBatch([]*Object{mkObj(rng, ID(8000+round))}); err != nil {
+			t.Fatal(err)
+		}
+		st, err := d.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Skipped {
+			t.Fatalf("round %d: checkpoint after an insert skipped", round)
+		}
+		cands := listCheckpoints(vfs.OS, dir)
+		if want := min(round+2, 3); len(cands) != want {
+			t.Fatalf("round %d: %d checkpoints on disk, want %d", round, len(cands), want)
+		}
+		// Every retained checkpoint must be loadable and coverable: the WAL's
+		// first record is no later than the record after the oldest retained
+		// snapshot.
+		oldest := cands[len(cands)-1].seq
+		if first := d.log.FirstSeq(); first != 0 && first > oldest+1 {
+			t.Fatalf("round %d: wal starts at %d, oldest retained checkpoint at %d — fallback window lost", round, first, oldest)
+		}
+	}
+
+	// Orphan .db halves and tmp files must never linger.
+	dbs, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.db"))
+	idxs, _ := filepath.Glob(filepath.Join(dir, "ckpt-*.pvidx"))
+	if len(dbs) != len(idxs) {
+		t.Fatalf("unpaired checkpoint files: %d .db vs %d .pvidx", len(dbs), len(idxs))
+	}
+}

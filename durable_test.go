@@ -199,6 +199,15 @@ func TestDurableCrashBeforeFirstCheckpointWindow(t *testing.T) {
 	if err := os.Remove(filepath.Join(dir, "CURRENT")); err != nil {
 		t.Fatal(err)
 	}
+	ckpts, err := filepath.Glob(filepath.Join(dir, "ckpt-*"))
+	if err != nil || len(ckpts) == 0 {
+		t.Fatalf("no checkpoint files to wipe: %v", err)
+	}
+	for _, c := range ckpts {
+		if err := os.Remove(c); err != nil {
+			t.Fatal(err)
+		}
+	}
 
 	d2, err := OpenDurable(dir, buildSmallDB(t, 50, false), testOptions())
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 
 	"pvoronoi/internal/geom"
@@ -35,7 +36,19 @@ func Save(db *uncertain.DB, path string) error {
 	}
 	defer f.Close()
 	w := bufio.NewWriter(f)
+	if err := SaveTo(db, w); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
 
+// SaveTo writes db's dataset encoding to w — the stream form of Save, for
+// callers that frame the payload themselves (the checkpoint path wraps it in
+// a checksummed envelope).
+func SaveTo(db *uncertain.DB, w io.Writer) error {
 	ff := fileFormat{
 		Dim:      db.Dim(),
 		DomainLo: db.Domain.Lo,
@@ -54,13 +67,7 @@ func Save(db *uncertain.DB, path string) error {
 		}
 		ff.Objects = append(ff.Objects, fo)
 	}
-	if err := gob.NewEncoder(w).Encode(ff); err != nil {
-		return err
-	}
-	if err := w.Flush(); err != nil {
-		return err
-	}
-	return f.Sync()
+	return gob.NewEncoder(w).Encode(ff)
 }
 
 // Load reads a database previously written by Save.
@@ -70,10 +77,18 @@ func Load(path string) (*uncertain.DB, error) {
 		return nil, err
 	}
 	defer f.Close()
-
-	var ff fileFormat
-	if err := gob.NewDecoder(bufio.NewReader(f)).Decode(&ff); err != nil {
+	db, err := LoadFrom(bufio.NewReader(f))
+	if err != nil {
 		return nil, fmt.Errorf("dataset: decoding %s: %w", path, err)
+	}
+	return db, nil
+}
+
+// LoadFrom reads a dataset encoding written by SaveTo.
+func LoadFrom(r io.Reader) (*uncertain.DB, error) {
+	var ff fileFormat
+	if err := gob.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, err
 	}
 	db := uncertain.NewDB(geom.Rect{Lo: ff.DomainLo, Hi: ff.DomainHi})
 	for _, fo := range ff.Objects {

@@ -112,7 +112,7 @@ func (ix *Index) ApplyBatch(ups []Update) ([]UpdateStats, error) {
 
 	lastSeq := base.walSeq
 	if ix.wal != nil {
-		entries := make([]wal.Entry, len(ups))
+		entries := make([]wal.Entry, len(ups), len(ups)+1)
 		for i, u := range ups {
 			e, err := encodeUpdate(u)
 			if err != nil {
@@ -120,6 +120,10 @@ func (ix *Index) ApplyBatch(ups []Update) ([]UpdateStats, error) {
 			}
 			entries[i] = e
 		}
+		// The commit record seals the batch: recovery buffers update records
+		// and only applies them once their commit arrives, so a group commit
+		// torn mid-batch by a crash is discarded whole.
+		entries = append(entries, wal.Entry{Type: wal.TypeCommit})
 		if _, lastSeq, err = ix.wal.Append(entries...); err != nil {
 			return nil, fmt.Errorf("%w: append: %w", ErrWAL, err)
 		}
@@ -474,10 +478,15 @@ func (ix *Index) WALSeq() uint64 {
 // many updates it applied. The whole tail applies to one working version
 // (one database clone, one publish at the end), so replay cost stays
 // O(affected objects) per record, not O(index size); queries already being
-// served keep reading the pre-replay version until the single publish. A
-// torn record at the log's tail (from a crash mid-commit) ends recovery
-// cleanly: that update was never acknowledged. A replay error discards the
-// working version entirely — the index stays at its checkpoint state.
+// served keep reading the pre-replay version until the single publish.
+//
+// Update records buffer until their batch's commit record arrives and only
+// then apply, so a group commit torn mid-batch by a crash — some frames
+// durable, the commit lost — is discarded whole, never replayed as half a
+// batch. Records without a sealing commit (legacy logs, torn tails) were
+// never acknowledged, so dropping them is the correct crash semantics. A
+// replay error discards the working version entirely — the index stays at
+// its checkpoint state.
 func (ix *Index) Recover() (int, error) {
 	if ix.wal == nil {
 		return 0, fmt.Errorf("pvindex: Recover without an attached WAL")
@@ -489,11 +498,33 @@ func (ix *Index) Recover() (int, error) {
 	}
 
 	base := ix.current.Load()
-	var w *working // created lazily on the first update record
+	var w *working // created lazily on the first committed update
+	var pending []Update
 	lastSeq := base.walSeq
 	replayed := 0
 	err := ix.wal.Replay(base.walSeq+1, func(rec wal.Record) error {
-		if rec.Type == wal.TypeCheckpoint {
+		switch rec.Type {
+		case wal.TypeCheckpoint:
+			lastSeq = rec.Seq
+			return nil
+		case wal.TypeCommit:
+			if len(pending) > 0 && w == nil {
+				w = ix.newWorking(base)
+			}
+			for _, u := range pending {
+				var aerr error
+				switch u.Op {
+				case OpInsert:
+					_, _, aerr = w.applyInsert(u.Object, nil, seCold)
+				case OpDelete:
+					_, _, aerr = w.applyDelete(u.ID)
+				}
+				if aerr != nil {
+					return fmt.Errorf("pvindex: replaying wal batch at commit %d: %w", rec.Seq, aerr)
+				}
+				replayed++
+			}
+			pending = pending[:0]
 			lastSeq = rec.Seq
 			return nil
 		}
@@ -501,23 +532,7 @@ func (ix *Index) Recover() (int, error) {
 		if err != nil {
 			return err
 		}
-		if w == nil {
-			w = ix.newWorking(base)
-		}
-		var aerr error
-		switch u.Op {
-		case OpInsert:
-			_, _, aerr = w.applyInsert(u.Object, nil, seCold)
-		case OpDelete:
-			_, _, aerr = w.applyDelete(u.ID)
-		default:
-			aerr = fmt.Errorf("unknown op %d", u.Op)
-		}
-		if aerr != nil {
-			return fmt.Errorf("pvindex: replaying wal record %d: %w", rec.Seq, aerr)
-		}
-		lastSeq = rec.Seq
-		replayed++
+		pending = append(pending, u)
 		return nil
 	})
 	if err != nil {

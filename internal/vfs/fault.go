@@ -1,0 +1,390 @@
+package vfs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Injected fault errors. ErrNoSpace wraps syscall.ENOSPC so errors.Is sees
+// the same sentinel a real full disk produces.
+var (
+	// ErrCrashed is returned by every operation after a crash point fires:
+	// the simulated process is dead and nothing further reaches the disk.
+	ErrCrashed = fmt.Errorf("vfs: crashed at injected fault point")
+	// ErrInjected marks a non-fatal injected failure (a failing fsync, a
+	// poisoned file).
+	ErrInjected = fmt.Errorf("vfs: injected fault")
+	// ErrNoSpace is the injected disk-full error.
+	ErrNoSpace = fmt.Errorf("vfs: injected disk full: %w", syscall.ENOSPC)
+)
+
+// flip describes one read-path bit flip: files whose path contains Path get
+// bit Bit of byte Offset inverted on every ReadFile.
+type flip struct {
+	Path   string
+	Offset int64
+	Bit    uint
+}
+
+// FaultFS wraps another FS and injects storage faults deterministically.
+//
+// Mutating operations (create, write, fsync, rename, remove, truncate,
+// mkdir, dir fsync) are counted in execution order; CrashAt arms a crash at
+// the Nth such operation — a crashing write lands only a torn prefix, any
+// other crashing operation does not happen at all, and every operation
+// after the crash fails with ErrCrashed, exactly as if the process had died.
+// Sweeping N across the full count enumerates every point a real crash
+// could hit (the ALICE recipe).
+//
+// Orthogonal, non-fatal faults model a disk that misbehaves while the
+// process lives: SetWriteBudget caps the bytes writable before ENOSPC
+// (short write then failure, like a real full disk), PoisonSync makes the
+// next fsync of a matching file fail and poisons the file thereafter
+// ("fsyncgate" semantics: a failed fsync may have dropped dirty pages, so
+// no later write or fsync of that file can be trusted), and FlipBit
+// simulates bit rot on the read path. ClearFaults lifts the non-fatal
+// faults — the "operator freed the disk" transition degraded-mode serving
+// recovers through.
+//
+// All methods are safe for concurrent use; injection decisions are
+// serialized on one mutex, so a single-threaded workload sees a fully
+// deterministic fault schedule.
+type FaultFS struct {
+	base FS
+
+	mu        sync.Mutex
+	ops       int64 // mutating operations performed so far
+	crashAt   int64 // 1-based op index to crash at; 0 = never
+	tornFrac  float64
+	crashed   bool
+	budget    int64 // remaining writable bytes; < 0 = unlimited
+	poisonPat string
+	poisoned  map[string]bool
+	flips     []flip
+}
+
+// NewFaultFS returns a fault injector over base (OS when base is nil) with
+// no faults armed.
+func NewFaultFS(base FS) *FaultFS {
+	if base == nil {
+		base = OS
+	}
+	return &FaultFS{base: base, budget: -1, tornFrac: 0.5, poisoned: make(map[string]bool)}
+}
+
+// CrashAt arms a crash at the n-th mutating operation (1-based; 0 disarms).
+// A crashing write persists only ceil(tornFrac · len) bytes of its buffer.
+func (f *FaultFS) CrashAt(n int64, tornFrac float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.crashAt = n
+	if tornFrac > 0 && tornFrac < 1 {
+		f.tornFrac = tornFrac
+	}
+}
+
+// OpCount returns the number of mutating operations seen so far — run a
+// workload once with no faults armed to learn its fault-point count.
+func (f *FaultFS) OpCount() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the crash point has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// SetWriteBudget allows n more bytes of writes before every further write
+// fails with ErrNoSpace (n = 0 makes the very next write fail).
+func (f *FaultFS) SetWriteBudget(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = n
+}
+
+// PoisonSync makes the next Sync of a file whose path contains pat fail and
+// poisons that file: all later writes and syncs of it fail too.
+func (f *FaultFS) PoisonSync(pat string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.poisonPat = pat
+}
+
+// FlipBit arms a read-path bit flip: every ReadFile of a path containing
+// pat returns its contents with bit (0-7) of the byte at offset inverted.
+func (f *FaultFS) FlipBit(pat string, offset int64, bit uint) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flips = append(f.flips, flip{Path: pat, Offset: offset, Bit: bit % 8})
+}
+
+// ClearFaults lifts the non-fatal faults (write budget, sync poison,
+// armed and already-poisoned files, bit flips). A fired crash is permanent.
+func (f *FaultFS) ClearFaults() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.budget = -1
+	f.poisonPat = ""
+	f.poisoned = make(map[string]bool)
+	f.flips = nil
+}
+
+// opGate counts one mutating operation and decides its fate: proceed
+// (nil, false), fail and crash (ErrCrashed, true — the caller may still
+// land a torn prefix first), or fail because already crashed.
+func (f *FaultFS) opGate() (err error, firing bool) {
+	if f.crashed {
+		return ErrCrashed, false
+	}
+	f.ops++
+	if f.crashAt > 0 && f.ops == f.crashAt {
+		f.crashed = true
+		return ErrCrashed, true
+	}
+	return nil, false
+}
+
+// --- FS interface --------------------------------------------------------
+
+func (f *FaultFS) Create(name string) (File, error) {
+	f.mu.Lock()
+	err, _ := f.opGate()
+	f.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("create %s: %w", name, err)
+	}
+	file, ferr := f.base.Create(name)
+	if ferr != nil {
+		return nil, ferr
+	}
+	return &faultFile{fs: f, f: file, path: name}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	if f.Crashed() {
+		return nil, fmt.Errorf("open %s: %w", name, ErrCrashed)
+	}
+	file, err := f.base.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file, path: name}, nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if flag&(os.O_WRONLY|os.O_RDWR|os.O_CREATE|os.O_TRUNC|os.O_APPEND) != 0 {
+		f.mu.Lock()
+		err, _ := f.opGate()
+		f.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("openfile %s: %w", name, err)
+		}
+	} else if f.Crashed() {
+		return nil, fmt.Errorf("openfile %s: %w", name, ErrCrashed)
+	}
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file, path: name}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if f.Crashed() {
+		return nil, fmt.Errorf("readfile %s: %w", name, ErrCrashed)
+	}
+	buf, err := f.base.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	for _, fl := range f.flips {
+		if strings.Contains(name, fl.Path) && fl.Offset >= 0 && fl.Offset < int64(len(buf)) {
+			buf[fl.Offset] ^= 1 << fl.Bit
+		}
+	}
+	f.mu.Unlock()
+	return buf, nil
+}
+
+func (f *FaultFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	f.mu.Lock()
+	err, firing := f.opGate()
+	if err != nil {
+		f.mu.Unlock()
+		if firing {
+			// Crash mid-write: a torn prefix reaches the disk.
+			f.base.WriteFile(name, data[:torn(len(data), f.tornFrac)], perm)
+		}
+		return fmt.Errorf("writefile %s: %w", name, err)
+	}
+	if f.poisoned[name] {
+		f.mu.Unlock()
+		return fmt.Errorf("writefile %s: poisoned after failed fsync: %w", name, ErrInjected)
+	}
+	n, serr := f.debit(len(data))
+	f.mu.Unlock()
+	if serr != nil {
+		// A real full disk lands what fits, then errors.
+		f.base.WriteFile(name, data[:n], perm)
+		return fmt.Errorf("writefile %s: %w", name, serr)
+	}
+	return f.base.WriteFile(name, data, perm)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	return f.mutate("rename", oldpath, func() error { return f.base.Rename(oldpath, newpath) })
+}
+
+func (f *FaultFS) Remove(name string) error {
+	return f.mutate("remove", name, func() error { return f.base.Remove(name) })
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	return f.mutate("truncate", name, func() error { return f.base.Truncate(name, size) })
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.mutate("mkdir", path, func() error { return f.base.MkdirAll(path, perm) })
+}
+
+func (f *FaultFS) Glob(pattern string) ([]string, error) {
+	if f.Crashed() {
+		return nil, fmt.Errorf("glob %s: %w", pattern, ErrCrashed)
+	}
+	return f.base.Glob(pattern)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	return f.mutate("syncdir", dir, func() error { return f.base.SyncDir(dir) })
+}
+
+// mutate runs a non-write mutating operation through the op gate: a crash
+// at this point means the operation never happened.
+func (f *FaultFS) mutate(op, name string, fn func() error) error {
+	f.mu.Lock()
+	err, _ := f.opGate()
+	f.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("%s %s: %w", op, name, err)
+	}
+	return fn()
+}
+
+// debit charges n bytes against the write budget, returning how many may
+// land and ErrNoSpace when the budget is exhausted. Caller holds f.mu.
+func (f *FaultFS) debit(n int) (int, error) {
+	if f.budget < 0 {
+		return n, nil
+	}
+	if int64(n) <= f.budget {
+		f.budget -= int64(n)
+		return n, nil
+	}
+	allowed := int(f.budget)
+	f.budget = 0
+	return allowed, ErrNoSpace
+}
+
+// torn returns how many of n bytes a crashing write persists.
+func torn(n int, frac float64) int {
+	t := int(float64(n) * frac)
+	if t >= n && n > 0 {
+		t = n - 1
+	}
+	return t
+}
+
+// faultFile threads a file's writes and fsyncs back through its FaultFS.
+type faultFile struct {
+	fs   *FaultFS
+	f    File
+	path string
+}
+
+func (ff *faultFile) Name() string { return ff.path }
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	if ff.fs.Crashed() {
+		return 0, fmt.Errorf("read %s: %w", ff.path, ErrCrashed)
+	}
+	return ff.f.Read(p)
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	if ff.fs.Crashed() {
+		return 0, fmt.Errorf("seek %s: %w", ff.path, ErrCrashed)
+	}
+	return ff.f.Seek(offset, whence)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	fs := ff.fs
+	fs.mu.Lock()
+	err, firing := fs.opGate()
+	if err != nil {
+		fs.mu.Unlock()
+		if firing {
+			// Crash mid-write: a torn prefix reaches the disk.
+			n := torn(len(p), fs.tornFrac)
+			if n > 0 {
+				ff.f.Write(p[:n])
+			}
+			return n, fmt.Errorf("write %s: %w", ff.path, err)
+		}
+		return 0, fmt.Errorf("write %s: %w", ff.path, err)
+	}
+	if fs.poisoned[ff.path] {
+		fs.mu.Unlock()
+		return 0, fmt.Errorf("write %s: poisoned after failed fsync: %w", ff.path, ErrInjected)
+	}
+	n, serr := fs.debit(len(p))
+	fs.mu.Unlock()
+	if serr != nil {
+		if n > 0 {
+			ff.f.Write(p[:n])
+		}
+		return n, fmt.Errorf("write %s: %w", ff.path, serr)
+	}
+	return ff.f.Write(p)
+}
+
+func (ff *faultFile) Sync() error {
+	fs := ff.fs
+	fs.mu.Lock()
+	err, _ := fs.opGate()
+	if err != nil {
+		fs.mu.Unlock()
+		return fmt.Errorf("fsync %s: %w", ff.path, err)
+	}
+	if fs.poisoned[ff.path] {
+		fs.mu.Unlock()
+		return fmt.Errorf("fsync %s: poisoned after failed fsync: %w", ff.path, ErrInjected)
+	}
+	if fs.poisonPat != "" && strings.Contains(ff.path, fs.poisonPat) {
+		// Fsyncgate: the failed fsync may have dropped dirty pages — the
+		// file can never be trusted again.
+		fs.poisoned[ff.path] = true
+		fs.poisonPat = ""
+		fs.mu.Unlock()
+		return fmt.Errorf("fsync %s: %w", ff.path, ErrInjected)
+	}
+	fs.mu.Unlock()
+	return ff.f.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	// Always release the descriptor; report the crash if one fired.
+	err := ff.f.Close()
+	if ff.fs.Crashed() {
+		return fmt.Errorf("close %s: %w", ff.path, ErrCrashed)
+	}
+	return err
+}

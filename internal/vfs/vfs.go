@@ -1,0 +1,105 @@
+// Package vfs abstracts the filesystem operations the durability stack
+// depends on — file creation, writes, fsync, rename, remove, truncate, and
+// directory fsync — behind a small interface, so the same write-ahead-log
+// and checkpoint code runs against the real OS (OsFS, the default: a pure
+// passthrough) or against a deterministic fault injector (FaultFS) that
+// exercises torn writes, fsync failures, disk-full, and bit rot without
+// needing a real failing disk.
+//
+// The interface is intentionally minimal: it covers exactly the operations
+// whose failure or reordering can lose acknowledged data. Anything that only
+// reads derived state goes through ReadFile/Open so bit-rot injection has a
+// single choke point.
+package vfs
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// File is the handle surface the durability stack needs: sequential reads
+// and writes, seeking (the WAL repositions to a segment's committed tail),
+// fsync, and close.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes the file's data to stable storage (fsync).
+	Sync() error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS is the filesystem interface the WAL and checkpoint paths run on.
+type FS interface {
+	// Create creates (or truncates) the named file for writing.
+	Create(name string) (File, error)
+	// Open opens the named file read-only.
+	Open(name string) (File, error)
+	// OpenFile is the generalized open (the WAL reopens segment tails
+	// write-only without truncation).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile returns the named file's full contents.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes data to the named file, creating it if necessary.
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Truncate resizes the named file.
+	Truncate(name string, size int64) error
+	// MkdirAll creates the named directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// Glob returns the names matching pattern (filepath.Glob semantics).
+	Glob(pattern string) ([]string, error)
+	// SyncDir fsyncs a directory so entries created, renamed, or removed
+	// in it survive power loss.
+	SyncDir(dir string) error
+}
+
+// OsFS is the passthrough FS over the real filesystem. The zero value is
+// ready to use.
+type OsFS struct{}
+
+// OS is the shared default filesystem.
+var OS FS = OsFS{}
+
+func (OsFS) Create(name string) (File, error) { return os.Create(name) }
+
+func (OsFS) Open(name string) (File, error) { return os.Open(name) }
+
+func (OsFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OsFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OsFS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+
+func (OsFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OsFS) Remove(name string) error { return os.Remove(name) }
+
+func (OsFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (OsFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (OsFS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+
+func (OsFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	cerr := d.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}

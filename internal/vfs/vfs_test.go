@@ -1,0 +1,218 @@
+package vfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOsFSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var fs FS = OsFS{}
+	if err := fs.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "sub", "a.txt")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := fs.ReadFile(path)
+	if err != nil || string(buf) != "hello" {
+		t.Fatalf("read back %q, %v", buf, err)
+	}
+	if err := fs.SyncDir(filepath.Join(dir, "sub")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename(path, path+".2"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.Glob(filepath.Join(dir, "sub", "*.2"))
+	if err != nil || len(names) != 1 {
+		t.Fatalf("glob: %v %v", names, err)
+	}
+	if err := fs.Truncate(path+".2", 2); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ = fs.ReadFile(path + ".2")
+	if string(buf) != "he" {
+		t.Fatalf("after truncate: %q", buf)
+	}
+	if err := fs.Remove(path + ".2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultFSCrashAtWriteTearsIt proves the crash point model: the crashing
+// write lands only a prefix, and every later operation fails with
+// ErrCrashed.
+func TestFaultFSCrashAtWriteTearsIt(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(OsFS{})
+	path := filepath.Join(dir, "f")
+
+	f, err := fs.Create(path) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashAt(2, 0.5) // the next op — the write — crashes
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got n=%d err=%v", n, err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write landed %d bytes, want 5", n)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync: %v", err)
+	}
+	if _, err := fs.Create(path + "2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create: %v", err)
+	}
+	if err := fs.Rename(path, path+"3"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename: %v", err)
+	}
+	// On-disk state: the torn prefix, nothing else.
+	buf, err := os.ReadFile(path)
+	if err != nil || string(buf) != "01234" {
+		t.Fatalf("on-disk %q, %v", buf, err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() false after firing")
+	}
+}
+
+// TestFaultFSCrashAtRenameSkipsIt proves a crashing non-write op does not
+// happen at all.
+func TestFaultFSCrashAtRenameSkipsIt(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(nil)
+	path := filepath.Join(dir, "f")
+	if err := fs.WriteFile(path, []byte("x"), 0o644); err != nil { // op 1
+		t.Fatal(err)
+	}
+	fs.CrashAt(2, 0)
+	if err := fs.Rename(path, path+".new"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("want ErrCrashed, got %v", err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("original vanished: %v", err)
+	}
+	if _, err := os.Stat(path + ".new"); !os.IsNotExist(err) {
+		t.Fatalf("rename happened despite crash: %v", err)
+	}
+}
+
+func TestFaultFSOpCountDeterminism(t *testing.T) {
+	run := func(fs FS) {
+		dir := t.TempDir()
+		f, _ := fs.Create(filepath.Join(dir, "a"))
+		f.Write([]byte("abc"))
+		f.Sync()
+		f.Close()
+		fs.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b"))
+		fs.SyncDir(dir)
+		fs.Remove(filepath.Join(dir, "b"))
+	}
+	a, b := NewFaultFS(nil), NewFaultFS(nil)
+	run(a)
+	run(b)
+	if a.OpCount() != b.OpCount() || a.OpCount() == 0 {
+		t.Fatalf("op counts differ: %d vs %d", a.OpCount(), b.OpCount())
+	}
+}
+
+// TestFaultFSWriteBudget models ENOSPC: what fits lands, the rest fails,
+// and clearing the fault re-opens the disk.
+func TestFaultFSWriteBudget(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(nil)
+	path := filepath.Join(dir, "f")
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetWriteBudget(4)
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrNoSpace) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write landed %d bytes, want 4", n)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("budget exhausted but write passed: %v", err)
+	}
+	fs.ClearFaults()
+	if _, err := f.Write([]byte("rest")); err != nil {
+		t.Fatalf("write after ClearFaults: %v", err)
+	}
+	f.Close()
+}
+
+// TestFaultFSSyncPoison models fsyncgate: the armed fsync fails once, and
+// the file stays poisoned for writes and syncs afterward.
+func TestFaultFSSyncPoison(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(nil)
+	f, err := fs.Create(filepath.Join(dir, "seg-1.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.Create(filepath.Join(dir, "other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.PoisonSync("seg-")
+	if err := g.Sync(); err != nil {
+		t.Fatalf("unmatched file's sync failed: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed sync: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write to poisoned file: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second sync of poisoned file: %v", err)
+	}
+	fs.ClearFaults()
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after ClearFaults: %v", err)
+	}
+	f.Close()
+	g.Close()
+}
+
+func TestFaultFSBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(nil)
+	path := filepath.Join(dir, "ckpt-1.db")
+	if err := fs.WriteFile(path, []byte{0x00, 0xFF, 0x0F}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs.FlipBit("ckpt-", 1, 3)
+	buf, err := fs.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x00 || buf[1] != 0xF7 || buf[2] != 0x0F {
+		t.Fatalf("flip wrong: % x", buf)
+	}
+	// The file on disk is untouched — rot is a read-path phenomenon here.
+	raw, _ := os.ReadFile(path)
+	if raw[1] != 0xFF {
+		t.Fatalf("on-disk byte mutated: % x", raw)
+	}
+}

@@ -27,6 +27,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"pvoronoi/internal/vfs"
 )
 
 // Type tags a log record.
@@ -41,6 +43,12 @@ const (
 	// checkpoint's name, informational only). Replay skips it; it exists so
 	// the log itself records the checkpoint lifecycle.
 	TypeCheckpoint Type = 3
+	// TypeCommit seals a group commit: it is the final record of every
+	// batch Append issued by the update path. Replay buffers update records
+	// and only surfaces them when their commit record arrives, so a torn
+	// group commit — some of a batch's frames durable, the rest lost — is
+	// discarded whole instead of resurrecting half a batch.
+	TypeCommit Type = 4
 )
 
 // Record is one replayed log entry.
@@ -65,6 +73,10 @@ type Options struct {
 	// NoSync skips the fsync on commit (for benchmarks measuring the
 	// fsync's cost against its absence). Durability is lost on crash.
 	NoSync bool
+	// FS is the filesystem the log runs on (default vfs.OS). Tests swap in
+	// a vfs.FaultFS to exercise torn writes, failing fsyncs, and disk-full
+	// conditions deterministically.
+	FS vfs.FS
 }
 
 // DefaultSegmentSize is the default rotation threshold.
@@ -85,6 +97,22 @@ type Stats struct {
 	Segments int   // segment files currently on disk
 }
 
+// OpenStats describes what Open had to repair or abandon while scanning the
+// existing segments — the loud part of "never silently lose an acked
+// write".
+type OpenStats struct {
+	// TornBytes is how many trailing bytes of the newest segment were
+	// discarded (a crash artifact: a commit that never finished).
+	TornBytes int64
+	// DroppedRecords counts intact records found BEYOND the first corrupt
+	// frame of the newest segment. Replay must stop at the first bad
+	// record — frame boundaries past it cannot be trusted transactionally —
+	// so these records, though individually CRC-valid, are dropped. A
+	// non-zero value means acknowledged writes were lost to corruption
+	// (bit rot, not a crash) and the caller should surface it.
+	DroppedRecords int
+}
+
 // segment is the in-memory index of one on-disk segment file.
 type segment struct {
 	index    int // file ordinal (monotonic, never reused)
@@ -97,19 +125,27 @@ type segment struct {
 // Log is an append-only record log. It is safe for concurrent use; appends
 // are serialized internally.
 type Log struct {
-	mu       sync.Mutex
-	dir      string
-	opts     Options
-	segments []segment // ordered by index; last is the active one
-	f        *os.File  // active segment, positioned at its tail
-	nextSeq  uint64
-	stats    Stats
-	closed   bool
+	mu        sync.Mutex
+	dir       string
+	opts      Options
+	fs        vfs.FS
+	segments  []segment // ordered by index; last is the active one
+	f         vfs.File  // active segment, positioned at its tail
+	nextSeq   uint64
+	stats     Stats
+	openStats OpenStats
+	closed    bool
 	// failed is set when a write error could not be rolled back: the file
 	// may end in a partial frame, so accepting further appends would put
 	// acknowledged records behind garbage that replay treats as the torn
-	// tail. A failed log rejects all appends (fail-stop).
+	// tail. A failed log rejects all appends (fail-stop) until Rearm
+	// rotates it onto a fresh segment.
 	failed bool
+	// errored is the softer sticky flag: the last append failed (even if
+	// it rolled back cleanly). Cleared by a successful append or Rearm;
+	// Healthy reports both, so a checkpoint can decide to rotate away from
+	// a file whose fsync can no longer be trusted.
+	errored bool
 }
 
 // Open opens (or creates) the log in dir. Every existing segment is scanned
@@ -121,12 +157,15 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.SegmentSize <= 0 {
 		opts.SegmentSize = DefaultSegmentSize
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = vfs.OS
+	}
+	if err := opts.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, nextSeq: 1}
+	l := &Log{dir: dir, opts: opts, fs: opts.FS, nextSeq: 1}
 
-	names, err := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	names, err := l.fs.Glob(filepath.Join(dir, "seg-*.wal"))
 	if err != nil {
 		return nil, err
 	}
@@ -137,8 +176,18 @@ func Open(dir string, opts Options) (*Log, error) {
 			return nil, fmt.Errorf("wal: unrecognized segment name %q", name)
 		}
 		last := i == len(names)-1
-		if err := l.scanSegment(&seg, last); err != nil {
+		drop, err := l.scanSegment(&seg, last)
+		if err != nil {
 			return nil, err
+		}
+		if drop {
+			if err := l.fs.Remove(seg.path); err != nil {
+				return nil, fmt.Errorf("wal: removing torn segment %s: %w", seg.path, err)
+			}
+			if err := l.fs.SyncDir(dir); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		if seg.lastSeq > 0 {
 			l.nextSeq = seg.lastSeq + 1
@@ -151,7 +200,7 @@ func Open(dir string, opts Options) (*Log, error) {
 		}
 	} else {
 		tail := &l.segments[len(l.segments)-1]
-		f, err := os.OpenFile(tail.path, os.O_WRONLY, 0o644)
+		f, err := l.fs.OpenFile(tail.path, os.O_WRONLY, 0o644)
 		if err != nil {
 			return nil, err
 		}
@@ -165,15 +214,25 @@ func Open(dir string, opts Options) (*Log, error) {
 }
 
 // scanSegment validates seg's frames, filling its seq range and valid size.
-// For the last segment a torn tail is truncated away; earlier segments must
-// be fully intact.
-func (l *Log) scanSegment(seg *segment, last bool) error {
-	buf, err := os.ReadFile(seg.path)
+// For the last segment, everything from the first bad frame on is truncated
+// away: a frame cut short by a crash is the expected torn tail, while a
+// CRC-corrupt frame with intact frames behind it is bit rot — replay must
+// still stop at the first bad record (frame boundaries past it cannot be
+// trusted transactionally), but the intact records beyond it are counted
+// into OpenStats.DroppedRecords so the loss is loud, never silent. Earlier
+// segments must be fully intact.
+func (l *Log) scanSegment(seg *segment, last bool) (drop bool, err error) {
+	buf, err := l.fs.ReadFile(seg.path)
 	if err != nil {
-		return err
+		return false, err
+	}
+	if last && len(buf) < len(segMagic) {
+		// A crash during segment creation leaves a file shorter than the
+		// magic: no frame could have been acked into it, so discard it.
+		return true, nil
 	}
 	if len(buf) < len(segMagic) || string(buf[:len(segMagic)]) != segMagic {
-		return fmt.Errorf("wal: %s: bad segment magic", seg.path)
+		return false, fmt.Errorf("wal: %s: bad segment magic", seg.path)
 	}
 	off := int64(len(segMagic))
 	data := buf[off:]
@@ -181,11 +240,14 @@ func (l *Log) scanSegment(seg *segment, last bool) error {
 		rec, n, ok := parseFrame(data)
 		if !ok {
 			if !last {
-				return fmt.Errorf("wal: %s: corrupt frame at offset %d in non-final segment", seg.path, off)
+				return false, fmt.Errorf("wal: %s: corrupt frame at offset %d in non-final segment", seg.path, off)
 			}
-			// Torn tail of the newest segment: discard it.
-			if err := os.Truncate(seg.path, off); err != nil {
-				return fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
+			// Count any intact records stranded beyond the bad frame, then
+			// discard everything from it on.
+			l.openStats.DroppedRecords += countIntactBeyond(data)
+			l.openStats.TornBytes += int64(len(data))
+			if err := l.fs.Truncate(seg.path, off); err != nil {
+				return false, fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
 			}
 			break
 		}
@@ -197,7 +259,49 @@ func (l *Log) scanSegment(seg *segment, last bool) error {
 		data = data[n:]
 	}
 	seg.size = off
-	return nil
+	return false, nil
+}
+
+// countIntactBeyond walks frames starting at a corrupt one, skipping over
+// it by its length header when that is still plausible, and counts the
+// CRC-valid records found after it. Best-effort: a mangled length field
+// ends the walk (the tail is then indistinguishable from a torn write).
+func countIntactBeyond(data []byte) int {
+	// Step over the corrupt frame itself, if its header still frames it.
+	n, structOK := frameSpan(data)
+	if !structOK {
+		return 0
+	}
+	dropped := 0
+	data = data[n:]
+	for len(data) > 0 {
+		n, structOK := frameSpan(data)
+		if !structOK {
+			break
+		}
+		if _, _, ok := parseFrame(data); ok {
+			dropped++
+		}
+		data = data[n:]
+	}
+	return dropped
+}
+
+// frameSpan reports the full size of the frame at the head of data going by
+// its length header alone, without checking the CRC.
+func frameSpan(data []byte) (int, bool) {
+	if len(data) < frameHdr {
+		return 0, false
+	}
+	length := binary.LittleEndian.Uint32(data[0:4])
+	if length < 1+8 || length > maxPayload {
+		return 0, false
+	}
+	total := 8 + int(length)
+	if len(data) < total {
+		return 0, false
+	}
+	return total, true
 }
 
 // parseFrame decodes one frame from data, reporting its full size and
@@ -232,22 +336,26 @@ func parseFrame(data []byte) (Record, int, bool) {
 // acknowledged commits with it.
 func (l *Log) addSegment(index int) error {
 	path := filepath.Join(l.dir, fmt.Sprintf("seg-%08d.wal", index))
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	f, err := l.fs.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.Write([]byte(segMagic)); err != nil {
+	// On any failure past the create, remove the partial file so a retry
+	// (e.g. Rearm after the disk frees up) can recreate it with O_EXCL.
+	fail := func(err error) error {
 		f.Close()
+		l.fs.Remove(path)
 		return err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		return fail(err)
 	}
 	if !l.opts.NoSync {
 		if err := f.Sync(); err != nil {
-			f.Close()
-			return err
+			return fail(err)
 		}
-		if err := syncDir(l.dir); err != nil {
-			f.Close()
-			return err
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			return fail(err)
 		}
 	}
 	if l.f != nil {
@@ -256,20 +364,6 @@ func (l *Log) addSegment(index int) error {
 	l.f = f
 	l.segments = append(l.segments, segment{index: index, path: path, size: int64(len(segMagic))})
 	return nil
-}
-
-// syncDir fsyncs a directory so entries created in it survive power loss.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return err
-	}
-	err = d.Sync()
-	cerr := d.Close()
-	if err != nil {
-		return err
-	}
-	return cerr
 }
 
 // Append commits the entries as one group: all frames are written with a
@@ -326,6 +420,7 @@ func (l *Log) Append(entries ...Entry) (first, last uint64, err error) {
 		}
 		l.stats.Syncs++
 	}
+	l.errored = false
 
 	tail := &l.segments[len(l.segments)-1]
 	if tail.firstSeq == 0 {
@@ -343,17 +438,58 @@ func (l *Log) Append(entries ...Entry) (first, last uint64, err error) {
 // failed write, so the file cannot end in a partial frame that later
 // appends would bury (replay would stop at the garbage and silently drop
 // them). If the truncate itself fails, the log fail-stops: every further
-// append is rejected. Callers hold l.mu and roll nextSeq back to first.
+// append is rejected until Rearm. Callers hold l.mu and roll nextSeq back
+// to first.
 func (l *Log) rollback(first uint64) {
 	l.nextSeq = first
+	l.errored = true
 	tail := &l.segments[len(l.segments)-1]
-	if err := os.Truncate(tail.path, tail.size); err != nil {
+	if err := l.fs.Truncate(tail.path, tail.size); err != nil {
 		l.failed = true
 		return
 	}
 	if _, err := l.f.Seek(tail.size, io.SeekStart); err != nil {
 		l.failed = true
 	}
+}
+
+// Healthy reports whether the log can be expected to accept the next
+// append: false after a fail-stop (failed) and after any append error whose
+// rollback succeeded but whose file (e.g. a poisoned post-fsync-failure
+// handle) should no longer be trusted.
+func (l *Log) Healthy() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return !l.failed && !l.errored && !l.closed
+}
+
+// Rearm recovers a failed or errored log by abandoning its active segment:
+// any unrollbacked garbage tail is truncated away (committed records are
+// preserved — they end exactly at the segment's recorded size), a fresh
+// segment is created and becomes the append target, and the failure flags
+// clear. It is the re-entry point after the underlying fault is gone — disk
+// space freed, a poisoned file left behind ("fsyncgate" recovery rotates
+// files, it never retries an fsync that already failed). If the filesystem
+// is still faulty, Rearm fails and the log stays fail-stopped.
+func (l *Log) Rearm() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: rearm on closed log")
+	}
+	if !l.failed && !l.errored {
+		return nil
+	}
+	tail := &l.segments[len(l.segments)-1]
+	if err := l.fs.Truncate(tail.path, tail.size); err != nil {
+		return fmt.Errorf("wal: rearm: truncating garbage tail of %s: %w", tail.path, err)
+	}
+	if err := l.addSegment(tail.index + 1); err != nil {
+		return fmt.Errorf("wal: rearm: %w", err)
+	}
+	l.failed = false
+	l.errored = false
+	return nil
 }
 
 // Sync forces an fsync of the active segment (useful after NoSync appends).
@@ -384,7 +520,7 @@ func (l *Log) Replay(from uint64, fn func(Record) error) error {
 		if seg.lastSeq != 0 && seg.lastSeq < from {
 			continue
 		}
-		buf, err := os.ReadFile(seg.path)
+		buf, err := l.fs.ReadFile(seg.path)
 		if err != nil {
 			return err
 		}
@@ -421,24 +557,56 @@ func (l *Log) LastSeq() uint64 {
 	return l.nextSeq - 1
 }
 
+// FirstSeq returns the lowest sequence number still present in the log
+// (0 when the log holds no records). A checkpoint at seq S can only serve
+// as a recovery base when FirstSeq() <= S+1 or the log is empty — anything
+// else means the records between S and the log's head were truncated away.
+func (l *Log) FirstSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, seg := range l.segments {
+		if seg.firstSeq != 0 {
+			return seg.firstSeq
+		}
+	}
+	return 0
+}
+
+// OpenStats reports what Open repaired or dropped while scanning.
+func (l *Log) OpenStats() OpenStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.openStats
+}
+
 // TruncateBefore removes every sealed segment whose records all have
 // sequence numbers below seq — the space-reclaim step after a checkpoint at
-// seq-1. The active segment is never removed.
+// seq-1. The active segment is never removed. The directory is fsynced
+// after any removal: an unsynced removal can be resurrected by a crash, and
+// worse, journal reordering could persist the removal of a segment while
+// losing a rename that was supposed to supersede it.
 func (l *Log) TruncateBefore(seq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	removed := false
 	kept := l.segments[:0]
 	for i, seg := range l.segments {
 		active := i == len(l.segments)-1
 		if !active && seg.lastSeq != 0 && seg.lastSeq < seq && seg.firstSeq != 0 {
-			if err := os.Remove(seg.path); err != nil {
+			if err := l.fs.Remove(seg.path); err != nil {
 				return err
 			}
+			removed = true
 			continue
 		}
 		kept = append(kept, seg)
 	}
 	l.segments = kept
+	if removed && !l.opts.NoSync {
+		if err := l.fs.SyncDir(l.dir); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

@@ -2,10 +2,13 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"pvoronoi/internal/vfs"
 )
 
 func collect(t *testing.T, l *Log, from uint64) []Record {
@@ -297,5 +300,151 @@ func TestAppendFailStopsAfterWriteError(t *testing.T) {
 	defer l2.Close()
 	if got := collect(t, l2, 1); len(got) != 1 || string(got[0].Payload) != "ok" {
 		t.Fatalf("committed prefix damaged: %+v", got)
+	}
+}
+
+// TestCorruptMiddleRecordIntactTail is the bit-rot case: a CRC-corrupt frame
+// in the middle of the final segment with intact frames behind it. Replay
+// must stop at the first bad record — but the intact records stranded beyond
+// it are counted into OpenStats.DroppedRecords so the loss is loud.
+func TestCorruptMiddleRecordIntactTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		// 5-byte payloads keep every frame the same size: 8 header + 14 body.
+		if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: []byte(fmt.Sprintf("rec-%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal"))
+	if len(segs) != 1 {
+		t.Fatalf("expected 1 segment, got %d", len(segs))
+	}
+	buf, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frameSize = 8 + 1 + 8 + 5 // header + type + seq + payload
+	// Flip the first payload byte of the third record (seq 3), leaving
+	// records 4-6 intact behind it. The payload sits frameHdr bytes into the
+	// frame (length, crc, type, seq).
+	pos := len(segMagic) + 2*frameSize + frameHdr
+	buf[pos] ^= 0xff
+	if err := os.WriteFile(segs[0], buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open with mid-segment corruption: %v", err)
+	}
+	defer l2.Close()
+	got := collect(t, l2, 1)
+	if len(got) != 2 {
+		t.Fatalf("replay returned %d records, want 2 (stop at first bad record)", len(got))
+	}
+	st := l2.OpenStats()
+	if st.DroppedRecords != 3 {
+		t.Fatalf("DroppedRecords = %d, want 3 (the intact records beyond the rot)", st.DroppedRecords)
+	}
+	if want := int64(4 * frameSize); st.TornBytes != want {
+		t.Fatalf("TornBytes = %d, want %d", st.TornBytes, want)
+	}
+	if l2.LastSeq() != 2 {
+		t.Fatalf("LastSeq = %d, want 2", l2.LastSeq())
+	}
+	// The segment was truncated at the bad frame, so appends continue cleanly.
+	if first, _, err := l2.Append(Entry{Type: TypeInsert, Payload: []byte("after")}); err != nil || first != 3 {
+		t.Fatalf("post-repair append: seq %d, err %v", first, err)
+	}
+	if got := collect(t, l2, 1); len(got) != 3 {
+		t.Fatalf("replay after repair+append: %d records, want 3", len(got))
+	}
+}
+
+// TestRearmAfterDiskFull injects ENOSPC mid-append, checks the log goes
+// unhealthy while preserving the committed prefix, and proves Rearm restores
+// service on a fresh segment once space is back.
+func TestRearmAfterDiskFull(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(nil)
+	l, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, p := range []string{"a", "b"} {
+		if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: []byte(p)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ffs.SetWriteBudget(0)
+	if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: []byte("doomed")}); !errors.Is(err, vfs.ErrNoSpace) {
+		t.Fatalf("append under ENOSPC: %v", err)
+	}
+	if l.Healthy() {
+		t.Fatal("Healthy() true after a failed append")
+	}
+	ffs.ClearFaults()
+	if err := l.Rearm(); err != nil {
+		t.Fatalf("rearm: %v", err)
+	}
+	if !l.Healthy() {
+		t.Fatal("Healthy() false after Rearm")
+	}
+	first, _, err := l.Append(Entry{Type: TypeInsert, Payload: []byte("c")})
+	if err != nil {
+		t.Fatalf("append after rearm: %v", err)
+	}
+	if first != 3 {
+		t.Fatalf("post-rearm seq %d, want 3", first)
+	}
+	got := collect(t, l, 1)
+	if len(got) != 3 || string(got[2].Payload) != "c" {
+		t.Fatalf("replay after rearm: %+v", got)
+	}
+	// Rearm rotated onto a fresh segment rather than reusing the old file.
+	if segs, _ := filepath.Glob(filepath.Join(dir, "seg-*.wal")); len(segs) != 2 {
+		t.Fatalf("expected 2 segments after rearm, got %d", len(segs))
+	}
+}
+
+// TestRearmAfterFsyncPoison is the fsyncgate scenario: a failed fsync means
+// the file's durability is unknowable, so recovery must rotate to a new file
+// and never retry the failed fsync. FaultFS poisons the file after the armed
+// sync fails; Rearm succeeds because it abandons that file entirely.
+func TestRearmAfterFsyncPoison(t *testing.T) {
+	dir := t.TempDir()
+	ffs := vfs.NewFaultFS(nil)
+	l, err := Open(dir, Options{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	ffs.PoisonSync("seg-")
+	if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: []byte("doomed")}); !errors.Is(err, vfs.ErrInjected) {
+		t.Fatalf("append with poisoned fsync: %v", err)
+	}
+	if l.Healthy() {
+		t.Fatal("Healthy() true after fsync failure")
+	}
+	// The poisoned file is still poisoned — but Rearm abandons it.
+	if err := l.Rearm(); err != nil {
+		t.Fatalf("rearm: %v", err)
+	}
+	if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: []byte("b")}); err != nil {
+		t.Fatalf("append after rearm: %v", err)
+	}
+	got := collect(t, l, 1)
+	if len(got) != 2 || string(got[0].Payload) != "a" || string(got[1].Payload) != "b" {
+		t.Fatalf("replay after fsync-poison rearm: %+v", got)
 	}
 }

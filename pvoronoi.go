@@ -34,6 +34,7 @@ import (
 	"pvoronoi/internal/pnnq"
 	"pvoronoi/internal/pvindex"
 	"pvoronoi/internal/uncertain"
+	"pvoronoi/internal/vfs"
 )
 
 // Point is a d-dimensional point.
@@ -114,6 +115,16 @@ type Options struct {
 	// is generation-tagged against the index's write epochs, so readers on
 	// any snapshot version never observe a stale record.
 	RecordCacheSize int
+	// CheckpointRetain is how many checkpoints the durable layer keeps on
+	// disk (0 = default 2, minimum 1). Retaining more than one means a
+	// corrupt or torn newest checkpoint falls back to the previous one plus
+	// a longer WAL replay instead of bricking the store; the WAL is only
+	// trimmed below the oldest retained checkpoint.
+	CheckpointRetain int
+	// FS is the filesystem the durable layer runs on (nil = the real OS).
+	// Tests swap in a vfs.FaultFS to inject torn writes, fsync failures,
+	// disk-full, and bit rot deterministically.
+	FS vfs.FS
 }
 
 // DefaultOptions returns the paper's default parameters.
