@@ -479,7 +479,7 @@ func (s *server) handlePossibleKNNBatch(w http.ResponseWriter, r *http.Request) 
 	start := time.Now()
 	results, err := s.ix.PossibleKNNBatchCtx(r.Context(), points, k, 0)
 	elapsed := time.Since(start)
-	s.metrics.observe("possibleknnbatch", elapsed, 0, err != nil)
+	s.metrics.observe("possibleknnbatch", elapsed, 0, serverFault(err))
 	if err != nil {
 		writeError(w, batchQueryStatus(err), err)
 		return
@@ -664,7 +664,7 @@ func (s *server) handleGroupNNBatch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	results, err := s.ix.GroupNNBatchCtx(r.Context(), groups, agg, 0)
 	elapsed := time.Since(start)
-	s.metrics.observe("groupnnbatch", elapsed, 0, err != nil)
+	s.metrics.observe("groupnnbatch", elapsed, 0, serverFault(err))
 	if err != nil {
 		writeError(w, batchQueryStatus(err), err)
 		return
@@ -943,14 +943,30 @@ func updateStatus(err error) int {
 	}
 }
 
-// batchQueryStatus maps a batch query failure: a request deadline that
-// expired mid-batch is the caller's timeout (504), anything else is a
+// statusClientClosedRequest is nginx's non-standard 499: the client went
+// away before the response was produced. Nothing failed server-side, so it
+// must not masquerade as a timeout or a 5xx in logs and metrics.
+const statusClientClosedRequest = 499
+
+// batchQueryStatus maps a batch query failure: a server-imposed request
+// deadline that expired mid-batch is a timeout (504), a client that
+// disconnected mid-batch is its own abort (499), anything else is a
 // server-side fault.
 func batchQueryStatus(err error) int {
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
 	}
-	return http.StatusInternalServerError
+}
+
+// serverFault reports whether a batch query error should count as a server
+// failure in metrics — client cancellation is not one.
+func serverFault(err error) bool {
+	return err != nil && !errors.Is(err, context.Canceled)
 }
 
 func sumAffected(sts []pvoronoi.UpdateStats) int {

@@ -88,6 +88,11 @@ type RecoveryStats struct {
 	// TornWALBytes is how many trailing bytes of the newest WAL segment
 	// were discarded as a crash artifact.
 	TornWALBytes int64
+	// UncommittedWALRecords counts intact update frames truncated from the
+	// log's tail because their batch's sealing commit record never reached
+	// disk (a group commit torn exactly on a frame boundary). They were
+	// never acknowledged, so this is crash repair, not data loss.
+	UncommittedWALRecords int
 }
 
 // CheckpointStats describes one Checkpoint call.
@@ -156,7 +161,11 @@ func OpenDurable(dir string, db *DB, opts Options) (*Durable, error) {
 	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{FS: fs})
+	// Sealed: every append this layer issues ends in a commit or checkpoint
+	// barrier, so Open may truncate barrier-less tail frames (a group commit
+	// torn exactly on a frame boundary) instead of leaving them to be
+	// adopted by a later batch's commit on the next replay.
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{FS: fs, Sealed: true})
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +173,7 @@ func OpenDurable(dir string, db *DB, opts Options) (*Durable, error) {
 	walScan := log.OpenStats()
 	d.recovery.DroppedWALRecords = walScan.DroppedRecords
 	d.recovery.TornWALBytes = walScan.TornBytes
+	d.recovery.UncommittedWALRecords = walScan.UncommittedRecords
 
 	// Candidate checkpoints, newest first. CURRENT is only a hint — the
 	// envelope checksum, not the pointer, decides what is loadable, so a
@@ -281,8 +291,17 @@ func (d *Durable) Recovery() RecoveryStats { return d.recovery }
 // HasCheckpoint reports whether dir holds a durable checkpoint — i.e.
 // whether OpenDurable would recover from it rather than need a bootstrap
 // database. Callers can use it to skip loading bootstrap data on restarts.
+// It inspects the real OS filesystem; a store running on a custom
+// Options.FS must use HasCheckpointFS with that filesystem instead.
 func HasCheckpoint(dir string) bool {
-	return len(listCheckpoints(vfs.OS, dir)) > 0
+	return HasCheckpointFS(vfs.OS, dir)
+}
+
+// HasCheckpointFS is HasCheckpoint on an explicit filesystem — pass the
+// same Options.FS the store runs on (fault-injection harnesses, custom
+// VFS layers).
+func HasCheckpointFS(fs vfs.FS, dir string) bool {
+	return len(listCheckpoints(fs, dir)) > 0
 }
 
 // WALHealthy reports whether the write-ahead log can be expected to accept

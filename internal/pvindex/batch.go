@@ -1,6 +1,7 @@
 package pvindex
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"runtime"
@@ -122,8 +123,12 @@ func (ix *Index) ApplyBatch(ups []Update) ([]UpdateStats, error) {
 		}
 		// The commit record seals the batch: recovery buffers update records
 		// and only applies them once their commit arrives, so a group commit
-		// torn mid-batch by a crash is discarded whole.
-		entries = append(entries, wal.Entry{Type: wal.TypeCommit})
+		// torn mid-batch by a crash is discarded whole. The payload carries
+		// the batch's record count so replay can also reject stranded update
+		// frames from an older torn commit sitting in front of this batch.
+		var count [4]byte
+		binary.LittleEndian.PutUint32(count[:], uint32(len(ups)))
+		entries = append(entries, wal.Entry{Type: wal.TypeCommit, Payload: count[:]})
 		if _, lastSeq, err = ix.wal.Append(entries...); err != nil {
 			return nil, fmt.Errorf("%w: append: %w", ErrWAL, err)
 		}
@@ -484,9 +489,13 @@ func (ix *Index) WALSeq() uint64 {
 // then apply, so a group commit torn mid-batch by a crash — some frames
 // durable, the commit lost — is discarded whole, never replayed as half a
 // batch. Records without a sealing commit (legacy logs, torn tails) were
-// never acknowledged, so dropping them is the correct crash semantics. A
-// replay error discards the working version entirely — the index stays at
-// its checkpoint state.
+// never acknowledged, so dropping them is the correct crash semantics; a
+// commit applies only the records of its own batch (its payload carries the
+// count) and a checkpoint record clears the buffer, so stranded frames from
+// a tear that ended exactly on a frame boundary can never be adopted by a
+// later batch's commit — even if they predate the sealed-open truncation
+// that now removes them from the log. A replay error discards the working
+// version entirely — the index stays at its checkpoint state.
 func (ix *Index) Recover() (int, error) {
 	if ix.wal == nil {
 		return 0, fmt.Errorf("pvindex: Recover without an attached WAL")
@@ -505,9 +514,27 @@ func (ix *Index) Recover() (int, error) {
 	err := ix.wal.Replay(base.walSeq+1, func(rec wal.Record) error {
 		switch rec.Type {
 		case wal.TypeCheckpoint:
+			// A checkpoint record never lands inside a group commit (a
+			// batch's frames are one atomic append), so anything still
+			// buffered here is the stranded tail of a torn, unacknowledged
+			// batch — discard it, never let a later commit adopt it.
+			pending = pending[:0]
 			lastSeq = rec.Seq
 			return nil
 		case wal.TypeCommit:
+			// The commit payload carries its batch's record count: apply
+			// exactly the last count buffered updates. Older buffered
+			// entries are stranded frames of a torn batch that was never
+			// acknowledged (and that a sealed wal.Open would have truncated)
+			// — resurrecting them would replay half a batch. An empty
+			// payload is a legacy commit: it seals everything buffered.
+			if len(rec.Payload) >= 4 {
+				want := int(binary.LittleEndian.Uint32(rec.Payload[:4]))
+				if want > len(pending) {
+					return fmt.Errorf("pvindex: wal commit %d seals %d updates but only %d precede it", rec.Seq, want, len(pending))
+				}
+				pending = pending[len(pending)-want:]
+			}
 			if len(pending) > 0 && w == nil {
 				w = ix.newWorking(base)
 			}

@@ -595,3 +595,147 @@ func TestMidApplyFailureWithWALPoisonsWrites(t *testing.T) {
 		t.Fatal("write to a damaged index was accepted")
 	}
 }
+
+// TestRecoveryNeverResurrectsStrandedBatch is the frame-boundary torn-write
+// regression: a group commit whose update frames reached disk but whose
+// sealing commit record did not leaves CRC-valid, barrier-less frames at the
+// log tail. The first recovery drops them (never acknowledged), but if a new
+// batch then appends after them, a naive replay would buffer the stranded
+// frames into the same pending window as the new batch and its commit would
+// apply them all — resurrecting a batch that was already reported dropped.
+// The commit record's count payload must scope the apply to its own batch
+// even when the log is reopened without sealed truncation.
+func TestRecoveryNeverResurrectsStrandedBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	base := randomDB(rng, 50, 2, 600, 25, false)
+	pristine := base.Clone()
+
+	// Craft the crash artifact: one update frame, no sealing commit.
+	walDir := t.TempDir()
+	log, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stranded := newObj(rng, uncertain.ID(9001), 2, 550, 20)
+	entry, err := encodeUpdate(Update{Op: OpInsert, Object: stranded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := log.Append(entry); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+
+	// First post-crash boot — deliberately without Sealed, modeling a log
+	// whose stranded tail was never truncated. Recovery must drop the
+	// stranded update, and a new acknowledged batch then appends after it.
+	log2, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(base, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.AttachWAL(log2)
+	if replayed, err := ix.Recover(); err != nil || replayed != 0 {
+		t.Fatalf("first recovery: replayed=%d err=%v, want 0 records applied", replayed, err)
+	}
+	if ix.DB().Get(stranded.ID) != nil {
+		t.Fatal("first recovery applied the stranded, unacknowledged insert")
+	}
+	acked := newObj(rng, uncertain.ID(9002), 2, 550, 20)
+	if _, err := ix.ApplyBatch([]Update{{Op: OpInsert, Object: acked}}); err != nil {
+		t.Fatal(err)
+	}
+	log2.Close()
+
+	// Second boot: replay now sees stranded frame, new batch, commit. Only
+	// the acknowledged batch may apply — recovered state must match what the
+	// first boot reported, never diverge by resurrecting the stranded write.
+	log3, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log3.Close()
+	recovered, err := Build(pristine, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered.AttachWAL(log3)
+	replayed, err := recovered.Recover()
+	if err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	if replayed != 1 {
+		t.Fatalf("second recovery replayed %d updates, want 1 (the acked batch only)", replayed)
+	}
+	if recovered.DB().Get(stranded.ID) != nil {
+		t.Fatal("second recovery resurrected the stranded batch via the next batch's commit")
+	}
+	if recovered.DB().Get(acked.ID) == nil {
+		t.Fatal("second recovery lost the acknowledged batch")
+	}
+	assertMatchesBruteforce(t, recovered, rng, 600, 2, 40)
+}
+
+// TestRecoveryCheckpointRecordClearsPending: a checkpoint record can only
+// land between group commits, so update frames still buffered when one
+// arrives are a stranded torn batch — the barrier must discard them rather
+// than let a later commit adopt them.
+func TestRecoveryCheckpointRecordClearsPending(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	base := randomDB(rng, 40, 2, 600, 25, false)
+
+	walDir := t.TempDir()
+	log, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stranded := newObj(rng, uncertain.ID(9101), 2, 550, 20)
+	entry, err := encodeUpdate(Update{Op: OpInsert, Object: stranded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := log.Append(entry); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := log.Append(wal.Entry{Type: wal.TypeCheckpoint, Payload: []byte("ckpt")}); err != nil {
+		t.Fatal(err)
+	}
+	// A legacy commit (empty payload) after the checkpoint: without the
+	// barrier clearing pending it would apply the stranded update.
+	acked := newObj(rng, uncertain.ID(9102), 2, 550, 20)
+	entry2, err := encodeUpdate(Update{Op: OpInsert, Object: acked})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := log.Append(entry2, wal.Entry{Type: wal.TypeCommit}); err != nil {
+		t.Fatal(err)
+	}
+	log.Close()
+
+	log2, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	ix, err := Build(base, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.AttachWAL(log2)
+	replayed, err := ix.Recover()
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if replayed != 1 {
+		t.Fatalf("replayed %d updates, want 1", replayed)
+	}
+	if ix.DB().Get(stranded.ID) != nil {
+		t.Fatal("checkpoint barrier failed to discard the stranded update")
+	}
+	if ix.DB().Get(acked.ID) == nil {
+		t.Fatal("committed update after the checkpoint barrier was lost")
+	}
+}

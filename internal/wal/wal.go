@@ -77,6 +77,19 @@ type Options struct {
 	// a vfs.FaultFS to exercise torn writes, failing fsyncs, and disk-full
 	// conditions deterministically.
 	FS vfs.FS
+	// Sealed declares that every acknowledged append ends in a TypeCommit
+	// or TypeCheckpoint record (the durable update path's invariant: batches
+	// are sealed by a commit, checkpoint markers are their own barrier).
+	// With Sealed set, Open truncates any intact frames past the last such
+	// barrier in the newest segment: they are the update records of a group
+	// commit whose sealing record never reached disk — a torn write that
+	// happened to end on a frame boundary — and were therefore never
+	// acknowledged. Leaving them in place would be worse than dropping them:
+	// the next batch appends after them, and the next boot's replay would
+	// buffer them into the same pending window as that batch's commit,
+	// resurrecting a torn batch that a previous recovery already reported
+	// dropped. The truncation is counted in OpenStats.UncommittedRecords.
+	Sealed bool
 }
 
 // DefaultSegmentSize is the default rotation threshold.
@@ -111,6 +124,13 @@ type OpenStats struct {
 	// non-zero value means acknowledged writes were lost to corruption
 	// (bit rot, not a crash) and the caller should surface it.
 	DroppedRecords int
+	// UncommittedRecords counts intact frames truncated from the newest
+	// segment's tail because no TypeCommit/TypeCheckpoint barrier followed
+	// them (Options.Sealed only): a group commit torn exactly on a frame
+	// boundary. These records were never acknowledged — truncating them is
+	// crash repair, not data loss — but the count is surfaced so recovery
+	// can report it.
+	UncommittedRecords int
 }
 
 // segment is the in-memory index of one on-disk segment file.
@@ -236,6 +256,13 @@ func (l *Log) scanSegment(seg *segment, last bool) (drop bool, err error) {
 	}
 	off := int64(len(segMagic))
 	data := buf[off:]
+	// Sealed logs end every acknowledged append with a commit/checkpoint
+	// barrier; track where the last sealed prefix ends so trailing intact
+	// frames with no barrier behind them can be truncated as a torn group
+	// commit that happened to end on a frame boundary.
+	sealedOff := off
+	sealedSeq := uint64(0)
+	unsealed := 0
 	for len(data) > 0 {
 		rec, n, ok := parseFrame(data)
 		if !ok {
@@ -257,8 +284,25 @@ func (l *Log) scanSegment(seg *segment, last bool) (drop bool, err error) {
 		seg.lastSeq = rec.Seq
 		off += int64(n)
 		data = data[n:]
+		if rec.Type == TypeCommit || rec.Type == TypeCheckpoint {
+			sealedOff, sealedSeq, unsealed = off, rec.Seq, 0
+		} else {
+			unsealed++
+		}
 	}
 	seg.size = off
+	if l.opts.Sealed && last && unsealed > 0 {
+		l.openStats.UncommittedRecords += unsealed
+		l.openStats.TornBytes += off - sealedOff
+		if err := l.fs.Truncate(seg.path, sealedOff); err != nil {
+			return false, fmt.Errorf("wal: truncating uncommitted tail of %s: %w", seg.path, err)
+		}
+		seg.size = sealedOff
+		seg.lastSeq = sealedSeq
+		if sealedSeq == 0 {
+			seg.firstSeq = 0
+		}
+	}
 	return false, nil
 }
 

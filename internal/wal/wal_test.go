@@ -448,3 +448,145 @@ func TestRearmAfterFsyncPoison(t *testing.T) {
 		t.Fatalf("replay after fsync-poison rearm: %+v", got)
 	}
 }
+
+// TestSealedOpenTruncatesUncommittedTail simulates a group commit torn
+// exactly on a frame boundary: the batch's update frames reached disk but
+// the sealing TypeCommit did not. A sealed Open must truncate those frames —
+// otherwise the next batch appends after them and the next replay would
+// buffer them into the same pending window as that batch's commit,
+// resurrecting a batch that was never acknowledged.
+func TestSealedOpenTruncatesUncommittedTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One sealed batch, then two update frames with no commit behind them
+	// (the torn write: byte-identical to a crash that lost the commit frame).
+	if _, _, err := l.Append(
+		Entry{Type: TypeInsert, Payload: []byte("a")},
+		Entry{Type: TypeCommit},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append(
+		Entry{Type: TypeInsert, Payload: []byte("b")},
+		Entry{Type: TypeInsert, Payload: []byte("c")},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{Sealed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := l2.OpenStats()
+	if st.UncommittedRecords != 2 {
+		t.Fatalf("UncommittedRecords = %d, want 2", st.UncommittedRecords)
+	}
+	if st.TornBytes == 0 {
+		t.Fatal("TornBytes = 0, want the truncated frames' bytes")
+	}
+	got := collect(t, l2, 1)
+	if len(got) != 2 || got[1].Type != TypeCommit {
+		t.Fatalf("after sealed open replay has %d records (%+v), want the sealed batch only", len(got), got)
+	}
+	// The truncated sequences are reused: the log ends at its last barrier.
+	if l2.LastSeq() != 2 {
+		t.Fatalf("LastSeq = %d, want 2", l2.LastSeq())
+	}
+	first, _, err := l2.Append(Entry{Type: TypeInsert, Payload: []byte("d")}, Entry{Type: TypeCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 3 {
+		t.Fatalf("append after sealed truncation got seq %d, want 3", first)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening sealed again finds a clean barrier-terminated log.
+	l3, err := Open(dir, Options{Sealed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if st := l3.OpenStats(); st.UncommittedRecords != 0 || st.TornBytes != 0 {
+		t.Fatalf("second sealed open repaired again: %+v", st)
+	}
+	if got := collect(t, l3, 1); len(got) != 4 {
+		t.Fatalf("final replay has %d records, want 4", len(got))
+	}
+}
+
+// TestSealedOpenCheckpointIsBarrier: a TypeCheckpoint record seals the log
+// the same way a commit does — only frames after the last barrier of either
+// kind are truncated.
+func TestSealedOpenCheckpointIsBarrier(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append(Entry{Type: TypeCheckpoint, Payload: []byte("ckpt-1")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: []byte("stranded")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{Sealed: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st := l2.OpenStats(); st.UncommittedRecords != 1 {
+		t.Fatalf("UncommittedRecords = %d, want 1", st.UncommittedRecords)
+	}
+	got := collect(t, l2, 1)
+	if len(got) != 1 || got[0].Type != TypeCheckpoint {
+		t.Fatalf("replay after sealed open: %+v, want just the checkpoint", got)
+	}
+}
+
+// TestSealedOpenWhollyUnsealedSegment: a newest segment holding only
+// barrier-less frames is emptied back to its magic header and the sequence
+// space rewinds to the previous segment's tail.
+func TestSealedOpenWhollyUnsealedSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill past the rotation threshold with a sealed batch, then strand an
+	// unsealed frame in the fresh segment.
+	if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: make([]byte, 80)}, Entry{Type: TypeCommit}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.Append(Entry{Type: TypeInsert, Payload: []byte("stranded")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{Sealed: true, SegmentSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if st := l2.OpenStats(); st.UncommittedRecords != 1 {
+		t.Fatalf("UncommittedRecords = %d, want 1", st.UncommittedRecords)
+	}
+	if l2.LastSeq() != 2 {
+		t.Fatalf("LastSeq = %d, want 2 (the commit)", l2.LastSeq())
+	}
+	if got := collect(t, l2, 1); len(got) != 2 {
+		t.Fatalf("replay has %d records, want 2", len(got))
+	}
+}
