@@ -1,12 +1,16 @@
 package main
 
 // Extension-query benchmark mode: measures candidate retrieval for the
-// extension workloads (group NN, possible k-NN, reverse NN) with the linear
-// scans against the R-tree branch-and-bound paths, across dataset sizes and
-// the workloads' own parameters (group size, k), and writes the results as
-// JSON (BENCH_extquery.json) so the repo tracks the speedup commit over
-// commit. Retrieval needs only the region R*-tree — no SE construction — so
-// the mode stays fast even at n = 100k.
+// extension workloads (group NN, possible k-NN, reverse NN) three ways —
+// linear scan, R-tree branch-and-bound, and best-first expansion over the
+// PV-index's materialized adjacency graph — across dataset sizes and the
+// workloads' own parameters (group size, k), and writes the results as JSON
+// (BENCH_extquery.json) so the repo tracks the speedup commit over commit.
+// The scan and tree paths need only the region R*-tree; the graph path
+// builds a full PV-index per size (SE construction dominates at n = 100k),
+// so expect the mode to take minutes at full scale. All three paths must
+// return identical candidate ID sets on every query — a mismatch fails the
+// run.
 
 import (
 	"encoding/json"
@@ -22,6 +26,7 @@ import (
 	"pvoronoi/internal/dataset"
 	"pvoronoi/internal/extquery"
 	"pvoronoi/internal/geom"
+	"pvoronoi/internal/pvindex"
 	"pvoronoi/internal/rtree"
 	"pvoronoi/internal/uncertain"
 )
@@ -41,18 +46,22 @@ type extqueryConfig struct {
 	RNNMaxN    int   // reverse NN scan is O(n²); skip scan sizes above this
 }
 
-// extqueryRow is one (workload, n, parameter) measurement.
+// extqueryRow is one (workload, n, parameter) measurement. Graph columns are
+// zero for reverse NN, which retrieves through the R*-tree only.
 type extqueryRow struct {
 	Query      string  `json:"query"` // groupnn | knn | rnn
 	N          int     `json:"n"`
 	Param      int     `json:"param"` // group size or k (0 for rnn)
 	ScanUs     float64 `json:"scan_us"`
 	TreeUs     float64 `json:"tree_us"`
-	Speedup    float64 `json:"speedup"`
+	GraphUs    float64 `json:"graph_us,omitempty"`
+	Speedup    float64 `json:"speedup"` // scan / tree
 	TreeNodes  float64 `json:"tree_nodes"`
 	TreeLeaves float64 `json:"tree_leaves"`
+	GraphNodes float64 `json:"graph_nodes,omitempty"` // adjacency rows expanded
+	GraphEdges float64 `json:"graph_edges,omitempty"` // neighbor links examined
 	Candidates float64 `json:"candidates"`
-	Matched    bool    `json:"matched"` // tree ID sets == scan ID sets on every query
+	Matched    bool    `json:"matched"` // all retrieval paths agree on the ID set
 }
 
 // extqueryReport is the serialized BENCH_extquery.json document.
@@ -71,10 +80,12 @@ type extqueryCfgJ struct {
 	Ks         []int `json:"ks"`
 	RNNMaxN    int   `json:"rnn_max_n"`
 	GoMaxProcs int   `json:"gomaxprocs"`
+	NumCPU     int   `json:"num_cpu"`
 }
 
-// runExtquery builds region trees at each size and measures scan vs tree
-// candidate retrieval.
+// runExtquery builds, per size, a region tree (scan/tree paths) and a full
+// PV-index (graph path), then measures the three retrieval paths against
+// each other with a hard set-equality check on every query.
 func runExtquery(cfg extqueryConfig) error {
 	if cfg.Queries <= 0 {
 		cfg.Queries = 16
@@ -98,6 +109,7 @@ func runExtquery(cfg extqueryConfig) error {
 			Ns: cfg.Ns, Dim: cfg.Dim, Seed: cfg.Seed, Queries: cfg.Queries,
 			GroupSizes: cfg.GroupSizes, Ks: cfg.Ks, RNNMaxN: cfg.RNNMaxN,
 			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
 		},
 	}
 
@@ -107,6 +119,13 @@ func runExtquery(cfg extqueryConfig) error {
 			N: n, Dim: cfg.Dim, MaxSide: 60, Instances: 0, Seed: cfg.Seed,
 		})
 		tree := core.BuildRegionTree(db, rtree.DefaultFanout)
+		fmt.Printf("extquery: building PV-index over %d objects (SE construction)...\n", n)
+		t0 := time.Now()
+		ix, err := pvindex.BuildParallel(db, pvindex.DefaultConfig(), 0)
+		if err != nil {
+			return fmt.Errorf("extquery: building PV-index at n=%d: %w", n, err)
+		}
+		fmt.Printf("extquery: PV-index built in %v\n", time.Since(t0).Round(time.Millisecond))
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
 		randPoint := func() []float64 {
 			p := make([]float64, cfg.Dim)
@@ -130,10 +149,18 @@ func runExtquery(cfg extqueryConfig) error {
 				t1 := time.Now()
 				got, cost := extquery.GroupNNCandidatesTree(tree, toPoints(qs), extquery.AggSum)
 				row.TreeUs += us(t1)
+				t2 := time.Now()
+				gotG, gc, err := ix.GroupNNCandidatesOnly(toPoints(qs), extquery.AggSum)
+				if err != nil {
+					return fmt.Errorf("extquery: groupnn graph retrieval: %w", err)
+				}
+				row.GraphUs += us(t2)
 				row.TreeNodes += float64(cost.Nodes)
 				row.TreeLeaves += float64(cost.Leaves)
+				row.GraphNodes += float64(gc.GraphNodes)
+				row.GraphEdges += float64(gc.GraphEdges)
 				row.Candidates += float64(len(got))
-				if !sameIDs(got, want) {
+				if !sameIDs(got, want) || !sameIDs(gotG, want) {
 					row.Matched = false
 				}
 			}
@@ -152,10 +179,18 @@ func runExtquery(cfg extqueryConfig) error {
 				t1 := time.Now()
 				got, cost := extquery.KNNCandidatesTree(tree, q, k)
 				row.TreeUs += us(t1)
+				t2 := time.Now()
+				gotG, gc, err := ix.KNNCandidatesOnly(q, k)
+				if err != nil {
+					return fmt.Errorf("extquery: knn graph retrieval: %w", err)
+				}
+				row.GraphUs += us(t2)
 				row.TreeNodes += float64(cost.Nodes)
 				row.TreeLeaves += float64(cost.Leaves)
+				row.GraphNodes += float64(gc.GraphNodes)
+				row.GraphEdges += float64(gc.GraphEdges)
 				row.Candidates += float64(len(got))
-				if !sameIDs(got, want) {
+				if !sameIDs(got, want) || !sameIDs(gotG, want) {
 					row.Matched = false
 				}
 			}
@@ -164,7 +199,8 @@ func runExtquery(cfg extqueryConfig) error {
 		}
 
 		// Reverse NN: the scan collects dominators in O(n) per object, O(n²)
-		// per query, so it is only measured up to RNNMaxN.
+		// per query, so it is only measured up to RNNMaxN. RNN has no graph
+		// path — it stays on the R*-tree.
 		if n <= cfg.RNNMaxN {
 			row := extqueryRow{Query: "rnn", N: n, Matched: true}
 			for i := 0; i < cfg.Queries; i++ {
@@ -203,7 +239,7 @@ func runExtquery(cfg extqueryConfig) error {
 	}
 	for _, row := range report.Rows {
 		if !row.Matched {
-			return fmt.Errorf("extquery: tree candidates diverged from the scan on %s n=%d param=%d",
+			return fmt.Errorf("extquery: retrieval paths diverged on %s n=%d param=%d",
 				row.Query, row.N, row.Param)
 		}
 	}
@@ -228,8 +264,11 @@ func finishRow(row *extqueryRow, queries int) {
 	q := float64(queries)
 	row.ScanUs /= q
 	row.TreeUs /= q
+	row.GraphUs /= q
 	row.TreeNodes /= q
 	row.TreeLeaves /= q
+	row.GraphNodes /= q
+	row.GraphEdges /= q
 	row.Candidates /= q
 	if row.TreeUs > 0 {
 		row.Speedup = row.ScanUs / row.TreeUs
@@ -251,12 +290,13 @@ func sameIDs(a, b []uncertain.ID) bool {
 func printExtquery(r extqueryReport) {
 	fmt.Printf("\nextension-query retrieval report (d=%d, %d queries/config)\n",
 		r.Config.Dim, r.Config.Queries)
-	fmt.Printf("  %-8s %8s %6s %12s %12s %9s %8s %8s %7s\n",
-		"query", "n", "param", "scan us", "tree us", "speedup", "nodes", "leaves", "match")
+	fmt.Printf("  %-8s %8s %6s %12s %12s %12s %9s %8s %8s %8s %8s %7s\n",
+		"query", "n", "param", "scan us", "tree us", "graph us", "speedup",
+		"nodes", "leaves", "g.nodes", "g.edges", "match")
 	for _, row := range r.Rows {
-		fmt.Printf("  %-8s %8d %6d %12.1f %12.1f %8.1fx %8.1f %8.1f %7v\n",
-			row.Query, row.N, row.Param, row.ScanUs, row.TreeUs, row.Speedup,
-			row.TreeNodes, row.TreeLeaves, row.Matched)
+		fmt.Printf("  %-8s %8d %6d %12.1f %12.1f %12.1f %8.1fx %8.1f %8.1f %8.1f %8.1f %7v\n",
+			row.Query, row.N, row.Param, row.ScanUs, row.TreeUs, row.GraphUs, row.Speedup,
+			row.TreeNodes, row.TreeLeaves, row.GraphNodes, row.GraphEdges, row.Matched)
 	}
 }
 

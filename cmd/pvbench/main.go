@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"pvoronoi/internal/bench"
@@ -39,6 +40,7 @@ func main() {
 		instances = flag.Int("instances", 100, "pdf samples per object (paper: 500)")
 		seed      = flag.Int64("seed", 1, "generator seed")
 		verbose   = flag.Bool("v", false, "progress logging")
+		procs     = flag.Int("procs", 0, "GOMAXPROCS override (0 = runtime default)")
 
 		// Load-generator flags (the "load" experiment).
 		url     = flag.String("url", "", "load: pvserve base URL (empty = in-process batch API)")
@@ -80,6 +82,9 @@ func main() {
 	)
 	flag.Usage = usage
 	flag.Parse()
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
 	if flag.NArg() == 0 {
 		usage()
 		os.Exit(2)
@@ -306,7 +311,7 @@ experiments:
   load                          load generator: throughput + p50/p95/p99
   readpath                      read-path benchmark: QPS, p50/p99, allocs/op -> JSON
   writepath                     write-path benchmark: single vs batched, WAL on/off -> JSON
-  extquery                      extension-query retrieval: scan vs R-tree branch-and-bound -> JSON
+  extquery                      extension-query retrieval: scan vs R-tree vs adjacency graph -> JSON
   mixed                         query latency under 0/1/4 concurrent writers (MVCC) -> JSON
   recovery                      crash-recovery time vs WAL tail, clean + corrupt-checkpoint fallback -> JSON
 

@@ -406,6 +406,8 @@ func extCostFields(body map[string]any, cost pvoronoi.ExtQueryCost) map[string]a
 	body["candidates"] = cost.Candidates
 	body["node_io"] = cost.NodeIO
 	body["leaf_io"] = cost.LeafIO
+	body["graph_nodes"] = cost.GraphNodes
+	body["graph_edges"] = cost.GraphEdges
 	body["cache_hits"] = cost.CacheHits
 	body["cache_misses"] = cost.CacheMisses
 	return body
@@ -992,6 +994,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	io := s.ix.IO()
 	rc := s.ix.RecordCache()
 	mv := s.ix.MVCC()
+	adj := s.ix.Adjacency()
 	domain := s.ix.DB().Domain // immutable per version; safe without a lock
 	status := "ok"
 	degraded, cause, _ := s.degradedState()
@@ -1021,6 +1024,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"inflight_readers": mv.InFlightReaders,
 			"live_versions":    int64(mv.LiveVersions),
 			"reclaimed":        mv.Reclaimed,
+		},
+		"adjacency": map[string]int64{
+			"rows":            int64(adj.Rows),
+			"edges":           int64(adj.Edges),
+			"rows_recomputed": adj.RowsRecomputed,
+			"rows_patched":    adj.RowsPatched,
+			"rows_deleted":    adj.RowsDeleted,
 		},
 		"endpoints": endpoints,
 	}

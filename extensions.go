@@ -22,22 +22,28 @@ const (
 // KNNResult is an object's probability of ranking among the k nearest.
 type KNNResult = pnnq.KNNResult
 
-// The extension queries retrieve their candidates through the index's region
-// R*-tree (best-first branch-and-bound, never an O(n) scan) and snapshot the
-// candidates' stored instances from one pinned MVCC version; the expensive
-// probability refinement then runs on the snapshot. No lock is taken at any
-// point — long extension queries never stall writers, and writers never
-// stall them.
+// PossibleKNN and GroupNN retrieve their candidates by best-first expansion
+// over the index's materialized Voronoi-adjacency graph (seeded by an octree
+// point query, never an O(n) scan); PossibleRNN retrieves through the region
+// R*-tree. All snapshot the candidates' stored instances from one pinned
+// MVCC version; the expensive probability refinement then runs on the
+// snapshot. No lock is taken at any point — long extension queries never
+// stall writers, and writers never stall them.
 
 // ExtQueryCost reports the per-query cost of one extension query: candidate
-// count, R-tree node and leaf accesses during retrieval, the record-cache
-// outcomes of the instance fetch, and the end-to-end latency including the
-// out-of-lock probability refinement. Like QueryCost it is attributed
-// exactly to the call that incurred it.
+// count, R-tree node and leaf accesses during retrieval (on the graph paths
+// LeafIO counts the octree seed query's leaf reads), adjacency-graph
+// expansion work, the record-cache outcomes of the instance fetch, and the
+// end-to-end latency including the out-of-lock probability refinement. Like
+// QueryCost it is attributed exactly to the call that incurred it.
 type ExtQueryCost struct {
 	Candidates int
 	NodeIO     int
 	LeafIO     int
+	// GraphNodes/GraphEdges count the adjacency rows expanded and neighbor
+	// links examined by graph retrieval (zero on the R*-tree paths).
+	GraphNodes int
+	GraphEdges int
 	// CacheHits/CacheMisses are the instance fetch's record-cache outcomes
 	// (zero for candidate-only queries like PossibleRNN).
 	CacheHits   int
@@ -51,6 +57,8 @@ func extCost(c pvindex.ExtCost, start time.Time) ExtQueryCost {
 		Candidates:  c.Candidates,
 		NodeIO:      c.NodeIO,
 		LeafIO:      c.LeafIO,
+		GraphNodes:  c.GraphNodes,
+		GraphEdges:  c.GraphEdges,
 		CacheHits:   c.CacheHits,
 		CacheMisses: c.CacheMisses,
 		Latency:     time.Since(start),
@@ -106,6 +114,21 @@ func (ix *Index) PossibleKNNWithCost(q Point, k int) ([]KNNResult, ExtQueryCost,
 	res := extquery.KNNScores(snap.IDs, snap.Instances, q, k)
 	return res, extCost(snap.Cost, start), nil
 }
+
+// PossibleKNNCandidates returns only the candidate set of a possible k-NN
+// query (objects with non-zero probability, region-level bound).
+func (ix *Index) PossibleKNNCandidates(q Point, k int) ([]ID, error) {
+	ids, _, err := ix.inner.KNNCandidatesOnly(q, k)
+	return ids, err
+}
+
+// AdjacencyStats reports the Voronoi-adjacency graph's size and maintenance
+// counters.
+type AdjacencyStats = pvindex.AdjacencyStats
+
+// Adjacency returns the adjacency graph's gauges and lifetime maintenance
+// counters.
+func (ix *Index) Adjacency() AdjacencyStats { return ix.inner.Adjacency() }
 
 // PossibleRNN returns the objects with a non-zero chance that q is their
 // nearest neighbor (probabilistic reverse NN candidates, region-level

@@ -182,6 +182,21 @@ func TestExtensionCandidatesMatchOraclesThroughUpdates(t *testing.T) {
 					}
 				}
 			}
+			for _, k := range []int{1, 4, 9} {
+				got, err := ix.PossibleKNNCandidates(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := extquery.KNNCandidates(ix.DB(), q, k)
+				if len(got) != len(want) {
+					t.Fatalf("%s knn k=%d: %v != oracle %v", stage, k, got, want)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s knn k=%d: %v != oracle %v", stage, k, got, want)
+					}
+				}
+			}
 			rnn, err := ix.PossibleRNN(q)
 			if err != nil {
 				t.Fatal(err)

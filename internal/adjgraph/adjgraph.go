@@ -1,0 +1,286 @@
+// Package adjgraph materializes the PV-index's Voronoi-adjacency relation:
+// one row per object holding its stored UBR and the sorted IDs of every
+// object whose UBR intersects it. Because a possible Voronoi cell V(o) is
+// contained in UBR(o), two cells that touch anywhere have intersecting UBRs
+// — so the relation is a conservative superset of PV-cell adjacency, exactly
+// the connectivity best-first kNN/group-NN expansion needs (extquery). It is
+// also precisely the affected-set relation of the paper's Lemma 8 update
+// filters, which is what makes it maintainable incrementally: an update
+// recomputes the rows of exactly the objects whose UBRs it recomputed.
+//
+// The graph is copy-on-write at bucket granularity, mirroring the octree and
+// hash-table COW discipline of the MVCC versions: CloneCOW is O(buckets),
+// the first mutation of a bucket copies its row map, and rows themselves are
+// immutable once stored — a mutation installs a fresh *Row. A published
+// graph is therefore never modified; readers pinned to any version can walk
+// rows without synchronization, and discarding an unpublished clone is a
+// complete rollback (the graph owns no pagestore resources).
+package adjgraph
+
+import (
+	"fmt"
+	"sort"
+
+	"pvoronoi/internal/geom"
+)
+
+// numBuckets is the COW granularity: IDs shard by their low bits, so a
+// write batch touching a localized neighborhood copies few buckets.
+const numBuckets = 256
+
+// Row is one object's adjacency row: its stored UBR plus the ascending IDs
+// of every object whose UBR intersects it. Rows are immutable once stored —
+// a heap item or pinned reader may hold a *Row across concurrent writes.
+type Row struct {
+	UBR       geom.Rect
+	Neighbors []uint32
+}
+
+// bucket holds a shard of rows. owner identifies the graph allowed to
+// mutate the map in place; any other graph sharing the bucket must copy it
+// first (copy-on-write).
+type bucket struct {
+	owner *Graph
+	rows  map[uint32]*Row
+}
+
+// Graph is the adjacency relation of one index version. The zero value is
+// not ready; use New. Not safe for concurrent mutation — the MVCC writer
+// owns at most one mutable clone at a time — but any number of readers may
+// traverse a graph that is no longer being mutated (i.e. published).
+type Graph struct {
+	buckets [numBuckets]*bucket
+	rows    int
+	edges   int // directed neighbor links; undirected edge count is edges/2
+
+	// maxDiag is an upper bound of the largest object diameter ever stored
+	// (the caller supplies each row's diameter — pvindex passes the
+	// uncertainty-region diagonal, the quantity the group-query slack
+	// argument actually needs). It grows monotonically with Set and is
+	// deliberately not lowered by Delete (a stale bound only loosens the
+	// group-query expansion stop rule, never its exactness). FromImage and
+	// full rebuilds reset it exactly.
+	maxDiag float64
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	g := &Graph{}
+	for i := range g.buckets {
+		g.buckets[i] = &bucket{owner: g, rows: map[uint32]*Row{}}
+	}
+	return g
+}
+
+// CloneCOW returns a mutable copy sharing every bucket with g. The clone
+// copies a bucket's row map only when first writing to it; g itself must not
+// be mutated afterwards (it is the published predecessor).
+func (g *Graph) CloneCOW() *Graph {
+	c := &Graph{rows: g.rows, edges: g.edges, maxDiag: g.maxDiag}
+	c.buckets = g.buckets
+	return c
+}
+
+// bucketFor returns the shard holding id, read-only.
+func (g *Graph) bucketFor(id uint32) *bucket { return g.buckets[id&(numBuckets-1)] }
+
+// writable returns the shard holding id with g as its owner, copying the
+// shared map on first write.
+func (g *Graph) writable(id uint32) *bucket {
+	i := id & (numBuckets - 1)
+	b := g.buckets[i]
+	if b.owner == g {
+		return b
+	}
+	nb := &bucket{owner: g, rows: make(map[uint32]*Row, len(b.rows))}
+	for k, v := range b.rows {
+		nb.rows[k] = v
+	}
+	g.buckets[i] = nb
+	return nb
+}
+
+// Get returns id's row. The row is immutable — do not modify it.
+func (g *Graph) Get(id uint32) (*Row, bool) {
+	r, ok := g.bucketFor(id).rows[id]
+	return r, ok
+}
+
+// Len returns the number of rows (objects).
+func (g *Graph) Len() int { return g.rows }
+
+// Edges returns the number of directed neighbor links (twice the undirected
+// edge count, since the relation is symmetric).
+func (g *Graph) Edges() int { return g.edges }
+
+// Set installs id's row with the given UBR, object diameter, and neighbor
+// set, replacing any previous row. diam is the row's contribution to
+// MaxDiag (pvindex passes the uncertainty-region diagonal); neighbors is
+// adopted (sorted in place) — the caller must not reuse it.
+func (g *Graph) Set(id uint32, ubr geom.Rect, diam float64, neighbors []uint32) {
+	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
+	b := g.writable(id)
+	if old, ok := b.rows[id]; ok {
+		g.edges -= len(old.Neighbors)
+	} else {
+		g.rows++
+	}
+	g.edges += len(neighbors)
+	if diam > g.maxDiag {
+		g.maxDiag = diam
+	}
+	b.rows[id] = &Row{UBR: ubr, Neighbors: neighbors}
+}
+
+// MaxDiag returns an upper bound of the largest stored object diameter —
+// the slack term of the group-query expansion stop rule. It may be
+// stale-high after deletions (sound: a larger slack only widens the
+// search).
+func (g *Graph) MaxDiag() float64 { return g.maxDiag }
+
+// Delete removes id's row (not its reverse links — the maintenance pass
+// patches those explicitly). It reports whether the row existed.
+func (g *Graph) Delete(id uint32) bool {
+	b := g.writable(id)
+	old, ok := b.rows[id]
+	if !ok {
+		return false
+	}
+	g.rows--
+	g.edges -= len(old.Neighbors)
+	delete(b.rows, id)
+	return true
+}
+
+// AddNeighbor inserts n into id's neighbor list if absent (idempotent).
+// It reports whether the list changed. Missing rows are ignored.
+func (g *Graph) AddNeighbor(id, n uint32) bool {
+	b := g.writable(id)
+	old, ok := b.rows[id]
+	if !ok {
+		return false
+	}
+	i := sort.Search(len(old.Neighbors), func(k int) bool { return old.Neighbors[k] >= n })
+	if i < len(old.Neighbors) && old.Neighbors[i] == n {
+		return false
+	}
+	ns := make([]uint32, 0, len(old.Neighbors)+1)
+	ns = append(ns, old.Neighbors[:i]...)
+	ns = append(ns, n)
+	ns = append(ns, old.Neighbors[i:]...)
+	b.rows[id] = &Row{UBR: old.UBR, Neighbors: ns}
+	g.edges++
+	return true
+}
+
+// RemoveNeighbor removes n from id's neighbor list if present (idempotent).
+// It reports whether the list changed. Missing rows are ignored.
+func (g *Graph) RemoveNeighbor(id, n uint32) bool {
+	b := g.writable(id)
+	old, ok := b.rows[id]
+	if !ok {
+		return false
+	}
+	i := sort.Search(len(old.Neighbors), func(k int) bool { return old.Neighbors[k] >= n })
+	if i >= len(old.Neighbors) || old.Neighbors[i] != n {
+		return false
+	}
+	ns := make([]uint32, 0, len(old.Neighbors)-1)
+	ns = append(ns, old.Neighbors[:i]...)
+	ns = append(ns, old.Neighbors[i+1:]...)
+	b.rows[id] = &Row{UBR: old.UBR, Neighbors: ns}
+	g.edges--
+	return true
+}
+
+// ForEach visits every row in unspecified order; returning false stops the
+// walk. Rows are immutable — do not modify them.
+func (g *Graph) ForEach(fn func(id uint32, row *Row) bool) {
+	for _, b := range g.buckets {
+		for id, row := range b.rows {
+			if !fn(id, row) {
+				return
+			}
+		}
+	}
+}
+
+// Image is the graph's flat serialized form: IDs ascending, each id's UBR as
+// 2*Dim coordinates (lo then hi) in UBRs, its neighbor count in Lens, and
+// all neighbor lists concatenated in Flat. Deterministic for identical
+// graphs, gob-friendly, and reconstructible in one pass.
+type Image struct {
+	Dim     int
+	MaxDiag float64
+	IDs     []uint32
+	UBRs    []float64
+	Lens    []uint32
+	Flat    []uint32
+}
+
+// Image serializes the graph.
+func (g *Graph) Image() *Image {
+	img := &Image{
+		MaxDiag: g.maxDiag,
+		IDs:     make([]uint32, 0, g.rows),
+		Lens:    make([]uint32, 0, g.rows),
+		Flat:    make([]uint32, 0, g.edges),
+	}
+	g.ForEach(func(id uint32, _ *Row) bool {
+		img.IDs = append(img.IDs, id)
+		return true
+	})
+	sort.Slice(img.IDs, func(i, j int) bool { return img.IDs[i] < img.IDs[j] })
+	for _, id := range img.IDs {
+		row, _ := g.Get(id)
+		if img.Dim == 0 {
+			img.Dim = row.UBR.Dim()
+			img.UBRs = make([]float64, 0, 2*img.Dim*g.rows)
+		}
+		img.UBRs = append(img.UBRs, row.UBR.Lo...)
+		img.UBRs = append(img.UBRs, row.UBR.Hi...)
+		img.Lens = append(img.Lens, uint32(len(row.Neighbors)))
+		img.Flat = append(img.Flat, row.Neighbors...)
+	}
+	return img
+}
+
+// FromImage reconstructs a graph from its serialized form.
+func FromImage(img *Image) (*Graph, error) {
+	if img == nil {
+		return nil, fmt.Errorf("adjgraph: nil image")
+	}
+	if len(img.Lens) != len(img.IDs) {
+		return nil, fmt.Errorf("adjgraph: image has %d ids but %d lens", len(img.IDs), len(img.Lens))
+	}
+	if img.Dim > 0 && len(img.UBRs) != 2*img.Dim*len(img.IDs) {
+		return nil, fmt.Errorf("adjgraph: image has %d UBR coords, want %d", len(img.UBRs), 2*img.Dim*len(img.IDs))
+	}
+	if img.MaxDiag < 0 || img.MaxDiag != img.MaxDiag {
+		return nil, fmt.Errorf("adjgraph: image has invalid max diameter %v", img.MaxDiag)
+	}
+	g := New()
+	flat := img.Flat
+	coords := img.UBRs
+	for i, id := range img.IDs {
+		n := int(img.Lens[i])
+		if n > len(flat) {
+			return nil, fmt.Errorf("adjgraph: image row %d overruns flat neighbor array", id)
+		}
+		var ubr geom.Rect
+		if img.Dim > 0 {
+			ubr = geom.Rect{
+				Lo: geom.Point(coords[:img.Dim:img.Dim]),
+				Hi: geom.Point(coords[img.Dim : 2*img.Dim : 2*img.Dim]),
+			}
+			coords = coords[2*img.Dim:]
+		}
+		g.Set(id, ubr, 0, append([]uint32(nil), flat[:n]...))
+		flat = flat[n:]
+	}
+	if len(flat) != 0 {
+		return nil, fmt.Errorf("adjgraph: image has %d trailing neighbor entries", len(flat))
+	}
+	g.maxDiag = img.MaxDiag
+	return g, nil
+}

@@ -136,6 +136,9 @@ func (ix *Index) ApplyBatch(ups []Update) ([]UpdateStats, error) {
 
 	w := ix.newWorking(base)
 	sts, err := w.apply(ups, staged)
+	if err == nil {
+		err = w.updateAdjacency()
+	}
 	if err != nil {
 		// Clean rollback: the working version was never published, so
 		// readers keep the intact predecessor. But if the batch reached the
@@ -411,6 +414,7 @@ func (w *working) applyInserts(ups []Update, staged []stagedSE) ([]UpdateStats, 
 		if err := w.putRecord(a.id, rec); err != nil {
 			return stats, err
 		}
+		w.adjMarkChanged(a.id)
 		stats[a.op].IndexTime += time.Since(t0)
 	}
 
@@ -420,6 +424,7 @@ func (w *working) applyInserts(ups []Update, staged []stagedSE) ([]UpdateStats, 
 		if err := w.addObject(u.Object, finalB[i]); err != nil {
 			return stats, err
 		}
+		w.adjMarkChanged(uint32(u.Object.ID))
 		stats[i].IndexTime += time.Since(t0)
 	}
 	return stats, nil
@@ -570,6 +575,10 @@ func (ix *Index) Recover() (int, error) {
 	}
 	switch {
 	case w != nil:
+		if err := w.updateAdjacency(); err != nil {
+			w.abort()
+			return replayed, err
+		}
 		ix.publishWorking(w, lastSeq)
 	case lastSeq != base.walSeq:
 		// Only checkpoint records: acknowledge the advanced sequence with a
@@ -581,6 +590,7 @@ func (ix *Index) Recover() (int, error) {
 			primary:    base.primary,
 			secondary:  base.secondary,
 			regionTree: base.regionTree,
+			adj:        base.adj,
 		}, nil, nil)
 	}
 	return replayed, nil

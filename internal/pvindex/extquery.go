@@ -8,20 +8,24 @@ import (
 	"pvoronoi/internal/uncertain"
 )
 
-// Extension-query retrieval rides the index's region R*-tree (the same tree
-// SE consults) instead of scanning the raw database, and follows the same
-// MVCC discipline as PNNQ's Snapshot: candidate retrieval and the instance
-// fetch both read one pinned version, while the expensive probability
-// refinement runs on the returned snapshot afterwards — extension queries
-// never block writers, and writers never block them.
+// Extension-query retrieval follows the same MVCC discipline as PNNQ's
+// Snapshot: candidate retrieval and the instance fetch both read one pinned
+// version, while the expensive probability refinement runs on the returned
+// snapshot afterwards — extension queries never block writers, and writers
+// never block them. Possible-kNN and group-NN retrieve over the version's
+// materialized UBR-adjacency graph (best-first expansion seeded by an octree
+// point query); reverse-NN still rides the region R*-tree.
 
 // ExtCost attributes the retrieval cost of one extension query: candidate
-// count, R-tree node/leaf accesses, and the record-cache outcomes of the
-// instance fetch.
+// count, R-tree node/leaf accesses (LeafIO doubles as the octree seed-query
+// leaf reads on the graph paths), adjacency-graph expansion work, and the
+// record-cache outcomes of the instance fetch.
 type ExtCost struct {
 	Candidates  int
 	NodeIO      int
 	LeafIO      int
+	GraphNodes  int
+	GraphEdges  int
 	CacheHits   int
 	CacheMisses int
 }
@@ -59,15 +63,70 @@ func (ix *Index) fetchInstancesAt(v *version, ids []uncertain.ID, cost *ExtCost)
 	return out, nil
 }
 
-// GroupNNSnapshot retrieves the group-NN candidate set (branch-and-bound
-// over the region tree with aggregate min/max distance bounds) plus each
-// candidate's instances, atomically from one pinned version.
+// graphSeeds runs the octree point query at p (clamped into the domain for
+// out-of-domain anchors — clamping preserves exactness, it just picks the
+// nearest in-domain start for the expansion) and returns the entry IDs: a
+// superset of the objects whose PV-cells contain p, which is exactly what
+// the graph expansion needs as sources. The leaf reads are the query's
+// attributable seed I/O.
+func graphSeeds(v *version, p geom.Point) ([]uint32, int, error) {
+	dom := v.db.Domain
+	clamped := p
+	for j := range p {
+		if p[j] < dom.Lo[j] || p[j] > dom.Hi[j] {
+			clamped = make(geom.Point, len(p))
+			for i := range p {
+				clamped[i] = min(max(p[i], dom.Lo[i]), dom.Hi[i])
+			}
+			break
+		}
+	}
+	entries, leafIO, err := v.primary.PointQueryInto(clamped, nil)
+	if err != nil {
+		return nil, leafIO, err
+	}
+	seeds := make([]uint32, 0, len(entries))
+	for i := range entries {
+		seeds = append(seeds, entries[i].ID)
+	}
+	return seeds, leafIO, nil
+}
+
+// groupNNAt retrieves the group-NN candidate set against a pinned version:
+// best-first expansion over the adjacency graph from the aggregate-minimizer
+// anchor.
+func groupNNAt(v *version, qs []geom.Point, agg extquery.Agg) ([]uncertain.ID, ExtCost, error) {
+	anchor := extquery.GroupAnchor(qs, agg)
+	seeds, leafIO, err := graphSeeds(v, anchor)
+	if err != nil {
+		return nil, ExtCost{LeafIO: leafIO}, err
+	}
+	ids, gc := extquery.GroupNNCandidatesGraph(v.db, v.adj, seeds, anchor, qs, agg)
+	return ids, ExtCost{Candidates: len(ids), LeafIO: leafIO, GraphNodes: gc.Nodes, GraphEdges: gc.Edges}, nil
+}
+
+// knnAt retrieves the possible k-NN candidate set against a pinned version:
+// best-first expansion over the adjacency graph from the query point.
+func knnAt(v *version, q geom.Point, k int) ([]uncertain.ID, ExtCost, error) {
+	seeds, leafIO, err := graphSeeds(v, q)
+	if err != nil {
+		return nil, ExtCost{LeafIO: leafIO}, err
+	}
+	ids, gc := extquery.KNNCandidatesGraph(v.db, v.adj, seeds, q, k)
+	return ids, ExtCost{Candidates: len(ids), LeafIO: leafIO, GraphNodes: gc.Nodes, GraphEdges: gc.Edges}, nil
+}
+
+// GroupNNSnapshot retrieves the group-NN candidate set (adjacency-graph
+// expansion with aggregate min/max distance bounds) plus each candidate's
+// instances, atomically from one pinned version.
 func (ix *Index) GroupNNSnapshot(qs []geom.Point, agg extquery.Agg) (*ExtSnapshot, error) {
 	v := ix.pin()
 	defer ix.unpin(v)
-	ids, tc := extquery.GroupNNCandidatesTree(v.regionTree, qs, agg)
-	snap := &ExtSnapshot{IDs: ids, Cost: ExtCost{Candidates: len(ids), NodeIO: tc.Nodes, LeafIO: tc.Leaves}}
-	var err error
+	ids, cost, err := groupNNAt(v, qs, agg)
+	if err != nil {
+		return nil, err
+	}
+	snap := &ExtSnapshot{IDs: ids, Cost: cost}
 	snap.Instances, err = ix.fetchInstancesAt(v, ids, &snap.Cost)
 	if err != nil {
 		return nil, err
@@ -80,24 +139,33 @@ func (ix *Index) GroupNNSnapshot(qs []geom.Point, agg extquery.Agg) (*ExtSnapsho
 func (ix *Index) GroupNNCandidatesOnly(qs []geom.Point, agg extquery.Agg) ([]uncertain.ID, ExtCost, error) {
 	v := ix.pin()
 	defer ix.unpin(v)
-	ids, tc := extquery.GroupNNCandidatesTree(v.regionTree, qs, agg)
-	return ids, ExtCost{Candidates: len(ids), NodeIO: tc.Nodes, LeafIO: tc.Leaves}, nil
+	return groupNNAt(v, qs, agg)
 }
 
-// KNNSnapshot retrieves the possible k-NN candidate set (incremental
-// best-first traversal with k-th-maxdist pruning) plus each candidate's
-// instances, atomically from one pinned version.
+// KNNSnapshot retrieves the possible k-NN candidate set (adjacency-graph
+// expansion with k-th-maxdist pruning) plus each candidate's instances,
+// atomically from one pinned version.
 func (ix *Index) KNNSnapshot(q geom.Point, k int) (*ExtSnapshot, error) {
 	v := ix.pin()
 	defer ix.unpin(v)
-	ids, tc := extquery.KNNCandidatesTree(v.regionTree, q, k)
-	snap := &ExtSnapshot{IDs: ids, Cost: ExtCost{Candidates: len(ids), NodeIO: tc.Nodes, LeafIO: tc.Leaves}}
-	var err error
+	ids, cost, err := knnAt(v, q, k)
+	if err != nil {
+		return nil, err
+	}
+	snap := &ExtSnapshot{IDs: ids, Cost: cost}
 	snap.Instances, err = ix.fetchInstancesAt(v, ids, &snap.Cost)
 	if err != nil {
 		return nil, err
 	}
 	return snap, nil
+}
+
+// KNNCandidatesOnly is KNNSnapshot without the instance fetch, for callers
+// that need just the candidate IDs.
+func (ix *Index) KNNCandidatesOnly(q geom.Point, k int) ([]uncertain.ID, ExtCost, error) {
+	v := ix.pin()
+	defer ix.unpin(v)
+	return knnAt(v, q, k)
 }
 
 // RNNCandidates retrieves the reverse-NN candidate set by filter-refine tree

@@ -78,6 +78,10 @@ func BuildParallel(db *uncertain.DB, cfg Config, workers int) (*Index, error) {
 	}
 	ix.Build.InsertTime = time.Since(t0)
 	ix.Build.Total = time.Since(start)
+	w.adj, err = rebuildAdjacency(db, w.primary, w.lookupUBR)
+	if err != nil {
+		return nil, err
+	}
 	ix.installBootstrap(w, 0)
 	return ix, nil
 }

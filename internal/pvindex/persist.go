@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"pvoronoi/internal/adjgraph"
 	"pvoronoi/internal/core"
 	"pvoronoi/internal/exthash"
 	"pvoronoi/internal/geom"
@@ -17,12 +18,14 @@ import (
 // Image format versions. PVIDX2 added RecordCacheSize (V1 silently dropped
 // it, resetting loaded indexes to the default cache size) and WALSeq (so
 // recovery knows which write-ahead-log records a snapshot already covers).
-// V1 images are still loadable: gob decodes by field name, leaving the new
-// fields at their zero values, which mean "default cache" and "no WAL
-// history" — exactly V1's semantics.
+// PVIDX3 added the serialized UBR-adjacency graph. Older images are still
+// loadable: gob decodes by field name, leaving new fields at their zero
+// values — a nil adjacency image is rebuilt from the loaded octree and
+// secondary index at load time.
 const (
 	persistMagicV1 = "PVIDX1"
-	persistMagic   = "PVIDX2"
+	persistMagicV2 = "PVIDX2"
+	persistMagic   = "PVIDX3"
 )
 
 // indexImage bundles the serializable state of all index layers.
@@ -37,6 +40,7 @@ type indexImage struct {
 	Store           *pagestore.Image
 	Primary         *octree.Image
 	Secondary       *exthash.Image
+	Adjacency       *adjgraph.Image
 }
 
 // SaveTo serializes the index (page store, octree skeleton, hash directory,
@@ -84,6 +88,9 @@ func (ix *Index) saveVersion(w io.Writer, v *version) error {
 		Primary:         v.primary.Image(),
 		Secondary:       v.secondary.Image(),
 	}
+	if v.adj != nil {
+		img.Adjacency = v.adj.Image()
+	}
 	return gob.NewEncoder(w).Encode(&img)
 }
 
@@ -118,7 +125,7 @@ func LoadFrom(r io.Reader, db *uncertain.DB) (*Index, error) {
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
 		return nil, fmt.Errorf("pvindex: decoding index image: %w", err)
 	}
-	if img.Magic != persistMagic && img.Magic != persistMagicV1 {
+	if img.Magic != persistMagic && img.Magic != persistMagicV2 && img.Magic != persistMagicV1 {
 		return nil, fmt.Errorf("pvindex: bad magic %q", img.Magic)
 	}
 	if img.Objects != db.Len() {
@@ -167,6 +174,29 @@ func LoadFrom(r io.Reader, db *uncertain.DB) (*Index, error) {
 	}
 	regionTree := core.BuildRegionTree(db, fanout)
 
+	// Sanity: every database object must have a stored record.
+	for _, o := range db.Objects() {
+		if _, ok := lookup(uint32(o.ID)); !ok {
+			return nil, fmt.Errorf("pvindex: object %d missing from loaded index", o.ID)
+		}
+	}
+
+	// V3 images carry the adjacency graph; older formats rebuild it from the
+	// loaded octree and secondary index (a one-time load cost, no SE).
+	var adj *adjgraph.Graph
+	if img.Adjacency != nil {
+		if adj, err = adjgraph.FromImage(img.Adjacency); err != nil {
+			return nil, err
+		}
+		if adj.Len() != db.Len() {
+			return nil, fmt.Errorf("pvindex: adjacency image has %d rows, database has %d", adj.Len(), db.Len())
+		}
+	} else {
+		if adj, err = rebuildAdjacency(db, primary, lookup); err != nil {
+			return nil, err
+		}
+	}
+
 	ix.current.Store(&version{
 		epoch:      1,
 		walSeq:     img.WALSeq,
@@ -174,13 +204,7 @@ func LoadFrom(r io.Reader, db *uncertain.DB) (*Index, error) {
 		primary:    primary,
 		secondary:  secondary,
 		regionTree: regionTree,
+		adj:        adj,
 	})
-
-	// Sanity: every database object must have a stored record.
-	for _, o := range db.Objects() {
-		if _, ok := lookup(uint32(o.ID)); !ok {
-			return nil, fmt.Errorf("pvindex: object %d missing from loaded index", o.ID)
-		}
-	}
 	return ix, nil
 }

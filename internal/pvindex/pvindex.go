@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pvoronoi/internal/adjgraph"
 	"pvoronoi/internal/core"
 	"pvoronoi/internal/exthash"
 	"pvoronoi/internal/geom"
@@ -105,6 +106,14 @@ type Index struct {
 	// last pruned against (guarded by reclaimMu).
 	prunedTo uint64
 
+	// Adjacency-maintenance counters: rows recomputed from the primary
+	// index, rows patched by a single neighbor link, and rows deleted, over
+	// the index's lifetime. A full rebuild would show recomputed ≈ n per
+	// batch; the incremental path stays at O(affected).
+	adjRecomputed atomic.Int64
+	adjPatched    atomic.Int64
+	adjDeleted    atomic.Int64
+
 	// Build records the construction cost profile.
 	Build BuildStats
 }
@@ -146,6 +155,15 @@ type working struct {
 	secondary  *exthash.Table
 	regionTree *rtree.Tree
 
+	// adj is the next version's UBR-adjacency graph, cloned copy-on-write
+	// from the base. adjChanged collects the IDs whose stored UBR this batch
+	// (re)computed — exactly the rows updateAdjacency must rebuild — and
+	// adjRemoved the IDs it deleted. Both are nil in bootstrap mode, where
+	// the graph is rebuilt whole after the load loop instead.
+	adj        *adjgraph.Graph
+	adjChanged map[uint32]struct{}
+	adjRemoved map[uint32]struct{}
+
 	freed []pagestore.PageID
 	dirty map[uint32]struct{} // nil in bootstrap mode
 }
@@ -185,6 +203,9 @@ func (ix *Index) newWorking(base *version) *working {
 	w.regionTree = base.regionTree.CloneCOW()
 	w.secondary = base.secondary.CloneCOW(&w.freed)
 	w.primary = base.primary.CloneCOW(w.lookupUBR, &w.freed)
+	w.adj = base.adj.CloneCOW()
+	w.adjChanged = make(map[uint32]struct{})
+	w.adjRemoved = make(map[uint32]struct{})
 	return w
 }
 
@@ -207,6 +228,7 @@ func (w *working) seal(walSeq uint64) *version {
 		primary:    w.primary,
 		secondary:  w.secondary,
 		regionTree: w.regionTree,
+		adj:        w.adj,
 	}
 }
 
@@ -257,8 +279,213 @@ func Build(db *uncertain.DB, cfg Config) (*Index, error) {
 		ix.Build.Objects++
 	}
 	ix.Build.Total = time.Since(start)
+	w.adj, err = rebuildAdjacency(db, w.primary, w.lookupUBR)
+	if err != nil {
+		return nil, err
+	}
 	ix.installBootstrap(w, 0)
 	return ix, nil
+}
+
+// rebuildAdjacency materializes the UBR-adjacency graph from scratch: one
+// row per object, listing every other object whose stored UBR intersects
+// its own. Used at construction and as the load fallback for pre-adjacency
+// snapshot formats; the write path never calls it (updateAdjacency patches
+// rows incrementally). The octree range query finds every intersecting UBR
+// because two intersecting UBRs share a point, hence a leaf cell, hence
+// entries in a common leaf.
+func rebuildAdjacency(db *uncertain.DB, primary *octree.Tree, lookup func(uint32) (geom.Rect, bool)) (*adjgraph.Graph, error) {
+	objs := db.Objects()
+	ubrs := make(map[uint32]geom.Rect, len(objs))
+	for _, o := range objs {
+		ubr, ok := lookup(uint32(o.ID))
+		if !ok {
+			return nil, fmt.Errorf("pvindex: object %d has no stored UBR during adjacency rebuild", o.ID)
+		}
+		ubrs[uint32(o.ID)] = ubr
+	}
+	g := adjgraph.New()
+	for _, o := range objs {
+		id := uint32(o.ID)
+		ubr := ubrs[id]
+		ids, err := primary.RangeIDs(ubr)
+		if err != nil {
+			return nil, err
+		}
+		ns := make([]uint32, 0, len(ids))
+		for nid := range ids {
+			if nid == id {
+				continue
+			}
+			if nubr, ok := ubrs[nid]; ok && nubr.Intersects(ubr) {
+				ns = append(ns, nid)
+			}
+		}
+		// The row's diameter contribution is the uncertainty-region diagonal
+		// (not the UBR's): the group-query slack bounds the gap between a
+		// candidate's rectangle lower bound and its true pointwise minimum,
+		// and that gap is Lipschitz-limited by the region's own extent.
+		g.Set(id, ubr, geom.Dist(o.Region.Lo, o.Region.Hi), ns)
+	}
+	return g, nil
+}
+
+// adjMarkChanged flags id's adjacency row for recomputation at the end of
+// the batch (its stored UBR was written by this working set). No-op during
+// bootstrap, where the graph is rebuilt whole instead.
+func (w *working) adjMarkChanged(id uint32) {
+	if w.adjChanged == nil {
+		return
+	}
+	delete(w.adjRemoved, id)
+	w.adjChanged[id] = struct{}{}
+}
+
+// adjMarkRemoved flags id's adjacency row for deletion at the end of the
+// batch.
+func (w *working) adjMarkRemoved(id uint32) {
+	if w.adjRemoved == nil {
+		return
+	}
+	delete(w.adjChanged, id)
+	w.adjRemoved[id] = struct{}{}
+}
+
+// updateAdjacency folds the batch's UBR changes into the working graph, in
+// O(changed rows + their neighborhoods) — never a full rebuild. Removals
+// unlink first; then each changed row is recomputed from the working octree
+// (the same shared-leaf argument as rebuildAdjacency makes the range query
+// complete), and the symmetric difference against its old row is patched
+// into neighbors this batch did not itself recompute. Neighbors that are in
+// adjChanged need no patch: both endpoints of an edge derive the same
+// intersection verdict from their own recomputation.
+func (w *working) updateAdjacency() error {
+	if w.adjChanged == nil {
+		return nil
+	}
+	var recomputed, patched, deleted int64
+	for id := range w.adjRemoved {
+		row, ok := w.adj.Get(id)
+		if !ok {
+			continue // inserted and deleted within this batch: never had a row
+		}
+		for _, n := range row.Neighbors {
+			if _, gone := w.adjRemoved[n]; gone {
+				continue
+			}
+			if _, changed := w.adjChanged[n]; changed {
+				continue
+			}
+			if w.adj.RemoveNeighbor(n, id) {
+				patched++
+			}
+		}
+		w.adj.Delete(id)
+		deleted++
+	}
+	for id := range w.adjChanged {
+		ubr, ok := w.lookupUBR(id)
+		if !ok {
+			return fmt.Errorf("pvindex: changed object %d has no stored UBR during adjacency update", id)
+		}
+		ids, err := w.primary.RangeIDs(ubr)
+		if err != nil {
+			return err
+		}
+		ns := make([]uint32, 0, len(ids))
+		for nid := range ids {
+			if nid == id {
+				continue
+			}
+			if _, gone := w.adjRemoved[nid]; gone {
+				continue
+			}
+			nubr, ok := w.lookupUBR(nid)
+			if !ok {
+				continue
+			}
+			if nubr.Intersects(ubr) {
+				ns = append(ns, nid)
+			}
+		}
+		var oldNs []uint32
+		if oldRow, had := w.adj.Get(id); had {
+			oldNs = oldRow.Neighbors
+		}
+		var diam float64
+		if o := w.db.Get(uncertain.ID(id)); o != nil {
+			diam = geom.Dist(o.Region.Lo, o.Region.Hi)
+		}
+		w.adj.Set(id, ubr, diam, ns)
+		recomputed++
+		newRow, _ := w.adj.Get(id)
+		newNs := newRow.Neighbors // ns, sorted by Set
+
+		// Merge-walk the sorted old and new lists; patch the reverse links
+		// of neighbors gained or lost, unless they recompute themselves.
+		i, j := 0, 0
+		for i < len(oldNs) || j < len(newNs) {
+			switch {
+			case j >= len(newNs) || (i < len(oldNs) && oldNs[i] < newNs[j]):
+				n := oldNs[i]
+				i++
+				if _, changed := w.adjChanged[n]; changed {
+					continue
+				}
+				if w.adj.RemoveNeighbor(n, id) {
+					patched++
+				}
+			case i >= len(oldNs) || newNs[j] < oldNs[i]:
+				n := newNs[j]
+				j++
+				if _, changed := w.adjChanged[n]; changed {
+					continue
+				}
+				if w.adj.AddNeighbor(n, id) {
+					patched++
+				}
+			default:
+				i++
+				j++
+			}
+		}
+	}
+	w.ix.adjRecomputed.Add(recomputed)
+	w.ix.adjPatched.Add(patched)
+	w.ix.adjDeleted.Add(deleted)
+	return nil
+}
+
+// AdjacencyStats reports the adjacency graph's size as of the current
+// version plus the lifetime maintenance counters.
+type AdjacencyStats struct {
+	// Rows is the number of objects with an adjacency row (== Len()).
+	Rows int
+	// Edges is the number of directed neighbor links (twice the undirected
+	// edge count).
+	Edges int
+	// RowsRecomputed counts rows rebuilt from the primary index by updates.
+	RowsRecomputed int64
+	// RowsPatched counts single-link reverse patches applied by updates.
+	RowsPatched int64
+	// RowsDeleted counts rows dropped by deletions.
+	RowsDeleted int64
+}
+
+// Adjacency returns the adjacency graph's gauges and maintenance counters.
+func (ix *Index) Adjacency() AdjacencyStats {
+	v := ix.pin()
+	defer ix.unpin(v)
+	st := AdjacencyStats{
+		RowsRecomputed: ix.adjRecomputed.Load(),
+		RowsPatched:    ix.adjPatched.Load(),
+		RowsDeleted:    ix.adjDeleted.Load(),
+	}
+	if v.adj != nil {
+		st.Rows = v.adj.Len()
+		st.Edges = v.adj.Edges()
+	}
+	return st
 }
 
 // getRecord is the writer's record read: it bypasses the cache for IDs this
@@ -669,11 +896,13 @@ func (w *working) applyInsert(o *uncertain.Object, staged *stagedSE, mode seMode
 		if err := w.putRecord(id, rec); err != nil {
 			return st, geom.Rect{}, err
 		}
+		w.adjMarkChanged(id)
 		st.IndexTime += time.Since(t2)
 	}
 
 	t3 := time.Now()
 	err = w.addObject(o, newB)
+	w.adjMarkChanged(uint32(o.ID))
 	st.IndexTime += time.Since(t3)
 	return st, newB, err
 }
@@ -732,6 +961,7 @@ func (w *working) applyDelete(id uncertain.ID) (UpdateStats, geom.Rect, error) {
 		return st, geom.Rect{}, err
 	}
 	w.markDirty(uint32(id))
+	w.adjMarkRemoved(uint32(id))
 	st.IndexTime += time.Since(t0)
 
 	for otherID := range ids {
@@ -772,6 +1002,7 @@ func (w *working) applyDelete(id uncertain.ID) (UpdateStats, geom.Rect, error) {
 		if err := w.primary.InsertDiff(otherID, other.Region, updated, oldB); err != nil {
 			return st, geom.Rect{}, err
 		}
+		w.adjMarkChanged(otherID)
 		st.IndexTime += time.Since(t2)
 	}
 	return st, victimUBR, nil
