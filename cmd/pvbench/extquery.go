@@ -72,15 +72,17 @@ type extqueryReport struct {
 }
 
 type extqueryCfgJ struct {
-	Ns         []int `json:"ns"`
-	Dim        int   `json:"dim"`
-	Seed       int64 `json:"seed"`
-	Queries    int   `json:"queries"`
-	GroupSizes []int `json:"group_sizes"`
-	Ks         []int `json:"ks"`
-	RNNMaxN    int   `json:"rnn_max_n"`
-	GoMaxProcs int   `json:"gomaxprocs"`
-	NumCPU     int   `json:"num_cpu"`
+	Ns         []int  `json:"ns"`
+	Dim        int    `json:"dim"`
+	Seed       int64  `json:"seed"`
+	Queries    int    `json:"queries"`
+	GroupSizes []int  `json:"group_sizes"`
+	Ks         []int  `json:"ks"`
+	RNNMaxN    int    `json:"rnn_max_n"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	GOGC       int    `json:"gogc"`
 }
 
 // runExtquery builds, per size, a region tree (scan/tree paths) and a full
@@ -110,6 +112,8 @@ func runExtquery(cfg extqueryConfig) error {
 			GroupSizes: cfg.GroupSizes, Ks: cfg.Ks, RNNMaxN: cfg.RNNMaxN,
 			GoMaxProcs: runtime.GOMAXPROCS(0),
 			NumCPU:     runtime.NumCPU(),
+			GoVersion:  goVersion(),
+			GOGC:       gogcPercent(),
 		},
 	}
 

@@ -74,6 +74,12 @@ func main() {
 		rcTails = flag.String("rc-tails", "0,512,2048", "recovery: comma-separated WAL tail lengths (updates)")
 		rcBatch = flag.Int("rc-batch", 64, "recovery: group-commit batch size while growing the tail")
 
+		// Memory-layout benchmark flags (the "memlayout" experiment).
+		mlJSON    = flag.String("ml-json", "BENCH_memlayout.json", "memlayout: output JSON path (empty = stdout only)")
+		mlRounds  = flag.Int("ml-rounds", 3, "memlayout: writer rounds per backend (insert+delete batch each)")
+		mlQueries = flag.Int("ml-queries", 4000, "memlayout: queries per worker per backend")
+		mlBatch   = flag.Int("ml-batch", 16, "memlayout: writer group-commit batch size")
+
 		// Extension-query benchmark flags (the "extquery" experiment).
 		eqJSON    = flag.String("eq-json", "BENCH_extquery.json", "extquery: output JSON path (empty = stdout only)")
 		eqNs      = flag.String("eq-n", "1000,10000,100000", "extquery: comma-separated dataset sizes")
@@ -142,6 +148,7 @@ func main() {
 	wantExtquery := false
 	wantMixed := false
 	wantRecovery := false
+	wantMemlayout := false
 	allSeen := false
 	for _, arg := range flag.Args() {
 		switch {
@@ -157,6 +164,8 @@ func main() {
 			wantMixed = true
 		case arg == "recovery":
 			wantRecovery = true
+		case arg == "memlayout":
+			wantMemlayout = true
 		case arg == "all":
 			allSeen = true
 		default:
@@ -260,6 +269,23 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if wantMemlayout {
+		err := runMemlayout(memlayoutConfig{
+			JSONPath:  *mlJSON,
+			N:         *loadN,
+			Dim:       *loadD,
+			Instances: *instances,
+			Seed:      *seed,
+			Rounds:    *mlRounds,
+			Queries:   *mlQueries,
+			Conns:     *conns,
+			Batch:     *mlBatch,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvbench: memlayout: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if wantWritepath {
 		err := runWritepath(writepathConfig{
 			JSONPath:  *wpJSON,
@@ -314,6 +340,7 @@ experiments:
   extquery                      extension-query retrieval: scan vs R-tree vs adjacency graph -> JSON
   mixed                         query latency under 0/1/4 concurrent writers (MVCC) -> JSON
   recovery                      crash-recovery time vs WAL tail, clean + corrupt-checkpoint fallback -> JSON
+  memlayout                     page-store layouts: sharded map vs slab arena, allocs/epoch + GC pause -> JSON
 
 flags:
 `)

@@ -1,0 +1,297 @@
+package main
+
+// Memory-layout benchmark mode: runs the same mixed query + writer-churn
+// workload over two page-store backends — the legacy sharded map (one heap
+// allocation per page, GC scans every page pointer) and the extent/slab
+// arena (pages carved from large slabs, freed slots recycled through an
+// explicit free-list) — and reports the GC-side difference: allocations per
+// published epoch, GC pause totals, cycle counts, and heap shape. Results
+// land in BENCH_memlayout.json so the arena's GC win is tracked commit over
+// commit.
+//
+// This mode deliberately builds through internal/pvindex rather than the
+// public API: the store backend is an internal implementation choice
+// (pagestore.New vs pagestore.NewMap), benchmarked here and nowhere else.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"pvoronoi/internal/dataset"
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/pagestore"
+	"pvoronoi/internal/pvindex"
+	"pvoronoi/internal/uncertain"
+)
+
+// memlayoutConfig bundles the memlayout experiment parameters. The workload
+// is fixed-work, not fixed-time: both backends execute exactly the same
+// writer rounds and query count, so the measured allocation and GC deltas
+// compare like with like (a fixed-time window would credit the faster
+// backend with more queries and hence more allocations).
+type memlayoutConfig struct {
+	JSONPath  string // output file ("" = stdout only)
+	N, Dim    int    // base index size
+	Instances int    // pdf samples per object
+	Seed      int64
+	Rounds    int // writer rounds (one round = insert batch + delete batch)
+	Queries   int // queries per worker
+	Conns     int // query workers
+	Batch     int // writer batch size
+}
+
+// memlayoutRow is one measured backend.
+type memlayoutRow struct {
+	Layout      string  `json:"layout"` // "map" or "arena"
+	Epochs      uint64  `json:"epochs"` // versions published in the window
+	QueriesPerS float64 `json:"queries_per_s"`
+	P99us       int64   `json:"p99_us"`
+	// AllocsPerEpoch is the headline: heap allocations (runtime Mallocs
+	// delta, whole process) divided by versions published.
+	AllocsPerEpoch float64 `json:"allocs_per_epoch"`
+	Mallocs        uint64  `json:"mallocs"`
+	GCPauseTotalMs float64 `json:"gc_pause_total_ms"`
+	NumGC          uint32  `json:"num_gc"`
+	HeapAllocMB    float64 `json:"heap_alloc_mb"`
+	HeapObjects    uint64  `json:"heap_objects"`
+	LivePages      int     `json:"live_pages"`
+	ArenaMB        float64 `json:"arena_mb"` // slab footprint (0 for map)
+}
+
+// memlayoutReport is the serialized BENCH_memlayout.json document.
+type memlayoutReport struct {
+	GeneratedBy string              `json:"generated_by"`
+	Config      memlayoutConfigJSON `json:"config"`
+	Rows        []memlayoutRow      `json:"rows"`
+	// Ratios are arena/map; below 1.0 means the arena reduced the metric.
+	AllocsPerEpochRatio float64 `json:"allocs_per_epoch_ratio"`
+	GCPauseRatio        float64 `json:"gc_pause_ratio"`
+}
+
+type memlayoutConfigJSON struct {
+	Objects    int    `json:"objects"`
+	Dim        int    `json:"dim"`
+	Instances  int    `json:"instances"`
+	Seed       int64  `json:"seed"`
+	Rounds     int    `json:"rounds"`
+	Queries    int    `json:"queries_per_conn"`
+	Conns      int    `json:"conns"`
+	Batch      int    `json:"batch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOGC       int    `json:"gogc"`
+}
+
+// memlayoutObjs generates one churn block of fresh objects inside domain.
+func memlayoutObjs(cfg memlayoutConfig, idBase uint32, rng *rand.Rand, domain geom.Rect) []pvindex.Update {
+	ups := make([]pvindex.Update, cfg.Batch)
+	for i := range ups {
+		lo := make(geom.Point, cfg.Dim)
+		hi := make(geom.Point, cfg.Dim)
+		for j := 0; j < cfg.Dim; j++ {
+			side := 1 + rng.Float64()*40
+			span := domain.Hi[j] - domain.Lo[j]
+			lo[j] = domain.Lo[j] + rng.Float64()*(span-side)
+			hi[j] = lo[j] + side
+		}
+		o := &uncertain.Object{ID: uncertain.ID(idBase + uint32(i)), Region: geom.NewRect(lo, hi)}
+		if cfg.Instances > 0 {
+			o.Instances = uncertain.SampleInstances(o.Region, uncertain.PDFUniform, cfg.Instances,
+				rand.New(rand.NewSource(cfg.Seed+int64(idBase)+int64(i))))
+		}
+		ups[i] = pvindex.Update{Op: pvindex.OpInsert, Object: o}
+	}
+	return ups
+}
+
+// runMemlayoutPhase builds an index over the given store and drives the
+// mixed workload for the window, reporting process-wide GC metrics.
+func runMemlayoutPhase(cfg memlayoutConfig, layout string, store *pagestore.Store) (memlayoutRow, error) {
+	row := memlayoutRow{Layout: layout}
+	db := dataset.Synthetic(dataset.SyntheticParams{
+		N: cfg.N, Dim: cfg.Dim, MaxSide: 60, Instances: cfg.Instances, Seed: cfg.Seed,
+	})
+	ixCfg := pvindex.DefaultConfig()
+	ixCfg.Store = store
+	ix, err := pvindex.Build(db, ixCfg)
+	if err != nil {
+		return row, err
+	}
+	domain := ix.DB().Domain
+	epoch0 := ix.Epoch()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 1+cfg.Conns)
+
+	// Settle the heap, then bracket the fixed workload with MemStats
+	// readings. The deltas cover the whole process; both backends execute
+	// the identical round and query counts, so the difference is the
+	// page-store layout.
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+
+	// One writer: a fixed count of insert-batch / delete-batch rounds, every
+	// commit publishing a fresh MVCC version (two epochs per round).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(cfg.Seed + 1000))
+		idBase := uint32(2_000_000)
+		for r := 0; r < cfg.Rounds; r++ {
+			ups := memlayoutObjs(cfg, idBase, rng, domain)
+			if _, err := ix.ApplyBatch(ups); err != nil {
+				errCh <- fmt.Errorf("insert batch: %w", err)
+				return
+			}
+			dels := make([]pvindex.Update, len(ups))
+			for i, u := range ups {
+				dels[i] = pvindex.Update{Op: pvindex.OpDelete, ID: u.Object.ID}
+			}
+			if _, err := ix.ApplyBatch(dels); err != nil {
+				errCh <- fmt.Errorf("delete batch: %w", err)
+				return
+			}
+		}
+	}()
+
+	// Readers: a fixed count of snapshots (Step 1 + pdf fetch) per worker.
+	lats := make([][]float64, cfg.Conns)
+	for c := 0; c < cfg.Conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(77+c)))
+			for i := 0; i < cfg.Queries; i++ {
+				q := make(geom.Point, cfg.Dim)
+				for j := 0; j < cfg.Dim; j++ {
+					q[j] = domain.Lo[j] + rng.Float64()*(domain.Hi[j]-domain.Lo[j])
+				}
+				t0 := time.Now()
+				if _, err := ix.Snapshot(q); err != nil {
+					errCh <- fmt.Errorf("query worker %d: %w", c, err)
+					return
+				}
+				lats[c] = append(lats[c], float64(time.Since(t0).Microseconds()))
+			}
+		}(c)
+	}
+
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	select {
+	case err := <-errCh:
+		return row, err
+	default:
+	}
+
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	row.Epochs = ix.Epoch() - epoch0
+	row.QueriesPerS = float64(len(all)) / elapsed.Seconds()
+	if len(all) > 0 {
+		row.P99us = int64(all[int(0.99*float64(len(all)-1))])
+	}
+	row.Mallocs = after.Mallocs - before.Mallocs
+	if row.Epochs > 0 {
+		row.AllocsPerEpoch = float64(row.Mallocs) / float64(row.Epochs)
+	}
+	row.GCPauseTotalMs = float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6
+	row.NumGC = after.NumGC - before.NumGC
+	row.HeapAllocMB = float64(after.HeapAlloc) / (1 << 20)
+	row.HeapObjects = after.HeapObjects
+	row.LivePages = store.Live()
+	row.ArenaMB = float64(store.ArenaBytes()) / (1 << 20)
+	return row, nil
+}
+
+// runMemlayout sweeps the two store backends and writes the comparison.
+func runMemlayout(cfg memlayoutConfig) error {
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 3
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 4000
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 8
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 16
+	}
+
+	report := memlayoutReport{
+		GeneratedBy: "pvbench memlayout",
+		Config: memlayoutConfigJSON{
+			Objects: cfg.N, Dim: cfg.Dim, Instances: cfg.Instances, Seed: cfg.Seed,
+			Rounds: cfg.Rounds, Queries: cfg.Queries, Conns: cfg.Conns, Batch: cfg.Batch,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion:  goVersion(),
+			GOGC:       gogcPercent(),
+		},
+	}
+
+	backends := []struct {
+		layout string
+		store  *pagestore.Store
+	}{
+		{"map", pagestore.NewMap(pagestore.DefaultPageSize)},
+		{"arena", pagestore.New(pagestore.DefaultPageSize)},
+	}
+	for _, b := range backends {
+		fmt.Printf("memlayout: %s store — building %d objects (d=%d, %d instances), %d rounds + %dx%d queries...\n",
+			b.layout, cfg.N, cfg.Dim, cfg.Instances, cfg.Rounds, cfg.Conns, cfg.Queries)
+		row, err := runMemlayoutPhase(cfg, b.layout, b.store)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.layout, err)
+		}
+		report.Rows = append(report.Rows, row)
+		fmt.Printf("memlayout: %-5s  %7.0f allocs/epoch  gc pause %8.2fms (%d cycles)  %9.1f q/s  p99 %6dus  heap %.1fMB/%d objs\n",
+			row.Layout, row.AllocsPerEpoch, row.GCPauseTotalMs, row.NumGC,
+			row.QueriesPerS, row.P99us, row.HeapAllocMB, row.HeapObjects)
+	}
+
+	var mapRow, arenaRow *memlayoutRow
+	for i := range report.Rows {
+		switch report.Rows[i].Layout {
+		case "map":
+			mapRow = &report.Rows[i]
+		case "arena":
+			arenaRow = &report.Rows[i]
+		}
+	}
+	if mapRow != nil && arenaRow != nil {
+		if mapRow.AllocsPerEpoch > 0 {
+			report.AllocsPerEpochRatio = arenaRow.AllocsPerEpoch / mapRow.AllocsPerEpoch
+		}
+		if mapRow.GCPauseTotalMs > 0 {
+			report.GCPauseRatio = arenaRow.GCPauseTotalMs / mapRow.GCPauseTotalMs
+		}
+		fmt.Printf("memlayout: arena vs map — allocs/epoch %.2fx, gc pause %.2fx\n",
+			report.AllocsPerEpochRatio, report.GCPauseRatio)
+	}
+
+	if cfg.JSONPath != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			return err
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(cfg.JSONPath, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", cfg.JSONPath)
+	}
+	return nil
+}

@@ -75,6 +75,8 @@ type mixedConfigJSON struct {
 	Conns      int     `json:"conns"`
 	Batch      int     `json:"batch"`
 	GoMaxProcs int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"go_version"`
+	GOGC       int     `json:"gogc"`
 }
 
 // mixedWriterObjs generates one writer's churn set: fresh IDs in a range
@@ -232,6 +234,8 @@ func runMixed(cfg mixedConfig) error {
 			Objects: cfg.N, Dim: cfg.Dim, Instances: cfg.Instances, Seed: cfg.Seed,
 			DurationS: cfg.Duration.Seconds(), Conns: cfg.Conns, Batch: cfg.Batch,
 			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion:  goVersion(),
+			GOGC:       gogcPercent(),
 		},
 	}
 

@@ -70,6 +70,8 @@ type readpathConfigJSON struct {
 	DurationS  float64 `json:"duration_s"`
 	Conns      int     `json:"conns"`
 	GoMaxProcs int     `json:"gomaxprocs"`
+	GoVersion  string  `json:"go_version"`
+	GOGC       int     `json:"gogc"`
 }
 
 // runReadpath builds a synthetic index and measures its read path.
@@ -191,6 +193,8 @@ func runReadpath(cfg readpathConfig) error {
 			Objects: cfg.N, Dim: cfg.Dim, Instances: cfg.Instances, Seed: cfg.Seed,
 			DurationS: cfg.Duration.Seconds(), Conns: cfg.Conns,
 			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion:  goVersion(),
+			GOGC:       gogcPercent(),
 		},
 		After: m,
 	}

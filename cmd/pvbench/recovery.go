@@ -55,12 +55,14 @@ type recoveryReport struct {
 }
 
 type recoveryConfigJSON struct {
-	Objects    int   `json:"objects"`
-	Dim        int   `json:"dim"`
-	Instances  int   `json:"instances"`
-	Seed       int64 `json:"seed"`
-	Batch      int   `json:"batch"`
-	GoMaxProcs int   `json:"gomaxprocs"`
+	Objects    int    `json:"objects"`
+	Dim        int    `json:"dim"`
+	Instances  int    `json:"instances"`
+	Seed       int64  `json:"seed"`
+	Batch      int    `json:"batch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOGC       int    `json:"gogc"`
 }
 
 // corruptNewestOnDisk flips one payload byte of the newest checkpoint's
@@ -98,6 +100,7 @@ func runRecovery(cfg recoveryConfig) error {
 		Config: recoveryConfigJSON{
 			Objects: cfg.N, Dim: cfg.Dim, Instances: cfg.Instances, Seed: cfg.Seed,
 			Batch: cfg.Batch, GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion: goVersion(), GOGC: gogcPercent(),
 		},
 	}
 

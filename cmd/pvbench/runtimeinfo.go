@@ -1,0 +1,25 @@
+package main
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+// gogcPercent reads the effective GOGC value from runtime/metrics. Every
+// benchmark records it alongside go_version in its config block: GC pacing
+// dominates tail latency in these workloads, so two runs are only comparable
+// when both knobs match.
+func gogcPercent() int {
+	sample := []metrics.Sample{{Name: "/gc/gogc:percent"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() == metrics.KindUint64 {
+		return int(sample[0].Value.Uint64())
+	}
+	return -1
+}
+
+// goVersion is runtime.Version(), wrapped so every config block spells the
+// field the same way.
+func goVersion() string {
+	return runtime.Version()
+}

@@ -69,13 +69,15 @@ type writepathReport struct {
 }
 
 type writepathConfigJSON struct {
-	Objects    int   `json:"objects"`
-	Dim        int   `json:"dim"`
-	Instances  int   `json:"instances"`
-	Seed       int64 `json:"seed"`
-	Ops        int   `json:"ops"`
-	Batch      int   `json:"batch"`
-	GoMaxProcs int   `json:"gomaxprocs"`
+	Objects    int    `json:"objects"`
+	Dim        int    `json:"dim"`
+	Instances  int    `json:"instances"`
+	Seed       int64  `json:"seed"`
+	Ops        int    `json:"ops"`
+	Batch      int    `json:"batch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOGC       int    `json:"gogc"`
 }
 
 // wpObjects generates the fresh objects one scenario inserts. Clustered
@@ -199,6 +201,7 @@ func runWritepath(cfg writepathConfig) error {
 		Config: writepathConfigJSON{
 			Objects: cfg.N, Dim: cfg.Dim, Instances: cfg.Instances, Seed: cfg.Seed,
 			Ops: cfg.Ops, Batch: cfg.Batch, GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion: goVersion(), GOGC: gogcPercent(),
 		},
 	}
 

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -1033,6 +1034,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"rows_deleted":    adj.RowsDeleted,
 		},
 		"endpoints": endpoints,
+		"runtime":   runtimeStats(),
 	}
 	if degraded {
 		body["degraded_cause"] = cause
@@ -1052,4 +1054,18 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// runtimeStats reports the Go runtime's memory and GC behavior — enough for
+// an operator to see heap growth and GC pressure without attaching pprof.
+func runtimeStats() map[string]any {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return map[string]any{
+		"heap_alloc_bytes": ms.HeapAlloc,
+		"heap_objects":     ms.HeapObjects,
+		"num_gc":           ms.NumGC,
+		"gc_pause_total_s": float64(ms.PauseTotalNs) / 1e9,
+		"gomaxprocs":       runtime.GOMAXPROCS(0),
+	}
 }

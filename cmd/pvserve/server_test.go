@@ -222,6 +222,45 @@ func TestServeEndpoints(t *testing.T) {
 	}
 }
 
+// TestStatsRuntimeBlock checks /v1/stats exposes the Go runtime block:
+// heap size, object count, GC cycle count, total GC pause, and GOMAXPROCS.
+func TestStatsRuntimeBlock(t *testing.T) {
+	ix := testIndex(t, 20)
+	ts := httptest.NewServer(newServer(ix).routes())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Runtime struct {
+			HeapAlloc    uint64   `json:"heap_alloc_bytes"`
+			HeapObjects  uint64   `json:"heap_objects"`
+			NumGC        *uint32  `json:"num_gc"`
+			GCPauseTotal *float64 `json:"gc_pause_total_s"`
+			GoMaxProcs   int      `json:"gomaxprocs"`
+		} `json:"runtime"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	rt := stats.Runtime
+	if rt.HeapAlloc == 0 || rt.HeapObjects == 0 {
+		t.Fatalf("runtime block reports empty heap: %+v", rt)
+	}
+	if rt.NumGC == nil || rt.GCPauseTotal == nil {
+		t.Fatalf("runtime block missing GC fields: %+v", rt)
+	}
+	if *rt.GCPauseTotal < 0 {
+		t.Fatalf("negative total GC pause %f", *rt.GCPauseTotal)
+	}
+	if rt.GoMaxProcs < 1 {
+		t.Fatalf("gomaxprocs = %d, want >= 1", rt.GoMaxProcs)
+	}
+}
+
 // TestServeExtensionEndpoints covers the extension-query surface: the
 // reverse-NN endpoint, the worker-pool batch endpoints, per-query retrieval
 // cost fields, and per-endpoint metrics.

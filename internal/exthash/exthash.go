@@ -144,13 +144,13 @@ type slot struct {
 	firstPage pagestore.PageID
 }
 
+// readBucket decodes a bucket page via a borrowed view; every field is
+// copied out, so nothing aliases page memory after it returns.
 func (t *Table) readBucket(id pagestore.PageID) (bucket, error) {
-	scratch := t.store.AcquirePage()
-	defer t.store.ReleasePage(scratch)
-	if err := t.store.ReadInto(id, *scratch); err != nil {
+	buf, err := t.store.View(id)
+	if err != nil {
 		return bucket{}, err
 	}
-	buf := *scratch
 	b := bucket{localDepth: binary.LittleEndian.Uint16(buf[0:2])}
 	n := int(binary.LittleEndian.Uint16(buf[2:4]))
 	b.slots = make([]slot, n)
@@ -233,17 +233,15 @@ func (t *Table) writeValue(val []byte) (pagestore.PageID, error) {
 }
 
 // readValue reads a value of total length n from the chain starting at head.
-// Only the returned value is allocated; chain pages land in a pooled buffer.
+// Only the returned value is allocated; chain pages are borrowed views.
 func (t *Table) readValue(head pagestore.PageID, n uint32) ([]byte, error) {
 	out := make([]byte, 0, n)
-	scratch := t.store.AcquirePage()
-	defer t.store.ReleasePage(scratch)
 	p := head
 	for p != 0 {
-		if err := t.store.ReadInto(p, *scratch); err != nil {
+		buf, err := t.store.View(p)
+		if err != nil {
 			return nil, err
 		}
-		buf := *scratch
 		next := pagestore.PageID(binary.LittleEndian.Uint32(buf[0:4]))
 		used := binary.LittleEndian.Uint32(buf[4:8])
 		if int(used) > len(buf)-chainHeader {
@@ -263,11 +261,11 @@ func (t *Table) readValue(head pagestore.PageID, n uint32) ([]byte, error) {
 func (t *Table) freeValue(head pagestore.PageID) error {
 	p := head
 	for p != 0 {
-		var hdr [4]byte
-		if _, err := t.store.ReadAt(p, hdr[:], 0); err != nil {
+		buf, err := t.store.View(p)
+		if err != nil {
 			return err
 		}
-		next := pagestore.PageID(binary.LittleEndian.Uint32(hdr[:]))
+		next := pagestore.PageID(binary.LittleEndian.Uint32(buf[0:4]))
 		if err := t.freePage(p); err != nil {
 			return err
 		}
@@ -276,22 +274,74 @@ func (t *Table) freeValue(head pagestore.PageID) error {
 	return nil
 }
 
-// Get returns the value stored under key.
+// findSlot scans the bucket page for key without materializing the slot
+// array: a lazy stride walk over the packed 12-byte slots of a borrowed
+// view. The matching slot is copied out by value.
+func (t *Table) findSlot(bucketPage pagestore.PageID, key uint32) (slot, bool, error) {
+	buf, err := t.store.View(bucketPage)
+	if err != nil {
+		return slot{}, false, err
+	}
+	n := int(binary.LittleEndian.Uint16(buf[2:4]))
+	off := bucketHeader
+	for i := 0; i < n; i++ {
+		if binary.LittleEndian.Uint32(buf[off:]) == key {
+			return slot{
+				key:       key,
+				valLen:    binary.LittleEndian.Uint32(buf[off+4:]),
+				firstPage: pagestore.PageID(binary.LittleEndian.Uint32(buf[off+8:])),
+			}, true, nil
+		}
+		off += slotSize
+	}
+	return slot{}, false, nil
+}
+
+// Get returns the value stored under key. The returned slice is always an
+// owned copy, safe to retain.
 func (t *Table) Get(key uint32) ([]byte, bool, error) {
-	b, err := t.readBucket(t.dir[t.dirIndex(key)])
+	s, ok, err := t.findSlot(t.dir[t.dirIndex(key)], key)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	v, err := t.readValue(s.firstPage, s.valLen)
 	if err != nil {
 		return nil, false, err
 	}
-	for _, s := range b.slots {
-		if s.key == key {
-			v, err := t.readValue(s.firstPage, s.valLen)
-			if err != nil {
-				return nil, false, err
-			}
-			return v, true, nil
-		}
+	return v, true, nil
+}
+
+// GetView returns the value stored under key, borrowing page memory when the
+// value fits a single value page (the common case for small records): the
+// returned slice then aliases the store's slab and follows the View validity
+// rule — it must be consumed before the reader's version pin is released.
+// Multi-page values are assembled into a fresh buffer. Callers that retain
+// the bytes must copy; callers that decode immediately get a zero-copy read.
+func (t *Table) GetView(key uint32) ([]byte, bool, error) {
+	s, ok, err := t.findSlot(t.dir[t.dirIndex(key)], key)
+	if err != nil || !ok {
+		return nil, false, err
 	}
-	return nil, false, nil
+	buf, err := t.store.View(s.firstPage)
+	if err != nil {
+		return nil, false, err
+	}
+	next := pagestore.PageID(binary.LittleEndian.Uint32(buf[0:4]))
+	used := binary.LittleEndian.Uint32(buf[4:8])
+	if int(used) > len(buf)-chainHeader {
+		return nil, false, errors.New("exthash: corrupt value chain")
+	}
+	if next == 0 {
+		if used != s.valLen {
+			return nil, false, fmt.Errorf("exthash: value length %d, expected %d", used, s.valLen)
+		}
+		return buf[chainHeader : chainHeader+used : chainHeader+used], true, nil
+	}
+	v, err := t.readValue(s.firstPage, s.valLen)
+	if err != nil {
+		return nil, false, err
+	}
+	return v, true, nil
 }
 
 // Put stores val under key, replacing any previous value.
@@ -434,18 +484,19 @@ func (t *Table) CollectPages(dst []pagestore.PageID) ([]pagestore.PageID, error)
 			v := s.firstPage
 			for v != 0 {
 				dst = append(dst, v)
-				var hdr [4]byte
-				if _, err := t.store.ReadAt(v, hdr[:], 0); err != nil {
+				buf, err := t.store.View(v)
+				if err != nil {
 					return nil, err
 				}
-				v = pagestore.PageID(binary.LittleEndian.Uint32(hdr[:]))
+				v = pagestore.PageID(binary.LittleEndian.Uint32(buf[0:4]))
 			}
 		}
 	}
 	return dst, nil
 }
 
-// Keys appends all stored keys to dst (in unspecified order).
+// Keys appends all stored keys to dst (in unspecified order). Bucket pages
+// are walked lazily: only each slot's 4-byte key is read.
 func (t *Table) Keys(dst []uint32) ([]uint32, error) {
 	seen := make(map[pagestore.PageID]bool)
 	for _, p := range t.dir {
@@ -453,12 +504,15 @@ func (t *Table) Keys(dst []uint32) ([]uint32, error) {
 			continue
 		}
 		seen[p] = true
-		b, err := t.readBucket(p)
+		buf, err := t.store.View(p)
 		if err != nil {
 			return nil, err
 		}
-		for _, s := range b.slots {
-			dst = append(dst, s.key)
+		n := int(binary.LittleEndian.Uint16(buf[2:4]))
+		off := bucketHeader
+		for i := 0; i < n; i++ {
+			dst = append(dst, binary.LittleEndian.Uint32(buf[off:]))
+			off += slotSize
 		}
 	}
 	return dst, nil

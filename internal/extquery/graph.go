@@ -3,6 +3,7 @@ package extquery
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"pvoronoi/internal/adjgraph"
 	"pvoronoi/internal/geom"
@@ -90,6 +91,18 @@ func (h *graphHeap) pop() graphItem {
 	return top
 }
 
+// graphScratch holds the reusable state of one best-first expansion — the
+// frontier heap and the visited set — mirroring queryScratch in pvindex so
+// steady-state expansions perform no per-call allocation.
+type graphScratch struct {
+	heap graphHeap
+	seen map[uint32]struct{}
+}
+
+var graphScratchPool = sync.Pool{New: func() any {
+	return &graphScratch{seen: make(map[uint32]struct{}, 64)}
+}}
+
 // expandGraph runs the shared best-first expansion. key gives a row's
 // frontier key (a lower bound of the aggregate distance anywhere in its
 // UBR); visit consumes an expanded row and returns the updated stop bound,
@@ -102,8 +115,14 @@ func expandGraph(g *adjgraph.Graph, seeds []uint32, key func(*adjgraph.Row) floa
 	if g == nil {
 		return cost
 	}
-	seen := make(map[uint32]struct{}, 4*len(seeds)+16)
-	var h graphHeap
+	sc := graphScratchPool.Get().(*graphScratch)
+	defer func() {
+		sc.heap = sc.heap[:0]
+		clear(sc.seen)
+		graphScratchPool.Put(sc)
+	}()
+	seen := sc.seen
+	h := &sc.heap
 	for _, id := range seeds {
 		if _, dup := seen[id]; dup {
 			continue
@@ -114,7 +133,7 @@ func expandGraph(g *adjgraph.Graph, seeds []uint32, key func(*adjgraph.Row) floa
 		}
 	}
 	bound := math.Inf(1)
-	for len(h) > 0 {
+	for len(*h) > 0 {
 		it := h.pop()
 		if it.key > bound {
 			break

@@ -244,13 +244,15 @@ func (t *Tree) decodeLeafPage(buf []byte, dst []Entry) (next pagestore.PageID, o
 	return next, dst
 }
 
+// readLeafPage decodes a leaf page via a borrowed view: decodeLeafPage
+// copies every field out of the page, so nothing aliases slab memory after
+// it returns and the borrow never outlives the call.
 func (t *Tree) readLeafPage(id pagestore.PageID) (next pagestore.PageID, entries []Entry, err error) {
-	scratch := t.store.AcquirePage()
-	defer t.store.ReleasePage(scratch)
-	if err := t.store.ReadInto(id, *scratch); err != nil {
+	buf, err := t.store.View(id)
+	if err != nil {
 		return 0, nil, err
 	}
-	next, entries = t.decodeLeafPage(*scratch, nil)
+	next, entries = t.decodeLeafPage(buf, nil)
 	return next, entries, nil
 }
 
@@ -575,13 +577,14 @@ func (t *Tree) rewriteChain(n *node, entries []Entry) error {
 	return nil
 }
 
-// chainNext reads just the next-page pointer of a leaf page.
+// chainNext reads just the next-page pointer of a leaf page through a
+// borrowed view (no copy, no stripe lock).
 func (t *Tree) chainNext(id pagestore.PageID) (pagestore.PageID, error) {
-	var hdr [4]byte
-	if _, err := t.store.ReadAt(id, hdr[:], 0); err != nil {
+	buf, err := t.store.View(id)
+	if err != nil {
 		return 0, err
 	}
-	return pagestore.PageID(binary.LittleEndian.Uint32(hdr[:])), nil
+	return pagestore.PageID(binary.LittleEndian.Uint32(buf[0:4])), nil
 }
 
 // PointQuery returns the entries of the unique leaf whose cell contains q.
@@ -620,16 +623,15 @@ func (t *Tree) PointQueryInto(q geom.Point, dst []Entry) ([]Entry, int, error) {
 		region = childRegion(region, mask)
 		n = n.children[mask]
 	}
-	scratch := t.store.AcquirePage()
-	defer t.store.ReleasePage(scratch)
 	pagesRead := 0
 	p := n.firstPage
 	for p != 0 {
-		if err := t.store.ReadInto(p, *scratch); err != nil {
+		buf, err := t.store.View(p)
+		if err != nil {
 			return dst, pagesRead, err
 		}
 		pagesRead++
-		p, dst = t.decodeLeafPage(*scratch, dst)
+		p, dst = t.decodeLeafPage(buf, dst)
 	}
 	return dst, pagesRead, nil
 }
@@ -648,16 +650,22 @@ func (t *Tree) rangeIDs(n *node, region geom.Rect, r geom.Rect, out map[uint32]b
 		return nil
 	}
 	if n.children == nil {
+		// Lazy decode: stride over the packed entries reading only each
+		// 4-byte ID, skipping the 16d coordinate bytes entirely.
+		stride := t.entrySize()
 		p := n.firstPage
 		for p != 0 {
-			next, entries, err := t.readLeafPage(p)
+			buf, err := t.store.View(p)
 			if err != nil {
 				return err
 			}
-			for _, e := range entries {
-				out[e.ID] = true
+			count := int(binary.LittleEndian.Uint32(buf[4:8]))
+			off := 8
+			for i := 0; i < count; i++ {
+				out[binary.LittleEndian.Uint32(buf[off:])] = true
+				off += stride
 			}
-			p = next
+			p = pagestore.PageID(binary.LittleEndian.Uint32(buf[0:4]))
 		}
 		return nil
 	}
@@ -732,11 +740,14 @@ func (t *Tree) Validate() error {
 		chain := 0
 		p := n.firstPage
 		for p != 0 {
-			next, es, err := t.readLeafPage(p)
+			// Header-only lazy read: chain pointer and entry count live in
+			// the first 8 bytes; the packed records need no decoding here.
+			buf, err := t.store.View(p)
 			if err != nil {
 				return fmt.Errorf("octree: unreadable leaf page %d: %w", p, err)
 			}
-			entries += len(es)
+			next := pagestore.PageID(binary.LittleEndian.Uint32(buf[0:4]))
+			entries += int(binary.LittleEndian.Uint32(buf[4:8]))
 			chain++
 			if chain > 1_000_000 {
 				return fmt.Errorf("octree: page chain cycle suspected at %d", p)

@@ -3,7 +3,9 @@ package pagestore
 import "fmt"
 
 // Image is the serializable state of a Store, used by index persistence.
-// All fields are exported for encoding/gob.
+// All fields are exported for encoding/gob. The format is layout-agnostic
+// (a plain page map), so checkpoints written by either backend load into
+// either backend unchanged.
 type Image struct {
 	PageSize int
 	Next     uint32
@@ -14,7 +16,8 @@ type Image struct {
 // Image captures the store's current pages and allocator state. The copy is
 // deep; later mutations of the store do not affect it. It locks the
 // allocator and every shard (in the fixed allocMu-before-shards order), so
-// the snapshot is atomic with respect to concurrent operations.
+// the snapshot is atomic with respect to concurrent operations. In the arena
+// layout it walks the extent liveness bitmaps instead of a page map.
 func (s *Store) Image() *Image {
 	s.allocMu.Lock()
 	defer s.allocMu.Unlock()
@@ -31,12 +34,24 @@ func (s *Store) Image() *Image {
 	for i, id := range s.free {
 		img.Free[i] = uint32(id)
 	}
-	for i := range s.shards {
-		for id, data := range s.shards[i].pages {
-			buf := make([]byte, len(data))
-			copy(buf, data)
-			img.Pages[uint32(id)] = buf
+	if s.mapMode {
+		for i := range s.shards {
+			for id, data := range s.shards[i].pages {
+				buf := make([]byte, len(data))
+				copy(buf, data)
+				img.Pages[uint32(id)] = buf
+			}
 		}
+		return img
+	}
+	for id := PageID(1); id < s.next; id++ {
+		if !s.alive(id) {
+			continue
+		}
+		p, _ := s.page(id)
+		buf := make([]byte, len(p))
+		copy(buf, p)
+		img.Pages[uint32(id)] = buf
 	}
 	return img
 }
@@ -48,7 +63,7 @@ func (s *Store) Image() *Image {
 // allocate without ever colliding with a captured ID.
 //
 // Unlike Image, it takes no global lock: each page is copied under its
-// shard's read lock only. The caller must guarantee the listed pages are
+// stripe's read lock only. The caller must guarantee the listed pages are
 // immutable for the duration (true for pages reachable from a pinned
 // version, which writers never rewrite in place and the reclaimer cannot
 // free while the version is pinned).
@@ -64,13 +79,23 @@ func (s *Store) ImageOf(ids []PageID) (*Image, error) {
 		}
 		sh := s.shardFor(id)
 		sh.mu.RLock()
-		p, ok := sh.pages[id]
-		if !ok {
-			sh.mu.RUnlock()
-			return nil, fmt.Errorf("pagestore: ImageOf references unknown page %d", id)
+		var src []byte
+		if s.mapMode {
+			p, ok := sh.pages[id]
+			if !ok {
+				sh.mu.RUnlock()
+				return nil, fmt.Errorf("pagestore: ImageOf references unknown page %d", id)
+			}
+			src = p
+		} else {
+			if !s.alive(id) {
+				sh.mu.RUnlock()
+				return nil, fmt.Errorf("pagestore: ImageOf references unknown page %d", id)
+			}
+			src, _ = s.page(id)
 		}
-		buf := make([]byte, len(p))
-		copy(buf, p)
+		buf := make([]byte, len(src))
+		copy(buf, src)
 		sh.mu.RUnlock()
 		img.Pages[uint32(id)] = buf
 		if id > maxID {
@@ -86,9 +111,9 @@ func (s *Store) ImageOf(ids []PageID) (*Image, error) {
 	return img, nil
 }
 
-// FromImage reconstructs a store from a snapshot. I/O counters start at
-// zero; allocator state (next ID, free list) is restored exactly so that
-// page IDs recorded by the structures above remain valid.
+// FromImage reconstructs an arena-backed store from a snapshot. I/O counters
+// start at zero; allocator state (next ID, free list) is restored exactly so
+// that page IDs recorded by the structures above remain valid.
 func FromImage(img *Image) (*Store, error) {
 	if img.PageSize <= 0 {
 		return nil, fmt.Errorf("pagestore: invalid page size %d in image", img.PageSize)
@@ -99,13 +124,19 @@ func FromImage(img *Image) (*Store, error) {
 	for i, id := range img.Free {
 		s.free[i] = PageID(id)
 	}
+	if img.Next > 1 {
+		s.ensureExtent(img.Next - 2)
+	}
 	for id, data := range img.Pages {
 		if len(data) != img.PageSize {
 			return nil, fmt.Errorf("pagestore: page %d has %d bytes, want %d", id, len(data), img.PageSize)
 		}
-		buf := make([]byte, len(data))
-		copy(buf, data)
-		s.shardFor(PageID(id)).pages[PageID(id)] = buf
+		p, ok := s.page(PageID(id))
+		if !ok {
+			return nil, fmt.Errorf("pagestore: page %d beyond image high-water mark %d", id, img.Next)
+		}
+		copy(p, data)
+		s.setLive(PageID(id), true)
 		s.live.Add(1)
 	}
 	return s, nil

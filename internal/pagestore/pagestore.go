@@ -6,6 +6,14 @@
 // ratios between competing indexes without needing a physical disk. All
 // disk-resident structures (octree leaf lists, extendible-hash buckets,
 // R-tree leaves) allocate their pages here.
+//
+// Pages live in extent-based slab arenas: large contiguous []byte slabs
+// carved into fixed-size pages, with PageID → (extent, offset) resolved by
+// arithmetic instead of a map lookup. Freed pages go onto an explicit
+// free-list and are recycled on the next Alloc, so steady-state MVCC churn
+// allocates nothing and the GC sees a handful of slab pointers instead of
+// one heap object per live page. The legacy sharded-map layout is retained
+// behind NewMap solely as a benchmark baseline (pvbench memlayout).
 package pagestore
 
 import (
@@ -18,10 +26,20 @@ import (
 // DefaultPageSize is the page size used throughout the experiments (4 KB).
 const DefaultPageSize = 4096
 
-// numShards is the lock-striping factor of the page map. Page IDs are
-// assigned sequentially, so id&(numShards-1) spreads consecutive pages
-// evenly; a power of two keeps the shard pick a single mask instruction.
+// numShards is the lock-striping factor for page-level copy operations.
+// Page IDs are assigned sequentially, so id&(numShards-1) spreads
+// consecutive pages evenly; a power of two keeps the stripe pick a single
+// mask instruction.
 const numShards = 16
+
+// extentTargetBytes is the aimed-for slab size. The actual pages-per-extent
+// is the largest power of two fitting the target, clamped so tiny test page
+// sizes don't produce absurd extents and huge pages still batch allocation.
+const (
+	extentTargetBytes = 4 << 20
+	minPagesPerExtent = 64
+	maxPagesPerExtent = 4096
+)
 
 // PageID identifies a page within a Store. Zero is never a valid page.
 type PageID uint32
@@ -47,24 +65,47 @@ func (s Stats) Sub(earlier Stats) Stats {
 // IO returns total page touches (reads + writes).
 func (s Stats) IO() int64 { return s.Reads + s.Writes }
 
-// shard is one stripe of the page map with its own lock, so concurrent
-// readers of different pages never touch the same cache line of lock state.
+// extent is one contiguous slab of pages plus a liveness bitmap. The slab is
+// allocated once and never moves or shrinks, so a pointer into it stays valid
+// for the life of the store — the property the zero-copy View path rests on.
+// Bitmap words span lock stripes, so they are only ever touched atomically
+// (mutations happen under allocMu; readers load without any lock).
+type extent struct {
+	data []byte
+	live []atomic.Uint64
+}
+
+// shard is one stripe of lock state (and, in map mode, of the page map).
+// Copy-based reads and in-place writes of the same page serialize on the
+// stripe; different pages mostly hit different stripes.
 type shard struct {
 	mu    sync.RWMutex
-	pages map[PageID][]byte
+	pages map[PageID][]byte // map mode only; nil in arena mode
 }
 
 // Store is a page allocator with I/O accounting. It is safe for concurrent
-// use: the page map is split into numShards lock-striped shards (page ID →
-// shard), so reads and writes of different pages proceed without contending
-// on a single lock. Allocator state (free list, next ID, page limit) sits
-// behind its own mutex, and the I/O counters are atomics so accounting never
-// serializes the read path.
+// use. In the default arena layout, pages are slots in large slab extents
+// located by pointer arithmetic; a liveness bitmap (atomic words) gates
+// access and numShards lock stripes serialize copy-based reads against
+// in-place writes of the same page. In the legacy map layout (NewMap) pages
+// are individually allocated []byte values in a sharded map. Allocator state
+// (free list, next ID, page limit, extent growth) sits behind its own mutex,
+// and the I/O counters are atomics so accounting never serializes the read
+// path.
 //
 // Lock order: allocMu before any shard lock; shard locks are never nested.
 type Store struct {
 	pageSize int
+	mapMode  bool
 	shards   [numShards]shard
+
+	// Arena state. extents holds the current slice of slabs behind an
+	// atomic pointer: growth copies the slice and swaps the pointer, so
+	// lock-free readers always see a consistent prefix and slabs themselves
+	// never move. extShift/extMask turn a page index into (extent, slot).
+	extents  atomic.Pointer[[]*extent]
+	extShift uint32
+	extMask  uint32
 
 	allocMu sync.Mutex
 	free    []PageID
@@ -85,12 +126,48 @@ type Store struct {
 // ErrFull is returned by Alloc when the store's page limit is exhausted.
 var ErrFull = errors.New("pagestore: page limit exhausted")
 
-// New returns a store with the given page size (DefaultPageSize if <= 0).
+// New returns an arena-backed store with the given page size
+// (DefaultPageSize if <= 0).
 func New(pageSize int) *Store {
 	if pageSize <= 0 {
 		pageSize = DefaultPageSize
 	}
 	s := &Store{pageSize: pageSize, next: 1}
+	pp := extentTargetBytes / pageSize
+	shift := uint32(0)
+	for (1 << (shift + 1)) <= pp {
+		shift++
+	}
+	if 1<<shift < minPagesPerExtent {
+		for 1<<shift < minPagesPerExtent {
+			shift++
+		}
+	}
+	if 1<<shift > maxPagesPerExtent {
+		for 1<<shift > maxPagesPerExtent {
+			shift--
+		}
+	}
+	s.extShift = shift
+	s.extMask = 1<<shift - 1
+	empty := []*extent{}
+	s.extents.Store(&empty)
+	s.bufs.New = func() any {
+		b := make([]byte, pageSize)
+		return &b
+	}
+	return s
+}
+
+// NewMap returns a store using the legacy sharded-map page layout: every
+// page is its own heap allocation held in a lock-striped map. It exists as
+// the comparison baseline for the arena layout (pvbench memlayout) and
+// behaves identically at the API level, except that View always copies.
+func NewMap(pageSize int) *Store {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	s := &Store{pageSize: pageSize, mapMode: true, next: 1}
 	for i := range s.shards {
 		s.shards[i].pages = make(map[PageID][]byte)
 	}
@@ -112,8 +189,74 @@ func NewLimited(pageSize, maxPages int) *Store {
 // PageSize returns the size in bytes of each page.
 func (s *Store) PageSize() int { return s.pageSize }
 
+// MapBacked reports whether the store uses the legacy sharded-map layout
+// (true) or the extent/slab arena layout (false).
+func (s *Store) MapBacked() bool { return s.mapMode }
+
 func (s *Store) shardFor(id PageID) *shard {
 	return &s.shards[uint32(id)&(numShards-1)]
+}
+
+// page resolves an arena page ID to its slab slice without checking
+// liveness. The second result is false when the ID falls outside the
+// currently materialized extents.
+func (s *Store) page(id PageID) ([]byte, bool) {
+	idx := uint32(id) - 1
+	exts := *s.extents.Load()
+	e := int(idx >> s.extShift)
+	if id == 0 || e >= len(exts) {
+		return nil, false
+	}
+	off := int(idx&s.extMask) * s.pageSize
+	return exts[e].data[off : off+s.pageSize : off+s.pageSize], true
+}
+
+// alive reports whether the arena page's liveness bit is set.
+func (s *Store) alive(id PageID) bool {
+	idx := uint32(id) - 1
+	exts := *s.extents.Load()
+	e := int(idx >> s.extShift)
+	if id == 0 || e >= len(exts) {
+		return false
+	}
+	slot := idx & s.extMask
+	return exts[e].live[slot>>6].Load()&(1<<(slot&63)) != 0
+}
+
+// setLive flips the arena page's liveness bit. Called only under allocMu;
+// the atomic op is still required because bitmap words are shared with
+// lock-free readers.
+func (s *Store) setLive(id PageID, on bool) {
+	idx := uint32(id) - 1
+	exts := *s.extents.Load()
+	e := int(idx >> s.extShift)
+	slot := idx & s.extMask
+	word := &exts[e].live[slot>>6]
+	if on {
+		word.Or(1 << (slot & 63))
+	} else {
+		word.And(^uint64(1 << (slot & 63)))
+	}
+}
+
+// ensureExtent grows the extent slice (copy-on-append behind the atomic
+// pointer) until the page index idx has a slab slot. Caller holds allocMu.
+func (s *Store) ensureExtent(idx uint32) {
+	need := int(idx>>s.extShift) + 1
+	cur := *s.extents.Load()
+	if need <= len(cur) {
+		return
+	}
+	grown := make([]*extent, need)
+	copy(grown, cur)
+	perExt := 1 << s.extShift
+	for i := len(cur); i < need; i++ {
+		grown[i] = &extent{
+			data: make([]byte, perExt*s.pageSize),
+			live: make([]atomic.Uint64, (perExt+63)/64),
+		}
+	}
+	s.extents.Store(&grown)
 }
 
 // AcquirePage hands out a page-sized scratch buffer from the store's pool.
@@ -132,7 +275,10 @@ func (s *Store) ReleasePage(p *[]byte) {
 	s.bufs.Put(p)
 }
 
-// Alloc reserves a new zeroed page and returns its ID.
+// Alloc reserves a new zeroed page and returns its ID. In the arena layout
+// this is GC-free at steady state: a recycled free-list slot is cleared in
+// place, and only a genuinely fresh high-water-mark page can trigger a new
+// slab extent (whose bytes Go already zeroed).
 func (s *Store) Alloc() (PageID, error) {
 	s.allocMu.Lock()
 	defer s.allocMu.Unlock()
@@ -140,36 +286,58 @@ func (s *Store) Alloc() (PageID, error) {
 		return 0, ErrFull
 	}
 	var id PageID
+	recycled := false
 	if n := len(s.free); n > 0 {
 		id = s.free[n-1]
 		s.free = s.free[:n-1]
+		recycled = true
 	} else {
 		id = s.next
 		s.next++
 	}
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	sh.pages[id] = make([]byte, s.pageSize)
-	sh.mu.Unlock()
+	if s.mapMode {
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		sh.pages[id] = make([]byte, s.pageSize)
+		sh.mu.Unlock()
+	} else {
+		s.ensureExtent(uint32(id) - 1)
+		if recycled {
+			p, _ := s.page(id)
+			clear(p)
+		}
+		s.setLive(id, true)
+	}
 	s.live.Add(1)
 	s.allocs.Add(1)
 	s.mutations.Add(1)
 	return id, nil
 }
 
-// Free releases a page back to the store.
+// Free releases a page back to the store. The slot goes onto the free-list
+// and is recycled by a later Alloc; in the arena layout the bytes stay in
+// the slab, so freeing returns no memory to the GC — by design, since the
+// MVCC reclaim sweep frees pages exactly when their last pinned reader has
+// drained and the slot can be reused immediately.
 func (s *Store) Free(id PageID) error {
 	s.allocMu.Lock()
 	defer s.allocMu.Unlock()
-	sh := s.shardFor(id)
-	sh.mu.Lock()
-	_, ok := sh.pages[id]
-	if !ok {
+	if s.mapMode {
+		sh := s.shardFor(id)
+		sh.mu.Lock()
+		_, ok := sh.pages[id]
+		if !ok {
+			sh.mu.Unlock()
+			return fmt.Errorf("pagestore: free of unknown page %d", id)
+		}
+		delete(sh.pages, id)
 		sh.mu.Unlock()
-		return fmt.Errorf("pagestore: free of unknown page %d", id)
+	} else {
+		if !s.alive(id) {
+			return fmt.Errorf("pagestore: free of unknown page %d", id)
+		}
+		s.setLive(id, false)
 	}
-	delete(sh.pages, id)
-	sh.mu.Unlock()
 	s.free = append(s.free, id)
 	s.live.Add(-1)
 	s.frees.Add(1)
@@ -178,9 +346,9 @@ func (s *Store) Free(id PageID) error {
 }
 
 // Read copies the page contents into a fresh buffer and counts one read I/O.
-// Concurrent reads proceed in parallel; reads of pages in different shards
+// Concurrent reads proceed in parallel; reads of pages in different stripes
 // don't even share a lock. Hot paths that can reuse a buffer should prefer
-// ReadInto, which performs no allocation.
+// ReadInto (no allocation) or View (no copy at all).
 func (s *Store) Read(id PageID) ([]byte, error) {
 	buf := make([]byte, s.pageSize)
 	if err := s.ReadInto(id, buf); err != nil {
@@ -191,19 +359,28 @@ func (s *Store) Read(id PageID) ([]byte, error) {
 
 // ReadInto copies the page contents into dst, which must hold at least one
 // page, and counts one read I/O. It performs no allocation — combined with
-// AcquirePage/ReleasePage this is the zero-garbage read path.
+// AcquirePage/ReleasePage this is the zero-garbage copying read path.
 func (s *Store) ReadInto(id PageID, dst []byte) error {
 	if len(dst) < s.pageSize {
 		return fmt.Errorf("pagestore: ReadInto buffer of %d bytes, page size is %d", len(dst), s.pageSize)
 	}
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	p, ok := sh.pages[id]
-	if !ok {
-		sh.mu.RUnlock()
-		return fmt.Errorf("pagestore: read of unknown page %d", id)
+	if s.mapMode {
+		p, ok := sh.pages[id]
+		if !ok {
+			sh.mu.RUnlock()
+			return fmt.Errorf("pagestore: read of unknown page %d", id)
+		}
+		copy(dst, p)
+	} else {
+		if !s.alive(id) {
+			sh.mu.RUnlock()
+			return fmt.Errorf("pagestore: read of unknown page %d", id)
+		}
+		p, _ := s.page(id)
+		copy(dst, p)
 	}
-	copy(dst, p)
 	sh.mu.RUnlock()
 	s.reads.Add(1)
 	return nil
@@ -220,15 +397,49 @@ func (s *Store) ReadAt(id PageID, dst []byte, off int) (int, error) {
 	}
 	sh := s.shardFor(id)
 	sh.mu.RLock()
-	p, ok := sh.pages[id]
-	if !ok {
-		sh.mu.RUnlock()
-		return 0, fmt.Errorf("pagestore: read of unknown page %d", id)
+	var n int
+	if s.mapMode {
+		p, ok := sh.pages[id]
+		if !ok {
+			sh.mu.RUnlock()
+			return 0, fmt.Errorf("pagestore: read of unknown page %d", id)
+		}
+		n = copy(dst, p[off:])
+	} else {
+		if !s.alive(id) {
+			sh.mu.RUnlock()
+			return 0, fmt.Errorf("pagestore: read of unknown page %d", id)
+		}
+		p, _ := s.page(id)
+		n = copy(dst, p[off:])
 	}
-	n := copy(dst, p[off:])
 	sh.mu.RUnlock()
 	s.reads.Add(1)
 	return n, nil
+}
+
+// View returns the page contents without copying, counting one read I/O. In
+// the arena layout the returned slice borrows slab memory directly; it stays
+// valid and immutable exactly as long as the page cannot be rewritten or
+// recycled. The COW shadow-paging invariant provides that window: pages
+// reachable from a pinned MVCC version are never rewritten in place (writers
+// shadow-copy onto fresh pages) and never freed before the version's last
+// reader drains, so a borrow taken under a version pin is safe until the pin
+// is released — view lifetime must not exceed pin lifetime. Callers that
+// need the bytes past that window must copy them out.
+//
+// In the legacy map layout View degrades to Read (a fresh copy), so callers
+// are correct under either backend.
+func (s *Store) View(id PageID) ([]byte, error) {
+	if s.mapMode {
+		return s.Read(id)
+	}
+	if !s.alive(id) {
+		return nil, fmt.Errorf("pagestore: read of unknown page %d", id)
+	}
+	p, _ := s.page(id)
+	s.reads.Add(1)
+	return p, nil
 }
 
 // Write replaces the page contents and counts one write I/O. Short buffers
@@ -240,9 +451,18 @@ func (s *Store) Write(id PageID, data []byte) error {
 	sh := s.shardFor(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	p, ok := sh.pages[id]
-	if !ok {
-		return fmt.Errorf("pagestore: write of unknown page %d", id)
+	var p []byte
+	if s.mapMode {
+		var ok bool
+		p, ok = sh.pages[id]
+		if !ok {
+			return fmt.Errorf("pagestore: write of unknown page %d", id)
+		}
+	} else {
+		if !s.alive(id) {
+			return fmt.Errorf("pagestore: write of unknown page %d", id)
+		}
+		p, _ = s.page(id)
 	}
 	s.writes.Add(1)
 	s.mutations.Add(1)
@@ -272,6 +492,30 @@ func (s *Store) ResetStats() {
 // Live returns the number of currently allocated pages.
 func (s *Store) Live() int {
 	return int(s.live.Load())
+}
+
+// FreeListLen returns the number of freed page slots currently awaiting
+// recycling. Together with Live it accounts for every slot below the
+// high-water mark: Live() + FreeListLen() + 1 == next ID to be minted fresh.
+func (s *Store) FreeListLen() int {
+	s.allocMu.Lock()
+	defer s.allocMu.Unlock()
+	return len(s.free)
+}
+
+// ArenaBytes returns the total bytes held in slab extents (0 in map mode).
+// Slabs are never returned to the GC, so this is the store's resident
+// high-water footprint.
+func (s *Store) ArenaBytes() int {
+	if s.mapMode {
+		return 0
+	}
+	exts := *s.extents.Load()
+	total := 0
+	for _, e := range exts {
+		total += len(e.data)
+	}
+	return total
 }
 
 // Epoch returns the store's mutation counter: a monotonic value that

@@ -1,0 +1,251 @@
+package pvindex
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"pvoronoi/internal/geom"
+	"pvoronoi/internal/pagestore"
+	"pvoronoi/internal/uncertain"
+)
+
+// versionPages returns every page ID reachable from the pinned version: the
+// octree leaf chains plus every exthash bucket and value chain.
+func versionPages(t *testing.T, p *Pinned) []pagestore.PageID {
+	t.Helper()
+	pages, err := p.v.primary.CollectPages(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, err = p.v.secondary.CollectPages(pages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pages
+}
+
+// churnObject builds a small uncertain object in-domain for churn batches.
+func churnObject(rng *rand.Rand, id int) *uncertain.Object {
+	lo := geom.Point{rng.Float64() * 9900, rng.Float64() * 9900, rng.Float64() * 9900}
+	return &uncertain.Object{
+		ID:     uncertain.ID(id),
+		Region: geom.NewRect(lo, geom.Point{lo[0] + 40, lo[1] + 40, lo[2] + 40}),
+	}
+}
+
+// waitEpochAdvance blocks until the published epoch moves delta past from
+// (the background writer keeps publishing), failing after a generous bound.
+func waitEpochAdvance(t *testing.T, ix *Index, from uint64, delta uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for ix.Epoch() < from+delta {
+		if time.Now().After(deadline) {
+			t.Fatalf("epoch stuck at %d (wanted %d)", ix.Epoch(), from+delta)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestArenaRecyclingPinnedViewsStable is the use-after-free detector for the
+// arena free-list: a reader pins an old version and records every reachable
+// page's borrowed view, a writer storms insert/delete batches (churning
+// shadow copies, frees, and — once an older pin drains — free-list
+// recycling), and the pinned reader's views must stay byte-identical
+// throughout. Any rewrite-in-place of a shared page, or recycling of a page
+// still reachable from a pinned version, changes the borrowed bytes and
+// fails the test (and trips -race via the concurrent writer).
+func TestArenaRecyclingPinnedViewsStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := randomDB(rng, 300, 3, 10000, 40, true)
+	ix, err := Build(db, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.store.MapBacked() {
+		t.Fatal("default store should be arena-backed")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Writer: alternately insert and delete a block of fresh IDs, so every
+	// round shadow-copies leaf/bucket pages and frees the block's value
+	// chains — a steady stream of deferred frees for the reclaimer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wrng := rand.New(rand.NewSource(7))
+		next := 100000
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			block := make([]int, 8)
+			for j := range block {
+				block[j] = next
+				next++
+				if _, err := ix.Insert(churnObject(wrng, block[j])); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			for _, id := range block {
+				if _, err := ix.Delete(uncertain.ID(id)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	// Concurrent readers keep the View-based query paths hot under -race.
+	wg.Add(2)
+	for r := 0; r < 2; r++ {
+		go func(seed int64) {
+			defer wg.Done()
+			qrng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := geom.Point{qrng.Float64() * 10000, qrng.Float64() * 10000, qrng.Float64() * 10000}
+				if _, err := ix.Snapshot(q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int64(100 + r))
+	}
+
+	capture := func(p *Pinned) (ids []pagestore.PageID, snaps [][]byte) {
+		ids = versionPages(t, p)
+		snaps = make([][]byte, len(ids))
+		for i, id := range ids {
+			v, err := ix.store.View(id)
+			if err != nil {
+				t.Fatalf("View(%d): %v", id, err)
+			}
+			snaps[i] = append([]byte(nil), v...)
+		}
+		return ids, snaps
+	}
+	verify := func(ids []pagestore.PageID, snaps [][]byte, when string) {
+		for i, id := range ids {
+			v, err := ix.store.View(id)
+			if err != nil {
+				t.Fatalf("%s: pinned page %d vanished: %v", when, id, err)
+			}
+			if !bytes.Equal(v, snaps[i]) {
+				t.Fatalf("%s: pinned page %d mutated under the reader", when, id)
+			}
+		}
+	}
+
+	for round := 0; round < 3; round++ {
+		pinOld := ix.Pin()
+		oldIDs, oldSnaps := capture(pinOld)
+		// Writer churns while pinOld blocks the reclaim queue: shared pages
+		// must not be rewritten in place.
+		waitEpochAdvance(t, ix, pinOld.Epoch(), 4)
+		verify(oldIDs, oldSnaps, "while oldest pin held")
+
+		// Take a newer pin, then drain the old one: everything between the
+		// two reclaims, the free-list refills, and the storming writer
+		// recycles those slots — all while the new pin's views are held.
+		pinNew := ix.Pin()
+		newIDs, newSnaps := capture(pinNew)
+		reclaimedBefore := ix.MVCC().Reclaimed
+		freesBefore := ix.store.Stats().Frees
+		pinOld.Release()
+		waitEpochAdvance(t, ix, pinNew.Epoch(), 4)
+		verify(newIDs, newSnaps, "across free-list recycling")
+		if ix.MVCC().Reclaimed <= reclaimedBefore {
+			t.Fatal("no version reclaimed after releasing the oldest pin — churn did not exercise recycling")
+		}
+		if ix.store.Stats().Frees <= freesBefore {
+			t.Fatal("no pages freed after releasing the oldest pin")
+		}
+		pinNew.Release()
+	}
+
+	close(stop)
+	wg.Wait()
+}
+
+// TestArenaAccountingMatchesMapBaseline drives the arena store and the
+// legacy sharded-map store through an identical build + batch sequence and
+// checks the allocator accounting — live pages, free-list depth, cumulative
+// alloc/free counters — is identical, and that reclaimed pages really
+// return to the arena free-list (live + free-list covers every slot below
+// the high-water mark).
+func TestArenaAccountingMatchesMapBaseline(t *testing.T) {
+	build := func(store *pagestore.Store) *Index {
+		rng := rand.New(rand.NewSource(5))
+		db := randomDB(rng, 200, 3, 10000, 40, true)
+		cfg := DefaultConfig()
+		cfg.Store = store
+		ix, err := Build(db, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ix
+	}
+	churn := func(ix *Index) {
+		wrng := rand.New(rand.NewSource(9))
+		for i := 0; i < 30; i++ {
+			id := 50000 + i
+			if _, err := ix.Insert(churnObject(wrng, id)); err != nil {
+				t.Fatal(err)
+			}
+			if i%2 == 0 {
+				if _, err := ix.Delete(uncertain.ID(id)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// No pins are held, so every retired version reclaims on publish;
+		// wait out the async drain sweeps all the same.
+		deadline := time.Now().Add(10 * time.Second)
+		for ix.MVCC().LiveVersions > 1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("versions never drained: %+v", ix.MVCC())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	arena := pagestore.New(pagestore.DefaultPageSize)
+	mapped := pagestore.NewMap(pagestore.DefaultPageSize)
+	ixA := build(arena)
+	ixM := build(mapped)
+	churn(ixA)
+	churn(ixM)
+
+	if arena.Live() != mapped.Live() {
+		t.Fatalf("live pages diverge: arena %d, map %d", arena.Live(), mapped.Live())
+	}
+	if arena.FreeListLen() != mapped.FreeListLen() {
+		t.Fatalf("free-list depth diverges: arena %d, map %d", arena.FreeListLen(), mapped.FreeListLen())
+	}
+	as, ms := arena.Stats(), mapped.Stats()
+	if as.Allocs != ms.Allocs || as.Frees != ms.Frees || as.Writes != ms.Writes {
+		t.Fatalf("allocator counters diverge: arena %+v, map %+v", as, ms)
+	}
+	// Frees really return to the free-list: live pages account for exactly
+	// the alloc/free delta, so every freed slot is parked for recycling
+	// rather than leaked.
+	if int64(arena.Live()) != as.Allocs-as.Frees {
+		t.Fatalf("live %d != allocs-frees %d", arena.Live(), as.Allocs-as.Frees)
+	}
+	if arena.FreeListLen() == 0 {
+		t.Fatal("churn with deletes left an empty free-list — nothing was ever reclaimed")
+	}
+	if arena.ArenaBytes() == 0 {
+		t.Fatal("arena store reports no slab memory")
+	}
+}

@@ -501,7 +501,9 @@ func (w *working) getRecord(id uint32) (rec record, ok bool, err error) {
 			return rec, true, nil
 		}
 	}
-	buf, found, err := w.secondary.Get(id)
+	// Borrow-then-decode: GetView lends page memory for single-page values
+	// and decodeRecord copies every field out before the borrow ends.
+	buf, found, err := w.secondary.GetView(id)
 	if err != nil || !found {
 		return record{}, false, err
 	}
@@ -561,7 +563,10 @@ func (ix *Index) getRecordAt(v *version, id uint32) (rec record, ok bool, hit bo
 	if rec, ok := ix.rcache.get(id, v.epoch); ok {
 		return rec, true, true, nil
 	}
-	buf, found, err := v.secondary.Get(id)
+	// Borrow-then-decode under the version pin: the borrowed value stays
+	// valid until the pin releases, and decodeRecord copies everything out
+	// long before that.
+	buf, found, err := v.secondary.GetView(id)
 	if err != nil || !found {
 		return record{}, false, false, err
 	}
