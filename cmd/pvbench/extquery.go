@@ -11,10 +11,18 @@ package main
 // so expect the mode to take minutes at full scale. All three paths must
 // return identical candidate ID sets on every query — a mismatch fails the
 // run.
+//
+// The graph path is measured twice per size: once on the freshly built index
+// with hub refinement disabled (the *_noref columns) and once after an
+// explicit Index.Refine pass, so the report shows exactly what the
+// refinement budget buys — the visited-row degree means make the fat-hub
+// collapse directly visible. Per-size build and refinement cost land in the
+// "builds" block; the effective refinement budget in the config block.
 
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"os"
 	"runtime"
@@ -62,27 +70,61 @@ type extqueryRow struct {
 	GraphEdges float64 `json:"graph_edges,omitempty"` // neighbor links examined
 	Candidates float64 `json:"candidates"`
 	Matched    bool    `json:"matched"` // all retrieval paths agree on the ID set
+	// Refinement on/off comparison: the *_noref columns measure the same
+	// graph expansion before the hub refinement pass; the visit-degree
+	// columns are the mean adjacency degree of visited rows (edges/nodes),
+	// the quantity refinement exists to cut.
+	GraphUsNoRef    float64 `json:"graph_us_noref,omitempty"`
+	GraphNodesNoRef float64 `json:"graph_nodes_noref,omitempty"`
+	GraphEdgesNoRef float64 `json:"graph_edges_noref,omitempty"`
+	VisitDeg        float64 `json:"visit_deg,omitempty"`
+	VisitDegNoRef   float64 `json:"visit_deg_noref,omitempty"`
 }
 
 // extqueryReport is the serialized BENCH_extquery.json document.
 type extqueryReport struct {
-	GeneratedBy string        `json:"generated_by"`
-	Config      extqueryCfgJ  `json:"config"`
-	Rows        []extqueryRow `json:"rows"`
+	GeneratedBy string           `json:"generated_by"`
+	Config      extqueryCfgJ     `json:"config"`
+	Builds      []extqueryBuildJ `json:"builds"`
+	Rows        []extqueryRow    `json:"rows"`
 }
 
 type extqueryCfgJ struct {
-	Ns         []int  `json:"ns"`
-	Dim        int    `json:"dim"`
-	Seed       int64  `json:"seed"`
-	Queries    int    `json:"queries"`
-	GroupSizes []int  `json:"group_sizes"`
-	Ks         []int  `json:"ks"`
-	RNNMaxN    int    `json:"rnn_max_n"`
-	GoMaxProcs int    `json:"gomaxprocs"`
-	NumCPU     int    `json:"num_cpu"`
-	GoVersion  string `json:"go_version"`
-	GOGC       int    `json:"gogc"`
+	Ns         []int      `json:"ns"`
+	Dim        int        `json:"dim"`
+	Seed       int64      `json:"seed"`
+	Queries    int        `json:"queries"`
+	GroupSizes []int      `json:"group_sizes"`
+	Ks         []int      `json:"ks"`
+	RNNMaxN    int        `json:"rnn_max_n"`
+	Refine     refineCfgJ `json:"refine"` // effective refinement budget
+	GoMaxProcs int        `json:"gomaxprocs"`
+	NumCPU     int        `json:"num_cpu"`
+	GoVersion  string     `json:"go_version"`
+	GOGC       int        `json:"gogc"`
+}
+
+// refineCfgJ records the effective refinement budget the "on" measurements
+// ran under (pvindex.RefineConfig with defaults resolved).
+type refineCfgJ struct {
+	TopFraction float64 `json:"top_fraction"`
+	MaxRows     int     `json:"max_rows"`
+	DepthBoost  int     `json:"depth_boost"`
+	CSetFactor  int     `json:"cset_factor"`
+	MinDegree   int     `json:"min_degree"`
+}
+
+// extqueryBuildJ is one per-size construction record: base build cost, the
+// explicit refinement pass's cost, and the pass's counters — the proof that
+// the budget went to a small hub set rather than being spread uniformly.
+type extqueryBuildJ struct {
+	N           int     `json:"n"`
+	BuildUs     float64 `json:"build_us"`
+	RefineUs    float64 `json:"refine_us"`
+	RowsRefined int64   `json:"rows_refined"`
+	ClipPasses  int64   `json:"clip_passes"`
+	BudgetSpent int64   `json:"budget_spent"` // domination decisions consumed
+	Threshold   float64 `json:"refine_threshold"`
 }
 
 // runExtquery builds, per size, a region tree (scan/tree paths) and a full
@@ -105,11 +147,19 @@ func runExtquery(cfg extqueryConfig) error {
 		cfg.Dim = 2
 	}
 
+	refCfg := pvindex.DefaultConfig().Refine.Resolved()
 	report := extqueryReport{
 		GeneratedBy: "pvbench extquery",
 		Config: extqueryCfgJ{
 			Ns: cfg.Ns, Dim: cfg.Dim, Seed: cfg.Seed, Queries: cfg.Queries,
 			GroupSizes: cfg.GroupSizes, Ks: cfg.Ks, RNNMaxN: cfg.RNNMaxN,
+			Refine: refineCfgJ{
+				TopFraction: refCfg.TopFraction,
+				MaxRows:     refCfg.MaxRows,
+				DepthBoost:  refCfg.DepthBoost,
+				CSetFactor:  refCfg.CSetFactor,
+				MinDegree:   refCfg.MinDegree,
+			},
 			GoMaxProcs: runtime.GOMAXPROCS(0),
 			NumCPU:     runtime.NumCPU(),
 			GoVersion:  goVersion(),
@@ -124,11 +174,17 @@ func runExtquery(cfg extqueryConfig) error {
 		})
 		tree := core.BuildRegionTree(db, rtree.DefaultFanout)
 		fmt.Printf("extquery: building PV-index over %d objects (SE construction)...\n", n)
+		ixCfg := pvindex.DefaultConfig()
+		// Build with refinement off so the first graph pass measures the base
+		// index; the explicit Refine call below is the "on" side (and is
+		// itself timed), avoiding a second full SE construction.
+		ixCfg.Refine.Disabled = true
 		t0 := time.Now()
-		ix, err := pvindex.BuildParallel(db, pvindex.DefaultConfig(), 0)
+		ix, err := pvindex.BuildParallel(db, ixCfg, 0)
 		if err != nil {
 			return fmt.Errorf("extquery: building PV-index at n=%d: %w", n, err)
 		}
+		buildUs := us(t0)
 		fmt.Printf("extquery: PV-index built in %v\n", time.Since(t0).Round(time.Millisecond))
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(n)))
 		randPoint := func() []float64 {
@@ -138,8 +194,10 @@ func runExtquery(cfg extqueryConfig) error {
 			}
 			return p
 		}
+		nStart := len(report.Rows)
 
-		// Group NN: |Q| sweep.
+		// Unrefined pass: scan + tree baselines and the graph path before
+		// refinement. Group NN: |Q| sweep.
 		for _, g := range cfg.GroupSizes {
 			row := extqueryRow{Query: "groupnn", N: n, Param: g, Matched: true}
 			for i := 0; i < cfg.Queries; i++ {
@@ -158,17 +216,16 @@ func runExtquery(cfg extqueryConfig) error {
 				if err != nil {
 					return fmt.Errorf("extquery: groupnn graph retrieval: %w", err)
 				}
-				row.GraphUs += us(t2)
+				row.GraphUsNoRef += us(t2)
 				row.TreeNodes += float64(cost.Nodes)
 				row.TreeLeaves += float64(cost.Leaves)
-				row.GraphNodes += float64(gc.GraphNodes)
-				row.GraphEdges += float64(gc.GraphEdges)
+				row.GraphNodesNoRef += float64(gc.GraphNodes)
+				row.GraphEdgesNoRef += float64(gc.GraphEdges)
 				row.Candidates += float64(len(got))
 				if !sameIDs(got, want) || !sameIDs(gotG, want) {
 					row.Matched = false
 				}
 			}
-			finishRow(&row, cfg.Queries)
 			report.Rows = append(report.Rows, row)
 		}
 
@@ -188,17 +245,16 @@ func runExtquery(cfg extqueryConfig) error {
 				if err != nil {
 					return fmt.Errorf("extquery: knn graph retrieval: %w", err)
 				}
-				row.GraphUs += us(t2)
+				row.GraphUsNoRef += us(t2)
 				row.TreeNodes += float64(cost.Nodes)
 				row.TreeLeaves += float64(cost.Leaves)
-				row.GraphNodes += float64(gc.GraphNodes)
-				row.GraphEdges += float64(gc.GraphEdges)
+				row.GraphNodesNoRef += float64(gc.GraphNodes)
+				row.GraphEdgesNoRef += float64(gc.GraphEdges)
 				row.Candidates += float64(len(got))
 				if !sameIDs(got, want) || !sameIDs(gotG, want) {
 					row.Matched = false
 				}
 			}
-			finishRow(&row, cfg.Queries)
 			report.Rows = append(report.Rows, row)
 		}
 
@@ -222,10 +278,78 @@ func runExtquery(cfg extqueryConfig) error {
 					row.Matched = false
 				}
 			}
-			finishRow(&row, cfg.Queries)
 			report.Rows = append(report.Rows, row)
 		} else {
 			fmt.Printf("extquery: skipping rnn scan at n=%d (O(n²) baseline; cap %d)\n", n, cfg.RNNMaxN)
+		}
+
+		// Refine, then replay the same query points (same seed, same draw
+		// order) against the refined graph. Candidate sets must still match
+		// the tree oracle — refinement may only change the cost columns.
+		fmt.Printf("extquery: refining PV-index hubs at n=%d...\n", n)
+		tR := time.Now()
+		if _, err := ix.Refine(); err != nil {
+			return fmt.Errorf("extquery: refining PV-index at n=%d: %w", n, err)
+		}
+		refineUs := us(tR)
+		rc := ix.RefineCounters()
+		bld := extqueryBuildJ{
+			N: n, BuildUs: buildUs, RefineUs: refineUs,
+			RowsRefined: rc.RowsRefined, ClipPasses: rc.ClipPasses,
+			BudgetSpent: rc.BudgetSpent,
+		}
+		if !math.IsInf(rc.Threshold, 1) {
+			bld.Threshold = rc.Threshold
+		}
+		report.Builds = append(report.Builds, bld)
+		fmt.Printf("extquery: refined %d rows in %v (budget %d tests)\n",
+			rc.RowsRefined, time.Since(tR).Round(time.Millisecond), rc.BudgetSpent)
+
+		rng = rand.New(rand.NewSource(cfg.Seed + int64(n)))
+		ri := nStart
+		for _, g := range cfg.GroupSizes {
+			row := &report.Rows[ri]
+			ri++
+			for i := 0; i < cfg.Queries; i++ {
+				qs := make([]pointT, g)
+				for j := range qs {
+					qs[j] = randPoint()
+				}
+				t0 := time.Now()
+				gotG, gc, err := ix.GroupNNCandidatesOnly(toPoints(qs), extquery.AggSum)
+				if err != nil {
+					return fmt.Errorf("extquery: groupnn refined graph retrieval: %w", err)
+				}
+				row.GraphUs += us(t0)
+				row.GraphNodes += float64(gc.GraphNodes)
+				row.GraphEdges += float64(gc.GraphEdges)
+				want, _ := extquery.GroupNNCandidatesTree(tree, toPoints(qs), extquery.AggSum)
+				if !sameIDs(gotG, want) {
+					row.Matched = false
+				}
+			}
+		}
+		for _, k := range cfg.Ks {
+			row := &report.Rows[ri]
+			ri++
+			for i := 0; i < cfg.Queries; i++ {
+				q := toPoint(randPoint())
+				t0 := time.Now()
+				gotG, gc, err := ix.KNNCandidatesOnly(q, k)
+				if err != nil {
+					return fmt.Errorf("extquery: knn refined graph retrieval: %w", err)
+				}
+				row.GraphUs += us(t0)
+				row.GraphNodes += float64(gc.GraphNodes)
+				row.GraphEdges += float64(gc.GraphEdges)
+				want, _ := extquery.KNNCandidatesTree(tree, q, k)
+				if !sameIDs(gotG, want) {
+					row.Matched = false
+				}
+			}
+		}
+		for i := nStart; i < len(report.Rows); i++ {
+			finishRow(&report.Rows[i], cfg.Queries)
 		}
 	}
 
@@ -273,9 +397,18 @@ func finishRow(row *extqueryRow, queries int) {
 	row.TreeLeaves /= q
 	row.GraphNodes /= q
 	row.GraphEdges /= q
+	row.GraphUsNoRef /= q
+	row.GraphNodesNoRef /= q
+	row.GraphEdgesNoRef /= q
 	row.Candidates /= q
 	if row.TreeUs > 0 {
 		row.Speedup = row.ScanUs / row.TreeUs
+	}
+	if row.GraphNodes > 0 {
+		row.VisitDeg = row.GraphEdges / row.GraphNodes
+	}
+	if row.GraphNodesNoRef > 0 {
+		row.VisitDegNoRef = row.GraphEdgesNoRef / row.GraphNodesNoRef
 	}
 }
 
@@ -294,13 +427,17 @@ func sameIDs(a, b []uncertain.ID) bool {
 func printExtquery(r extqueryReport) {
 	fmt.Printf("\nextension-query retrieval report (d=%d, %d queries/config)\n",
 		r.Config.Dim, r.Config.Queries)
-	fmt.Printf("  %-8s %8s %6s %12s %12s %12s %9s %8s %8s %8s %8s %7s\n",
-		"query", "n", "param", "scan us", "tree us", "graph us", "speedup",
-		"nodes", "leaves", "g.nodes", "g.edges", "match")
+	fmt.Printf("  %-8s %8s %6s %12s %12s %12s %12s %9s %8s %8s %7s\n",
+		"query", "n", "param", "scan us", "tree us", "graph us", "g¬ref us", "speedup",
+		"v.deg", "v.deg¬r", "match")
 	for _, row := range r.Rows {
-		fmt.Printf("  %-8s %8d %6d %12.1f %12.1f %12.1f %8.1fx %8.1f %8.1f %8.1f %8.1f %7v\n",
-			row.Query, row.N, row.Param, row.ScanUs, row.TreeUs, row.GraphUs, row.Speedup,
-			row.TreeNodes, row.TreeLeaves, row.GraphNodes, row.GraphEdges, row.Matched)
+		fmt.Printf("  %-8s %8d %6d %12.1f %12.1f %12.1f %12.1f %8.1fx %8.1f %8.1f %7v\n",
+			row.Query, row.N, row.Param, row.ScanUs, row.TreeUs, row.GraphUs, row.GraphUsNoRef,
+			row.Speedup, row.VisitDeg, row.VisitDegNoRef, row.Matched)
+	}
+	for _, b := range r.Builds {
+		fmt.Printf("  build n=%-8d %10.0f us  refine %10.0f us  rows=%d clips=%d budget=%d\n",
+			b.N, b.BuildUs, b.RefineUs, b.RowsRefined, b.ClipPasses, b.BudgetSpent)
 	}
 }
 

@@ -1026,12 +1026,24 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"live_versions":    int64(mv.LiveVersions),
 			"reclaimed":        mv.Reclaimed,
 		},
-		"adjacency": map[string]int64{
+		"adjacency": map[string]any{
 			"rows":            int64(adj.Rows),
 			"edges":           int64(adj.Edges),
 			"rows_recomputed": adj.RowsRecomputed,
 			"rows_patched":    adj.RowsPatched,
 			"rows_deleted":    adj.RowsDeleted,
+			// Hub shape: degree and stored-UBR volume distributions over the
+			// current rows — what the refinement budget targets.
+			"degree_p50":  int64(adj.DegreeP50),
+			"degree_p90":  int64(adj.DegreeP90),
+			"degree_max":  int64(adj.DegreeMax),
+			"ubr_vol_p50": adj.UBRVolP50,
+			"ubr_vol_p90": adj.UBRVolP90,
+			"ubr_vol_max": adj.UBRVolMax,
+			// Refinement lifetime counters.
+			"rows_refined":        adj.RowsRefined,
+			"clip_passes":         adj.ClipPasses,
+			"refine_budget_spent": adj.RefineBudgetSpent,
 		},
 		"endpoints": endpoints,
 		"runtime":   runtimeStats(),

@@ -859,3 +859,79 @@ func TestServeRequestTimeout(t *testing.T) {
 		t.Fatalf("expired batch: status %d, want 504", resp.StatusCode)
 	}
 }
+
+// TestStatsAdjacencyRefinement checks the /v1/stats adjacency block exposes
+// the hub-shape distributions (degree and UBR-volume percentiles) and the
+// refinement subsystem's lifetime counters. The index is built with an
+// aggressive refinement budget (every row qualifies) so the counters are
+// provably non-zero.
+func TestStatsAdjacencyRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := pvoronoi.NewDB(pvoronoi.NewRect(pvoronoi.Point{0, 0}, pvoronoi.Point{1000, 1000}))
+	for i := 0; i < 50; i++ {
+		lo := pvoronoi.Point{rng.Float64() * 950, rng.Float64() * 950}
+		region := pvoronoi.NewRect(lo, pvoronoi.Point{lo[0] + 5 + rng.Float64()*30, lo[1] + 5 + rng.Float64()*30})
+		if err := db.Add(&pvoronoi.Object{ID: pvoronoi.ID(i), Region: region}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opts := pvoronoi.DefaultOptions()
+	opts.K = 20
+	opts.KPartition = 3
+	opts.KGlobal = 40
+	opts.Refine.TopFraction = 1
+	opts.Refine.MinDegree = -1 // every row is a refinement target
+	ix, err := pvoronoi.Build(db, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(ix).routes())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Adjacency struct {
+			Rows        int64    `json:"rows"`
+			Edges       int64    `json:"edges"`
+			DegreeP50   int64    `json:"degree_p50"`
+			DegreeP90   int64    `json:"degree_p90"`
+			DegreeMax   int64    `json:"degree_max"`
+			UBRVolP50   *float64 `json:"ubr_vol_p50"`
+			UBRVolP90   *float64 `json:"ubr_vol_p90"`
+			UBRVolMax   *float64 `json:"ubr_vol_max"`
+			RowsRefined int64    `json:"rows_refined"`
+			ClipPasses  int64    `json:"clip_passes"`
+			BudgetSpent int64    `json:"refine_budget_spent"`
+		} `json:"adjacency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	adj := stats.Adjacency
+	if adj.Rows != 50 {
+		t.Fatalf("adjacency rows = %d, want 50", adj.Rows)
+	}
+	if adj.DegreeP50 < 1 || adj.DegreeP90 < adj.DegreeP50 || adj.DegreeMax < adj.DegreeP90 {
+		t.Fatalf("degree distribution not ordered: p50=%d p90=%d max=%d",
+			adj.DegreeP50, adj.DegreeP90, adj.DegreeMax)
+	}
+	if adj.UBRVolP50 == nil || adj.UBRVolP90 == nil || adj.UBRVolMax == nil {
+		t.Fatal("UBR volume distribution missing from adjacency block")
+	}
+	if *adj.UBRVolP50 <= 0 || *adj.UBRVolMax < *adj.UBRVolP90 || *adj.UBRVolP90 < *adj.UBRVolP50 {
+		t.Fatalf("UBR volume distribution not ordered: p50=%g p90=%g max=%g",
+			*adj.UBRVolP50, *adj.UBRVolP90, *adj.UBRVolMax)
+	}
+	if adj.RowsRefined < 1 || adj.BudgetSpent < 1 {
+		t.Fatalf("refinement counters empty: rows_refined=%d budget=%d clips=%d",
+			adj.RowsRefined, adj.BudgetSpent, adj.ClipPasses)
+	}
+	if adj.ClipPasses < adj.RowsRefined {
+		t.Fatalf("clip passes %d < rows refined %d (every refined row is clipped)",
+			adj.ClipPasses, adj.RowsRefined)
+	}
+}

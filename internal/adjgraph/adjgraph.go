@@ -10,8 +10,9 @@
 //
 // The graph is copy-on-write at bucket granularity, mirroring the octree and
 // hash-table COW discipline of the MVCC versions: CloneCOW is O(buckets),
-// the first mutation of a bucket copies its row map, and rows themselves are
-// immutable once stored — a mutation installs a fresh *Row. A published
+// the first mutation of a bucket copies its rows (a memcpy of the dense
+// pointer slice plus the overflow map), and rows themselves are immutable
+// once stored — a mutation installs a fresh *Row. A published
 // graph is therefore never modified; readers pinned to any version can walk
 // rows without synchronization, and discarding an unpublished clone is a
 // complete rollback (the graph owns no pagestore resources).
@@ -36,12 +37,23 @@ type Row struct {
 	Neighbors []uint32
 }
 
-// bucket holds a shard of rows. owner identifies the graph allowed to
-// mutate the map in place; any other graph sharing the bucket must copy it
-// first (copy-on-write).
+// denseCap bounds the dense fast path: IDs below it live in a slice indexed
+// by id>>8 (their sequence number within the bucket), IDs at or above it in
+// the overflow map. The graph expansion probes rows once per distinct
+// neighbor, so for the common dense-ID case the probe must be an indexed
+// load, not a hash. 1<<20 caps a full bucket's slice at 4096 pointers.
+const denseCap = 1 << 20
+
+// bucket holds a shard of rows: a dense slice for small IDs (indexed by
+// id>>8 — the ID's rank within this bucket) plus an overflow map for large
+// ones. owner identifies the graph allowed to mutate the shard in place;
+// any other graph sharing the bucket must copy it first (copy-on-write).
+// Row pointers stay immutable under both paths, so readers pinned to a
+// published graph are never affected by a clone's writes.
 type bucket struct {
 	owner *Graph
-	rows  map[uint32]*Row
+	dense []*Row          // dense[id>>8] for id < denseCap; nil slots = absent
+	rows  map[uint32]*Row // overflow: id >= denseCap
 }
 
 // Graph is the adjacency relation of one index version. The zero value is
@@ -67,9 +79,57 @@ type Graph struct {
 func New() *Graph {
 	g := &Graph{}
 	for i := range g.buckets {
-		g.buckets[i] = &bucket{owner: g, rows: map[uint32]*Row{}}
+		g.buckets[i] = &bucket{owner: g}
 	}
 	return g
+}
+
+// get returns id's row within this shard.
+func (b *bucket) get(id uint32) (*Row, bool) {
+	if id < denseCap {
+		if i := int(id >> 8); i < len(b.dense) {
+			if r := b.dense[i]; r != nil {
+				return r, true
+			}
+		}
+		return nil, false
+	}
+	r, ok := b.rows[id]
+	return r, ok
+}
+
+// put installs id's row within this shard, growing the dense slice (next
+// power of two) or allocating the overflow map on demand.
+func (b *bucket) put(id uint32, r *Row) {
+	if id < denseCap {
+		i := int(id >> 8)
+		if i >= len(b.dense) {
+			grown := 16
+			for grown <= i {
+				grown *= 2
+			}
+			next := make([]*Row, grown)
+			copy(next, b.dense)
+			b.dense = next
+		}
+		b.dense[i] = r
+		return
+	}
+	if b.rows == nil {
+		b.rows = make(map[uint32]*Row)
+	}
+	b.rows[id] = r
+}
+
+// del removes id's row within this shard.
+func (b *bucket) del(id uint32) {
+	if id < denseCap {
+		if i := int(id >> 8); i < len(b.dense) {
+			b.dense[i] = nil
+		}
+		return
+	}
+	delete(b.rows, id)
 }
 
 // CloneCOW returns a mutable copy sharing every bucket with g. The clone
@@ -85,16 +145,24 @@ func (g *Graph) CloneCOW() *Graph {
 func (g *Graph) bucketFor(id uint32) *bucket { return g.buckets[id&(numBuckets-1)] }
 
 // writable returns the shard holding id with g as its owner, copying the
-// shared map on first write.
+// shared slice/map on first write (the dense copy is a straight memcpy of
+// row pointers — cheaper than the old per-entry map copy).
 func (g *Graph) writable(id uint32) *bucket {
 	i := id & (numBuckets - 1)
 	b := g.buckets[i]
 	if b.owner == g {
 		return b
 	}
-	nb := &bucket{owner: g, rows: make(map[uint32]*Row, len(b.rows))}
-	for k, v := range b.rows {
-		nb.rows[k] = v
+	nb := &bucket{owner: g}
+	if len(b.dense) > 0 {
+		nb.dense = make([]*Row, len(b.dense))
+		copy(nb.dense, b.dense)
+	}
+	if len(b.rows) > 0 {
+		nb.rows = make(map[uint32]*Row, len(b.rows))
+		for k, v := range b.rows {
+			nb.rows[k] = v
+		}
 	}
 	g.buckets[i] = nb
 	return nb
@@ -102,8 +170,7 @@ func (g *Graph) writable(id uint32) *bucket {
 
 // Get returns id's row. The row is immutable — do not modify it.
 func (g *Graph) Get(id uint32) (*Row, bool) {
-	r, ok := g.bucketFor(id).rows[id]
-	return r, ok
+	return g.bucketFor(id).get(id)
 }
 
 // Len returns the number of rows (objects).
@@ -116,11 +183,14 @@ func (g *Graph) Edges() int { return g.edges }
 // Set installs id's row with the given UBR, object diameter, and neighbor
 // set, replacing any previous row. diam is the row's contribution to
 // MaxDiag (pvindex passes the uncertainty-region diagonal); neighbors is
-// adopted (sorted in place) — the caller must not reuse it.
+// adopted (sorted in place) — the caller must not reuse it. The UBR
+// coordinates are copied into one backing array (lo then hi) so the
+// expansion's per-neighbor mindist reads one cache line, not two
+// allocations; the stored row never aliases the caller's rect.
 func (g *Graph) Set(id uint32, ubr geom.Rect, diam float64, neighbors []uint32) {
 	sort.Slice(neighbors, func(i, j int) bool { return neighbors[i] < neighbors[j] })
 	b := g.writable(id)
-	if old, ok := b.rows[id]; ok {
+	if old, ok := b.get(id); ok {
 		g.edges -= len(old.Neighbors)
 	} else {
 		g.rows++
@@ -129,7 +199,19 @@ func (g *Graph) Set(id uint32, ubr geom.Rect, diam float64, neighbors []uint32) 
 	if diam > g.maxDiag {
 		g.maxDiag = diam
 	}
-	b.rows[id] = &Row{UBR: ubr, Neighbors: neighbors}
+	b.put(id, &Row{UBR: compactRect(ubr), Neighbors: neighbors})
+}
+
+// compactRect deep-copies r with Lo and Hi sharing a single backing array.
+func compactRect(r geom.Rect) geom.Rect {
+	d := r.Dim()
+	if d == 0 {
+		return r
+	}
+	flat := make([]float64, 2*d)
+	copy(flat[:d], r.Lo)
+	copy(flat[d:], r.Hi)
+	return geom.Rect{Lo: flat[:d:d], Hi: flat[d:]}
 }
 
 // MaxDiag returns an upper bound of the largest stored object diameter —
@@ -142,13 +224,13 @@ func (g *Graph) MaxDiag() float64 { return g.maxDiag }
 // patches those explicitly). It reports whether the row existed.
 func (g *Graph) Delete(id uint32) bool {
 	b := g.writable(id)
-	old, ok := b.rows[id]
+	old, ok := b.get(id)
 	if !ok {
 		return false
 	}
 	g.rows--
 	g.edges -= len(old.Neighbors)
-	delete(b.rows, id)
+	b.del(id)
 	return true
 }
 
@@ -156,7 +238,7 @@ func (g *Graph) Delete(id uint32) bool {
 // It reports whether the list changed. Missing rows are ignored.
 func (g *Graph) AddNeighbor(id, n uint32) bool {
 	b := g.writable(id)
-	old, ok := b.rows[id]
+	old, ok := b.get(id)
 	if !ok {
 		return false
 	}
@@ -168,7 +250,7 @@ func (g *Graph) AddNeighbor(id, n uint32) bool {
 	ns = append(ns, old.Neighbors[:i]...)
 	ns = append(ns, n)
 	ns = append(ns, old.Neighbors[i:]...)
-	b.rows[id] = &Row{UBR: old.UBR, Neighbors: ns}
+	b.put(id, &Row{UBR: old.UBR, Neighbors: ns})
 	g.edges++
 	return true
 }
@@ -177,7 +259,7 @@ func (g *Graph) AddNeighbor(id, n uint32) bool {
 // It reports whether the list changed. Missing rows are ignored.
 func (g *Graph) RemoveNeighbor(id, n uint32) bool {
 	b := g.writable(id)
-	old, ok := b.rows[id]
+	old, ok := b.get(id)
 	if !ok {
 		return false
 	}
@@ -188,7 +270,7 @@ func (g *Graph) RemoveNeighbor(id, n uint32) bool {
 	ns := make([]uint32, 0, len(old.Neighbors)-1)
 	ns = append(ns, old.Neighbors[:i]...)
 	ns = append(ns, old.Neighbors[i+1:]...)
-	b.rows[id] = &Row{UBR: old.UBR, Neighbors: ns}
+	b.put(id, &Row{UBR: old.UBR, Neighbors: ns})
 	g.edges--
 	return true
 }
@@ -196,7 +278,15 @@ func (g *Graph) RemoveNeighbor(id, n uint32) bool {
 // ForEach visits every row in unspecified order; returning false stops the
 // walk. Rows are immutable — do not modify them.
 func (g *Graph) ForEach(fn func(id uint32, row *Row) bool) {
-	for _, b := range g.buckets {
+	for bi, b := range g.buckets {
+		for i, row := range b.dense {
+			if row == nil {
+				continue
+			}
+			if !fn(uint32(i)<<8|uint32(bi), row) {
+				return
+			}
+		}
 		for id, row := range b.rows {
 			if !fn(id, row) {
 				return

@@ -10,7 +10,10 @@ import (
 )
 
 // Stats reports the cost profile of one SE run, feeding the paper's
-// construction-time breakdowns (Fig. 10(e)).
+// construction-time breakdowns (Fig. 10(e)). The flat counters cover the
+// base SE pass only; the budget-aware refinement pass accounts its extra
+// work separately in Refine, so aggregated stats attribute base and
+// refinement effort honestly instead of lumping them together.
 type Stats struct {
 	CSetSize        int
 	CSetTime        time.Duration
@@ -19,6 +22,39 @@ type Stats struct {
 	DominationTests int64 // individual spatial-domination decisions
 	Shrinks         int   // steps that shrank h(o)
 	Expands         int   // steps that expanded l(o)
+
+	// Refine isolates the refinement pass's cost from the base counters
+	// above. Zero unless a budget-aware refinement ran.
+	Refine RefineStats
+}
+
+// RefineStats is the cost profile of the budget-aware refinement pass:
+// the escalated SE bisection plus the octree clip walk. Kept apart from the
+// base Stats counters so per-batch accounting can show exactly where the
+// extra budget went.
+type RefineStats struct {
+	Rows            int           // objects whose UBR a refinement recomputed
+	CSetSize        int           // escalated C-set sizes, summed
+	Time            time.Duration // wall time of refinement SE work
+	Iterations      int           // refinement bisection steps attempted
+	DominationTests int64         // domination decisions spent by refinement bisection
+	Shrinks         int           // refinement steps that tightened the UBR
+	ClipPasses      int           // octree clip walks executed
+	ClipCells       int           // leaf cells examined by clip walks
+	ClipTests       int64         // domination decisions spent by clip walks
+}
+
+// Add accumulates s2 into s, for aggregating per-pass refinement stats.
+func (s *RefineStats) Add(s2 RefineStats) {
+	s.Rows += s2.Rows
+	s.CSetSize += s2.CSetSize
+	s.Time += s2.Time
+	s.Iterations += s2.Iterations
+	s.DominationTests += s2.DominationTests
+	s.Shrinks += s2.Shrinks
+	s.ClipPasses += s2.ClipPasses
+	s.ClipCells += s2.ClipCells
+	s.ClipTests += s2.ClipTests
 }
 
 // Add accumulates s2 into s, for aggregating per-object stats over a build.
@@ -30,6 +66,7 @@ func (s *Stats) Add(s2 Stats) {
 	s.DominationTests += s2.DominationTests
 	s.Shrinks += s2.Shrinks
 	s.Expands += s2.Expands
+	s.Refine.Add(s2.Refine)
 }
 
 // ComputeUBR runs the SE algorithm (Algorithm 1) for object o over database

@@ -94,13 +94,69 @@ func (h *graphHeap) pop() graphItem {
 // graphScratch holds the reusable state of one best-first expansion — the
 // frontier heap and the visited set — mirroring queryScratch in pvindex so
 // steady-state expansions perform no per-call allocation.
+//
+// The visited set is the expansion's hottest structure: it is probed once
+// per examined edge, and after refinement shrinks the hubs the per-edge map
+// hash was the single largest term in the 100k kNN profile. Dense IDs (the
+// overwhelmingly common case — the index allocates them small) use an
+// epoch-stamped array instead: marking is one indexed store, re-arming is a
+// counter increment, and nothing is cleared between queries. IDs at or
+// beyond the array ceiling fall back to a map, so correctness never depends
+// on the ID distribution.
 type graphScratch struct {
-	heap graphHeap
-	seen map[uint32]struct{}
+	heap   graphHeap
+	stamps []uint32            // stamps[id] == stamp ⇒ id seen this run
+	stamp  uint32              // current run's epoch; 0 is never a valid mark
+	seen   map[uint32]struct{} // fallback for id >= maxStampIDs
+}
+
+// maxStampIDs caps the stamp array at 4 MB per pooled scratch. Graphs whose
+// IDs exceed it still work — those IDs take the map path.
+const maxStampIDs = 1 << 20
+
+// arm readies the scratch for one expansion: bump the epoch (clearing the
+// stamp array only on the ~never wraparound) and reset the fallback set.
+func (sc *graphScratch) arm() {
+	sc.stamp++
+	if sc.stamp == 0 {
+		clear(sc.stamps)
+		sc.stamp = 1
+	}
+	if len(sc.seen) > 0 {
+		clear(sc.seen)
+	}
+}
+
+// mark records id as seen and reports whether it was new.
+func (sc *graphScratch) mark(id uint32) bool {
+	if id < maxStampIDs {
+		if int(id) >= len(sc.stamps) {
+			grown := 256
+			for grown <= int(id) {
+				grown *= 2
+			}
+			if grown > maxStampIDs {
+				grown = maxStampIDs
+			}
+			next := make([]uint32, grown)
+			copy(next, sc.stamps)
+			sc.stamps = next
+		}
+		if sc.stamps[id] == sc.stamp {
+			return false
+		}
+		sc.stamps[id] = sc.stamp
+		return true
+	}
+	if _, dup := sc.seen[id]; dup {
+		return false
+	}
+	sc.seen[id] = struct{}{}
+	return true
 }
 
 var graphScratchPool = sync.Pool{New: func() any {
-	return &graphScratch{seen: make(map[uint32]struct{}, 64)}
+	return &graphScratch{seen: make(map[uint32]struct{}, 16)}
 }}
 
 // expandGraph runs the shared best-first expansion. key gives a row's
@@ -116,18 +172,16 @@ func expandGraph(g *adjgraph.Graph, seeds []uint32, key func(*adjgraph.Row) floa
 		return cost
 	}
 	sc := graphScratchPool.Get().(*graphScratch)
+	sc.arm()
 	defer func() {
 		sc.heap = sc.heap[:0]
-		clear(sc.seen)
 		graphScratchPool.Put(sc)
 	}()
-	seen := sc.seen
 	h := &sc.heap
 	for _, id := range seeds {
-		if _, dup := seen[id]; dup {
+		if !sc.mark(id) {
 			continue
 		}
-		seen[id] = struct{}{}
 		if row, ok := g.Get(id); ok {
 			h.push(graphItem{key: key(row), id: id, row: row})
 		}
@@ -142,10 +196,9 @@ func expandGraph(g *adjgraph.Graph, seeds []uint32, key func(*adjgraph.Row) floa
 		bound = visit(it.id, it.row)
 		for _, n := range it.row.Neighbors {
 			cost.Edges++
-			if _, dup := seen[n]; dup {
+			if !sc.mark(n) {
 				continue
 			}
-			seen[n] = struct{}{}
 			row, ok := g.Get(n)
 			if !ok {
 				continue
@@ -208,6 +261,23 @@ func (t *kthTracker) bound() float64 {
 	return t.heap[0]
 }
 
+// knnVisited is one expanded row's exact distance interval.
+type knnVisited struct {
+	id         uint32
+	dmin, dmax float64
+}
+
+// knnScratch recycles the kNN retrieval's per-query slices (visited rows,
+// k-th tracker heap, sorted maxdists) — only the returned candidate slice
+// is allocated per call.
+type knnScratch struct {
+	vis  []knnVisited
+	kth  []float64
+	smax []float64
+}
+
+var knnScratchPool = sync.Pool{New: func() any { return &knnScratch{} }}
+
 // KNNCandidatesGraph returns the k-NN candidate set of KNNCandidates by
 // best-first expansion over the UBR-adjacency graph, seeded with the IDs of
 // the cells covering q (a superset is fine — extra seeds only add sources).
@@ -221,22 +291,24 @@ func KNNCandidatesGraph(db *uncertain.DB, g *adjgraph.Graph, seeds []uint32, q g
 	if db == nil || g == nil || g.Len() == 0 || k <= 0 {
 		return nil, GraphCost{}
 	}
-	kth := kthTracker{k: k, heap: make([]float64, 0, k)}
-	type visitedNode struct {
-		id         uint32
-		dmin, dmax float64
-	}
-	vis := make([]visitedNode, 0, 4*k)
+	sc := knnScratchPool.Get().(*knnScratch)
+	kth := kthTracker{k: k, heap: sc.kth[:0]}
+	sc.vis = sc.vis[:0]
+	defer func() {
+		sc.kth = kth.heap
+		knnScratchPool.Put(sc)
+	}()
 	cost := expandGraph(g, seeds,
 		func(row *adjgraph.Row) float64 { return row.UBR.MinDist(q) },
 		func(id uint32, _ *adjgraph.Row) float64 {
 			if o := db.Get(uncertain.ID(id)); o != nil {
 				dmin, dmax := o.Region.MinDist(q), o.Region.MaxDist(q)
-				vis = append(vis, visitedNode{id: id, dmin: dmin, dmax: dmax})
+				sc.vis = append(sc.vis, knnVisited{id: id, dmin: dmin, dmax: dmax})
 				kth.add(dmax)
 			}
 			return kth.bound()
 		})
+	vis := sc.vis
 	if len(vis) == 0 {
 		return nil, cost
 	}
@@ -245,10 +317,11 @@ func KNNCandidatesGraph(db *uncertain.DB, g *adjgraph.Graph, seeds []uint32, q g
 	// (each has dmin <= maxdist <= global k-th), so the k-th smallest over
 	// the visited set equals the scan's global k-th; so is every potential
 	// dominator of a visited candidate. The filter below is tree.go's.
-	sortedMax := make([]float64, len(vis))
+	sortedMax := sc.smax[:0]
 	for i := range vis {
-		sortedMax[i] = vis[i].dmax
+		sortedMax = append(sortedMax, vis[i].dmax)
 	}
+	sc.smax = sortedMax
 	sort.Float64s(sortedMax)
 	kthVal := sortedMax[min(k, len(sortedMax))-1]
 

@@ -226,8 +226,16 @@ func (r Rect) MinDist(p Point) float64 {
 	return math.Sqrt(r.MinDist2(p))
 }
 
-// MinDist2 returns the squared minimum distance from p to r.
+// MinDist2 returns the squared minimum distance from p to r. The planar
+// case is unrolled: it is the innermost call of every R*-tree descent and
+// of the adjacency expansion's per-neighbor keying, where the generic
+// loop's bounds checks are measurable.
 func (r Rect) MinDist2(p Point) float64 {
+	if len(p) == 2 && len(r.Lo) == 2 && len(r.Hi) == 2 {
+		d0 := axisMinDist(p[0], r.Lo[0], r.Hi[0])
+		d1 := axisMinDist(p[1], r.Lo[1], r.Hi[1])
+		return d0*d0 + d1*d1
+	}
 	var s float64
 	for i := range p {
 		d := axisMinDist(p[i], r.Lo[i], r.Hi[i])

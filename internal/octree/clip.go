@@ -1,0 +1,63 @@
+package octree
+
+import "pvoronoi/internal/geom"
+
+// ClipUBR tightens a UBR against the tree's leaf cells: it returns the
+// bounding box of cell∩ubr over every leaf cell intersecting ubr that the
+// caller's prunable test cannot exclude, plus the number of leaf pieces
+// tested. prunable(r) must be conservative — true only when r provably
+// contains no point of the possible Voronoi cell the UBR bounds (pvindex
+// passes a refinement tester's RegionPrunable).
+//
+// Soundness: any point x of V(o) lies in ubr (the UBR is a superset of the
+// cell) and in exactly one leaf cell c, so x ∈ c∩ubr; a conservative
+// prunable can never report a region containing a cell point, so c∩ubr
+// survives and x lies inside the returned box. Hence the clipped rectangle
+// still contains V(o). Slab bisection can only discard axis-aligned slabs of
+// the full UBR cross-section; the cell walk discards any leaf-sized corner
+// piece independently, so the clip can cut where bisection cannot.
+//
+// The walk reads only the in-memory node skeleton (cell geometry), never a
+// leaf page: its cost is bounded by the node count overlapping ubr, not by
+// entry I/O. Two pure-geometry short-cuts keep the prunable budget small: a
+// subtree whose cell already lies inside the accumulated box cannot extend
+// it, and a surviving piece inside the box needs no test.
+func (t *Tree) ClipUBR(ubr geom.Rect, prunable func(geom.Rect) bool) (geom.Rect, int) {
+	var box geom.Rect
+	have := false
+	cells := 0
+	var walk func(n *node, region geom.Rect)
+	walk = func(n *node, region geom.Rect) {
+		piece, ok := region.Intersection(ubr)
+		if !ok {
+			return
+		}
+		if have && box.ContainsRect(piece) {
+			return // cannot extend the accumulated box; skip the subtree
+		}
+		if n.children != nil {
+			for mask, c := range n.children {
+				walk(c, childRegion(region, mask))
+			}
+			return
+		}
+		cells++
+		if prunable(piece) {
+			return
+		}
+		if !have {
+			box = piece.Clone()
+			have = true
+			return
+		}
+		box = box.Union(piece)
+	}
+	walk(t.root, t.domain)
+	if !have {
+		// Every piece was excluded — possible only if the UBR contains no
+		// cell point at all, which a sound caller never produces. Keep the
+		// input rather than fabricate an empty rectangle.
+		return ubr, cells
+	}
+	return box, cells
+}

@@ -1,0 +1,81 @@
+package octree
+
+import (
+	"math/rand"
+	"testing"
+
+	"pvoronoi/internal/geom"
+)
+
+// TestClipUBRNeverPrunable checks the identity-ish case: with a prunable
+// that can exclude nothing, the clip returns the bounding box of all leaf
+// pieces intersecting the UBR — which covers the UBR itself whenever the
+// UBR lies inside the domain — and reports at least one tested cell.
+func TestClipUBRNeverPrunable(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ti := newTestIndex(t, 2, 1000, 512, 1<<20)
+	for i := uint32(0); i < 200; i++ {
+		u := randSubRect(rng, 1000, 20, 2)
+		ti.insert(t, i, u, u.Expand(rng.Float64()*40))
+	}
+	for iter := 0; iter < 50; iter++ {
+		ubr := randSubRect(rng, 1000, 120, 2)
+		got, cells := ti.tree.ClipUBR(ubr, func(geom.Rect) bool { return false })
+		if cells < 1 {
+			t.Fatalf("clip walked %d cells, want >= 1", cells)
+		}
+		if !got.ContainsRect(ubr) {
+			t.Fatalf("never-prunable clip shrank the UBR: %v -> %v", ubr, got)
+		}
+	}
+}
+
+// TestClipUBRShrinksToKeptCells checks the clip's payoff: with a tester
+// that proves everything away from a small kept rectangle prunable, the
+// returned box collapses to the leaf cells covering that rectangle — far
+// inside the input UBR — while still containing every kept point. The kept
+// box sits off-center so the shrink must cut asymmetric corners, and the
+// dense inserts force leaf splits fine enough for a real reduction.
+func TestClipUBRShrinksToKeptCells(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ti := newTestIndex(t, 2, 1024, 256, 1<<20)
+	for i := uint32(0); i < 600; i++ {
+		u := randSubRect(rng, 1024, 8, 2)
+		ti.insert(t, i, u, u.Expand(2))
+	}
+	ubr := geom.NewRect(geom.Point{0, 0}, geom.Point{1024, 1024})
+	keep := geom.NewRect(geom.Point{96, 640}, geom.Point{160, 720})
+	// Conservative for "V(o) ⊆ keep": prunable only when r misses keep.
+	prunable := func(r geom.Rect) bool { return !r.Intersects(keep) }
+	got, cells := ti.tree.ClipUBR(ubr, prunable)
+	if cells < 4 {
+		t.Fatalf("clip walked only %d cells; tree did not split", cells)
+	}
+	if !got.ContainsRect(keep) {
+		t.Fatalf("clipped box %v lost the kept region %v", got, keep)
+	}
+	if got.Volume() >= ubr.Volume()/2 {
+		t.Fatalf("clip failed to shrink: %v (vol %.0f) from %v (vol %.0f)",
+			got, got.Volume(), ubr, ubr.Volume())
+	}
+}
+
+// TestClipUBRAllPrunedFallsBack checks the defensive fallback: a prunable
+// that (unsoundly) rejects everything must yield the input UBR unchanged
+// rather than an empty rectangle.
+func TestClipUBRAllPrunedFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ti := newTestIndex(t, 2, 1000, 512, 1<<20)
+	for i := uint32(0); i < 50; i++ {
+		u := randSubRect(rng, 1000, 20, 2)
+		ti.insert(t, i, u, u)
+	}
+	ubr := randSubRect(rng, 1000, 100, 2)
+	got, cells := ti.tree.ClipUBR(ubr, func(geom.Rect) bool { return true })
+	if cells < 1 {
+		t.Fatalf("clip walked %d cells, want >= 1", cells)
+	}
+	if !got.Equal(ubr) {
+		t.Fatalf("all-pruned clip fabricated %v from %v", got, ubr)
+	}
+}

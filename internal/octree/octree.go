@@ -636,6 +636,49 @@ func (t *Tree) PointQueryInto(q geom.Point, dst []Entry) ([]Entry, int, error) {
 	return dst, pagesRead, nil
 }
 
+// PointQueryIDsInto is PointQueryInto for callers that need only the entry
+// IDs (the adjacency-graph seed query): it strides over the packed leaf
+// entries reading each 4-byte ID and skips the coordinate bytes entirely —
+// no Entry structs, no Point slices, no float decode. dst is appended to
+// with its capacity reused, so a pooled scratch makes the call
+// allocation-free.
+func (t *Tree) PointQueryIDsInto(q geom.Point, dst []uint32) ([]uint32, int, error) {
+	if !t.domain.Contains(q) {
+		return dst, 0, fmt.Errorf("octree: query point %v outside domain %v", q, t.domain)
+	}
+	n := t.root
+	region := t.domain
+	for n.children != nil {
+		mask := 0
+		for j := 0; j < t.dim; j++ {
+			mid := (region.Lo[j] + region.Hi[j]) / 2
+			if q[j] >= mid {
+				mask |= 1 << j
+			}
+		}
+		region = childRegion(region, mask)
+		n = n.children[mask]
+	}
+	stride := t.entrySize()
+	pagesRead := 0
+	p := n.firstPage
+	for p != 0 {
+		buf, err := t.store.View(p)
+		if err != nil {
+			return dst, pagesRead, err
+		}
+		pagesRead++
+		count := int(binary.LittleEndian.Uint32(buf[4:8]))
+		off := 8
+		for i := 0; i < count; i++ {
+			dst = append(dst, binary.LittleEndian.Uint32(buf[off:]))
+			off += stride
+		}
+		p = pagestore.PageID(binary.LittleEndian.Uint32(buf[0:4]))
+	}
+	return dst, pagesRead, nil
+}
+
 // RangeIDs returns the distinct object IDs stored in leaves whose cells
 // intersect r — Step 2 of the paper's incremental update (the potentially
 // affected set A).

@@ -139,6 +139,16 @@ func (ix *Index) ApplyBatch(ups []Update) ([]UpdateStats, error) {
 	if err == nil {
 		err = w.updateAdjacency()
 	}
+	if err == nil {
+		// Budget-aware re-refinement of the rows this batch recomputed
+		// (refine.go). The pass is batch-scoped, so its cost lands on the
+		// batch's first op — UpdateStats.SE.Refine keeps it apart from the
+		// base SE counters.
+		var rst core.RefineStats
+		if rst, err = w.refineAfterBatch(); err == nil && len(sts) > 0 {
+			sts[0].SE.Refine.Add(rst)
+		}
+	}
 	if err != nil {
 		// Clean rollback: the working version was never published, so
 		// readers keep the intact predecessor. But if the batch reached the
@@ -576,6 +586,14 @@ func (ix *Index) Recover() (int, error) {
 	switch {
 	case w != nil:
 		if err := w.updateAdjacency(); err != nil {
+			w.abort()
+			return replayed, err
+		}
+		// Re-refine the replayed rows like the original batches did.
+		// Refinement is not WAL-logged (it changes no query result), so the
+		// recovered UBRs may be tighter or looser than the pre-crash ones —
+		// either way they are supersets of the true cells, and exact.
+		if _, err := w.refineAfterBatch(); err != nil {
 			w.abort()
 			return replayed, err
 		}

@@ -2,6 +2,7 @@ package pvindex
 
 import (
 	"fmt"
+	"sync"
 
 	"pvoronoi/internal/extquery"
 	"pvoronoi/internal/geom"
@@ -63,12 +64,22 @@ func (ix *Index) fetchInstancesAt(v *version, ids []uncertain.ID, cost *ExtCost)
 	return out, nil
 }
 
+// seedScratchPool recycles the seed-ID slices across graph queries so the
+// octree seed read allocates nothing in steady state.
+var seedScratchPool = sync.Pool{New: func() any {
+	s := make([]uint32, 0, 64)
+	return &s
+}}
+
 // graphSeeds runs the octree point query at p (clamped into the domain for
 // out-of-domain anchors — clamping preserves exactness, it just picks the
 // nearest in-domain start for the expansion) and returns the entry IDs: a
 // superset of the objects whose PV-cells contain p, which is exactly what
 // the graph expansion needs as sources. The leaf reads are the query's
-// attributable seed I/O.
+// attributable seed I/O. Seeds only need IDs, so the read strides over the
+// packed leaf bytes (PointQueryIDsInto) instead of decoding full entries —
+// the decode cost used to rival the whole expansion. The returned slice
+// comes from seedScratchPool; the caller returns it via putSeeds.
 func graphSeeds(v *version, p geom.Point) ([]uint32, int, error) {
 	dom := v.db.Domain
 	clamped := p
@@ -81,15 +92,19 @@ func graphSeeds(v *version, p geom.Point) ([]uint32, int, error) {
 			break
 		}
 	}
-	entries, leafIO, err := v.primary.PointQueryInto(clamped, nil)
+	scratch := seedScratchPool.Get().(*[]uint32)
+	seeds, leafIO, err := v.primary.PointQueryIDsInto(clamped, (*scratch)[:0])
+	*scratch = seeds
 	if err != nil {
+		seedScratchPool.Put(scratch)
 		return nil, leafIO, err
 	}
-	seeds := make([]uint32, 0, len(entries))
-	for i := range entries {
-		seeds = append(seeds, entries[i].ID)
-	}
 	return seeds, leafIO, nil
+}
+
+// putSeeds returns a graphSeeds slice to the pool.
+func putSeeds(seeds []uint32) {
+	seedScratchPool.Put(&seeds)
 }
 
 // groupNNAt retrieves the group-NN candidate set against a pinned version:
@@ -102,6 +117,7 @@ func groupNNAt(v *version, qs []geom.Point, agg extquery.Agg) ([]uncertain.ID, E
 		return nil, ExtCost{LeafIO: leafIO}, err
 	}
 	ids, gc := extquery.GroupNNCandidatesGraph(v.db, v.adj, seeds, anchor, qs, agg)
+	putSeeds(seeds)
 	return ids, ExtCost{Candidates: len(ids), LeafIO: leafIO, GraphNodes: gc.Nodes, GraphEdges: gc.Edges}, nil
 }
 
@@ -113,6 +129,7 @@ func knnAt(v *version, q geom.Point, k int) ([]uncertain.ID, ExtCost, error) {
 		return nil, ExtCost{LeafIO: leafIO}, err
 	}
 	ids, gc := extquery.KNNCandidatesGraph(v.db, v.adj, seeds, q, k)
+	putSeeds(seeds)
 	return ids, ExtCost{Candidates: len(ids), LeafIO: leafIO, GraphNodes: gc.Nodes, GraphEdges: gc.Edges}, nil
 }
 

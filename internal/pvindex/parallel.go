@@ -77,11 +77,16 @@ func BuildParallel(db *uncertain.DB, cfg Config, workers int) (*Index, error) {
 		ix.Build.Objects++
 	}
 	ix.Build.InsertTime = time.Since(t0)
-	ix.Build.Total = time.Since(start)
 	w.adj, err = rebuildAdjacency(db, w.primary, w.lookupUBR)
 	if err != nil {
 		return nil, err
 	}
+	// The refinement pass reuses the same worker pool for its escalated SE
+	// runs; GOMAXPROCS is already the pool width parallelSE uses.
+	if err := ix.refineBootstrap(w); err != nil {
+		return nil, err
+	}
+	ix.Build.Total = time.Since(start)
 	ix.installBootstrap(w, 0)
 	return ix, nil
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math"
 
 	"pvoronoi/internal/adjgraph"
 	"pvoronoi/internal/core"
@@ -18,14 +19,19 @@ import (
 // Image format versions. PVIDX2 added RecordCacheSize (V1 silently dropped
 // it, resetting loaded indexes to the default cache size) and WALSeq (so
 // recovery knows which write-ahead-log records a snapshot already covers).
-// PVIDX3 added the serialized UBR-adjacency graph. Older images are still
-// loadable: gob decodes by field name, leaving new fields at their zero
-// values — a nil adjacency image is rebuilt from the loaded octree and
-// secondary index at load time.
+// PVIDX3 added the serialized UBR-adjacency graph. PVIDX4 added the
+// refinement configuration and the incremental re-refinement threshold; its
+// stored UBRs are already refined. Older images are still loadable: gob
+// decodes by field name, leaving new fields at their zero values — a nil
+// adjacency image is rebuilt from the loaded octree and secondary index at
+// load time, and pre-V4 images (no refinement state) run a refinement pass
+// at load so an old snapshot serves with the same tight hubs a fresh build
+// would.
 const (
 	persistMagicV1 = "PVIDX1"
 	persistMagicV2 = "PVIDX2"
-	persistMagic   = "PVIDX3"
+	persistMagicV3 = "PVIDX3"
+	persistMagic   = "PVIDX4"
 )
 
 // indexImage bundles the serializable state of all index layers.
@@ -41,6 +47,11 @@ type indexImage struct {
 	Primary         *octree.Image
 	Secondary       *exthash.Image
 	Adjacency       *adjgraph.Image
+	// Refine and RefineThreshold (PVIDX4) restore the refinement subsystem:
+	// the config the UBRs were refined under and the hub-score cutoff the
+	// incremental write path re-refines against (0 = unset).
+	Refine          RefineConfig
+	RefineThreshold float64
 }
 
 // SaveTo serializes the index (page store, octree skeleton, hash directory,
@@ -91,6 +102,10 @@ func (ix *Index) saveVersion(w io.Writer, v *version) error {
 	if v.adj != nil {
 		img.Adjacency = v.adj.Image()
 	}
+	img.Refine = ix.cfg.Refine
+	if t := ix.refineThreshold(); !math.IsInf(t, 1) {
+		img.RefineThreshold = t
+	}
 	return gob.NewEncoder(w).Encode(&img)
 }
 
@@ -125,7 +140,9 @@ func LoadFrom(r io.Reader, db *uncertain.DB) (*Index, error) {
 	if err := gob.NewDecoder(r).Decode(&img); err != nil {
 		return nil, fmt.Errorf("pvindex: decoding index image: %w", err)
 	}
-	if img.Magic != persistMagic && img.Magic != persistMagicV2 && img.Magic != persistMagicV1 {
+	switch img.Magic {
+	case persistMagic, persistMagicV3, persistMagicV2, persistMagicV1:
+	default:
 		return nil, fmt.Errorf("pvindex: bad magic %q", img.Magic)
 	}
 	if img.Objects != db.Len() {
@@ -143,9 +160,13 @@ func LoadFrom(r io.Reader, db *uncertain.DB) (*Index, error) {
 			Fanout:          img.Fanout,
 			SE:              img.SE,
 			RecordCacheSize: img.RecordCacheSize,
+			Refine:          img.Refine,
 		},
 	}
 	ix.initRuntime()
+	if img.RefineThreshold > 0 {
+		ix.setRefineThreshold(img.RefineThreshold)
+	}
 	secondary, err := exthash.FromImage(store, img.Secondary)
 	if err != nil {
 		return nil, err
@@ -206,5 +227,16 @@ func LoadFrom(r io.Reader, db *uncertain.DB) (*Index, error) {
 		regionTree: regionTree,
 		adj:        adj,
 	})
+
+	// Pre-V4 images carry unrefined UBRs and no re-refinement threshold:
+	// refine at load (one pass over the loaded state, published as version
+	// 2), so an old snapshot serves with the same tight hubs a fresh build
+	// would. V4 images are already refined — their threshold was restored
+	// above.
+	if img.Magic != persistMagic && !ix.cfg.Refine.Disabled {
+		if _, err := ix.Refine(); err != nil {
+			return nil, fmt.Errorf("pvindex: refining pre-%s image at load: %w", persistMagic, err)
+		}
+	}
 	return ix, nil
 }

@@ -42,6 +42,9 @@ type Config struct {
 	// appended to (and fsynced) before it applies — the durable write path.
 	// Equivalent to calling AttachWAL after construction.
 	WAL *wal.Log
+	// Refine configures the budget-aware UBR refinement subsystem
+	// (refine.go). The zero value enables it with the documented defaults.
+	Refine RefineConfig
 }
 
 // DefaultConfig returns the paper's defaults.
@@ -113,6 +116,14 @@ type Index struct {
 	adjRecomputed atomic.Int64
 	adjPatched    atomic.Int64
 	adjDeleted    atomic.Int64
+
+	// Refinement lifetime counters (refine.go): rows refined, clip walks
+	// run, domination decisions spent, and the incremental re-refinement
+	// threshold as float bits (0 = unset, read as +Inf).
+	refRows          atomic.Int64
+	refClipPasses    atomic.Int64
+	refBudget        atomic.Int64
+	refThresholdBits atomic.Uint64
 
 	// Build records the construction cost profile.
 	Build BuildStats
@@ -278,11 +289,14 @@ func Build(db *uncertain.DB, cfg Config) (*Index, error) {
 		ix.Build.InsertTime += time.Since(t0)
 		ix.Build.Objects++
 	}
-	ix.Build.Total = time.Since(start)
 	w.adj, err = rebuildAdjacency(db, w.primary, w.lookupUBR)
 	if err != nil {
 		return nil, err
 	}
+	if err := ix.refineBootstrap(w); err != nil {
+		return nil, err
+	}
+	ix.Build.Total = time.Since(start)
 	ix.installBootstrap(w, 0)
 	return ix, nil
 }
@@ -456,8 +470,8 @@ func (w *working) updateAdjacency() error {
 	return nil
 }
 
-// AdjacencyStats reports the adjacency graph's size as of the current
-// version plus the lifetime maintenance counters.
+// AdjacencyStats reports the adjacency graph's size and shape as of the
+// current version plus the lifetime maintenance and refinement counters.
 type AdjacencyStats struct {
 	// Rows is the number of objects with an adjacency row (== Len()).
 	Rows int
@@ -470,21 +484,62 @@ type AdjacencyStats struct {
 	RowsPatched int64
 	// RowsDeleted counts rows dropped by deletions.
 	RowsDeleted int64
+
+	// Degree distribution over the current rows — the hub shape the
+	// refinement budget targets.
+	DegreeP50 int
+	DegreeP90 int
+	DegreeMax int
+	// Stored-UBR volume distribution over the current rows.
+	UBRVolP50 float64
+	UBRVolP90 float64
+	UBRVolMax float64
+
+	// Refinement lifetime counters (refine.go).
+	RowsRefined       int64
+	ClipPasses        int64
+	RefineBudgetSpent int64
 }
 
-// Adjacency returns the adjacency graph's gauges and maintenance counters.
+// Adjacency returns the adjacency graph's gauges, its degree and UBR-volume
+// distributions, and the maintenance plus refinement counters. The
+// distribution walk is O(rows) over the pinned version's immutable graph.
 func (ix *Index) Adjacency() AdjacencyStats {
 	v := ix.pin()
 	defer ix.unpin(v)
+	rc := ix.RefineCounters()
 	st := AdjacencyStats{
-		RowsRecomputed: ix.adjRecomputed.Load(),
-		RowsPatched:    ix.adjPatched.Load(),
-		RowsDeleted:    ix.adjDeleted.Load(),
+		RowsRecomputed:    ix.adjRecomputed.Load(),
+		RowsPatched:       ix.adjPatched.Load(),
+		RowsDeleted:       ix.adjDeleted.Load(),
+		RowsRefined:       rc.RowsRefined,
+		ClipPasses:        rc.ClipPasses,
+		RefineBudgetSpent: rc.BudgetSpent,
 	}
-	if v.adj != nil {
-		st.Rows = v.adj.Len()
-		st.Edges = v.adj.Edges()
+	if v.adj == nil {
+		return st
 	}
+	st.Rows = v.adj.Len()
+	st.Edges = v.adj.Edges()
+	if st.Rows == 0 {
+		return st
+	}
+	degs := make([]int, 0, st.Rows)
+	vols := make([]float64, 0, st.Rows)
+	v.adj.ForEach(func(_ uint32, row *adjgraph.Row) bool {
+		degs = append(degs, len(row.Neighbors))
+		vols = append(vols, row.UBR.Volume())
+		return true
+	})
+	sort.Ints(degs)
+	sort.Float64s(vols)
+	pct := func(n int, p float64) int { return int(p * float64(n-1)) }
+	st.DegreeP50 = degs[pct(len(degs), 0.5)]
+	st.DegreeP90 = degs[pct(len(degs), 0.9)]
+	st.DegreeMax = degs[len(degs)-1]
+	st.UBRVolP50 = vols[pct(len(vols), 0.5)]
+	st.UBRVolP90 = vols[pct(len(vols), 0.9)]
+	st.UBRVolMax = vols[len(vols)-1]
 	return st
 }
 
@@ -793,6 +848,9 @@ type UpdateStats struct {
 	TotalTime time.Duration
 	// SE aggregates the Shrink-and-Expand cost of every UBR computed by the
 	// operation: the newcomer's (insert) plus all affected recomputations.
+	// The flat counters cover the base SE pass only; SE.Refine isolates the
+	// budget-aware refinement work, which is batch-scoped and attributed to
+	// the batch's first op.
 	SE core.Stats
 }
 

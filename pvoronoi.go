@@ -125,7 +125,18 @@ type Options struct {
 	// Tests swap in a vfs.FaultFS to inject torn writes, fsync failures,
 	// disk-full, and bit rot deterministically.
 	FS vfs.FS
+	// Refine configures the budget-aware UBR refinement subsystem, which
+	// spends a bounded extra SE budget shrinking the fattest adjacency hubs
+	// after construction and incrementally after batches. The zero value
+	// enables it with the documented defaults; set Refine.Disabled to opt
+	// out. Refinement never changes a query result — only the tightness of
+	// stored UBRs and therefore the cost of graph-expansion retrieval.
+	Refine RefineOptions
 }
+
+// RefineOptions configures the UBR refinement budget (see
+// pvindex.RefineConfig for the per-field defaults).
+type RefineOptions = pvindex.RefineConfig
 
 // DefaultOptions returns the paper's default parameters.
 func DefaultOptions() Options {
@@ -165,6 +176,7 @@ func (o Options) toConfig() pvindex.Config {
 		cfg.SE.KGlobal = o.KGlobal
 	}
 	cfg.RecordCacheSize = o.RecordCacheSize
+	cfg.Refine = o.Refine
 	return cfg
 }
 
@@ -381,3 +393,19 @@ func (ix *Index) RecordCache() RecordCacheStats {
 
 // ResetIO zeroes the I/O counters (useful around measured query batches).
 func (ix *Index) ResetIO() { ix.inner.Store().ResetStats() }
+
+// RefineCounters reports the refinement subsystem's lifetime totals: rows
+// refined, clip passes run, and the domination-test budget spent.
+type RefineCounters = pvindex.RefineCounters
+
+// RefineCounters returns the refinement subsystem's lifetime totals.
+func (ix *Index) RefineCounters() RefineCounters { return ix.inner.RefineCounters() }
+
+// Refine runs one explicit budget-aware UBR refinement pass (hub selection
+// across the whole adjacency graph) and publishes the result as a new
+// version. It runs even when Options.Refine.Disabled — the call is the
+// opt-in. Query results are unchanged; only retrieval cost improves.
+func (ix *Index) Refine() error {
+	_, err := ix.inner.Refine()
+	return err
+}
